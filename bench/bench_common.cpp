@@ -1,0 +1,513 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "core/convert.hpp"
+#include "gpusim/gpu_kernels.hpp"
+#include "io/registry.hpp"
+#include "kernels/mttkrp.hpp"
+#include "kernels/tew.hpp"
+#include "kernels/ts.hpp"
+#include "kernels/ttm.hpp"
+#include "kernels/ttv.hpp"
+#include "roofline/roofline.hpp"
+
+namespace pasta::bench {
+
+BenchOptions
+options_from_env()
+{
+    BenchOptions options;
+    if (const char* s = std::getenv("PASTA_SCALE"))
+        options.scale = std::atof(s);
+    if (const char* s = std::getenv("PASTA_RUNS"))
+        options.runs = std::strtoul(s, nullptr, 10);
+    if (const char* s = std::getenv("PASTA_CACHE"))
+        options.cache_dir = s;
+    return options;
+}
+
+std::vector<NamedTensor>
+load_suite(const BenchOptions& options)
+{
+    TensorRegistry registry(options.cache_dir, options.scale);
+    std::vector<NamedTensor> suite;
+    for (const auto* table :
+         {&real_dataset_table(), &synthetic_dataset_table()}) {
+        for (const auto& spec : *table)
+            suite.push_back({spec.id, spec.name, registry.load(spec.id)});
+    }
+    return suite;
+}
+
+namespace {
+
+/// Builds a same-pattern sibling with refreshed values (TEW operand).
+CooTensor
+sibling(const CooTensor& x, std::uint64_t seed)
+{
+    Rng rng(seed);
+    CooTensor y = x;
+    for (auto& v : y.values())
+        v = rng.next_float() + 0.5f;
+    return y;
+}
+
+/// Per-tensor measurement context shared by the CPU and GPU paths.
+struct TensorContext {
+    const NamedTensor* entry = nullptr;
+    CooTensor y;                  ///< TEW sibling
+    HiCooTensor hx;               ///< HiCOO form of x
+    HiCooTensor hy;               ///< HiCOO form of y
+    std::vector<DenseMatrix> mats;  ///< MTTKRP factors
+    DenseMatrix mttkrp_out;       ///< widest output buffer
+
+    FactorList factors() const
+    {
+        FactorList list;
+        for (const auto& m : mats)
+            list.push_back(&m);
+        return list;
+    }
+};
+
+TensorContext
+make_context(const NamedTensor& entry, const BenchOptions& options)
+{
+    TensorContext ctx;
+    ctx.entry = &entry;
+    ctx.y = sibling(entry.tensor, 17);
+    ctx.hx = coo_to_hicoo(entry.tensor, options.block_bits);
+    ctx.hy = coo_to_hicoo(ctx.y, options.block_bits);
+    Rng rng(23);
+    Index widest = 0;
+    for (Size m = 0; m < entry.tensor.order(); ++m) {
+        ctx.mats.push_back(
+            DenseMatrix::random(entry.tensor.dim(m), options.rank, rng));
+        widest = std::max(widest, entry.tensor.dim(m));
+    }
+    ctx.mttkrp_out = DenseMatrix(widest, options.rank);
+    return ctx;
+}
+
+MeasuredRun
+make_run(const NamedTensor& entry, Kernel kernel, Format format,
+         double seconds, const KernelCost& cost)
+{
+    MeasuredRun run;
+    run.tensor_id = entry.id;
+    run.kernel = kernel;
+    run.format = format;
+    run.seconds = seconds;
+    run.cost = cost;
+    return run;
+}
+
+/// Mode-independent stats (TEW/TS/MTTKRP).
+TensorStats
+base_stats(const CooTensor& x, const HiCooTensor& hx)
+{
+    TensorStats stats;
+    stats.order = x.order();
+    stats.nnz = x.nnz();
+    stats.num_blocks = hx.num_blocks();
+    stats.block_size = hx.block_size();
+    return stats;
+}
+
+}  // namespace
+
+std::vector<MeasuredRun>
+run_cpu_suite(const std::vector<NamedTensor>& suite,
+              const BenchOptions& options)
+{
+    std::vector<MeasuredRun> runs;
+    for (const auto& entry : suite) {
+        PASTA_LOG_INFO << "cpu suite: " << entry.id << " ("
+                       << entry.tensor.describe() << ")";
+        TensorContext ctx = make_context(entry, options);
+        const CooTensor& x = entry.tensor;
+        const TensorStats stats0 = base_stats(x, ctx.hx);
+
+        // ---- TEW (addition as representative, §V-A2) ----
+        {
+            CooTensor z = x;
+            const RunStats t = timed_runs(
+                [&] {
+                    tew_values(EwOp::kAdd, x.values().data(),
+                               ctx.y.values().data(), z.values().data(),
+                               x.nnz());
+                },
+                options.runs);
+            runs.push_back(make_run(
+                entry, Kernel::kTew, Format::kCoo, t.mean_seconds,
+                kernel_cost(Kernel::kTew, Format::kCoo, stats0)));
+            HiCooTensor hz = ctx.hx;
+            const RunStats th = timed_runs(
+                [&] {
+                    tew_values(EwOp::kAdd, ctx.hx.values().data(),
+                               ctx.hy.values().data(),
+                               hz.values().data(), ctx.hx.nnz());
+                },
+                options.runs);
+            runs.push_back(make_run(
+                entry, Kernel::kTew, Format::kHicoo, th.mean_seconds,
+                kernel_cost(Kernel::kTew, Format::kHicoo, stats0)));
+        }
+
+        // ---- TS (multiplication as representative) ----
+        {
+            CooTensor out = x;
+            const RunStats t = timed_runs(
+                [&] {
+                    ts_values(TsOp::kMul, x.values().data(),
+                              out.values().data(), x.nnz(), 1.0009f);
+                },
+                options.runs);
+            runs.push_back(make_run(
+                entry, Kernel::kTs, Format::kCoo, t.mean_seconds,
+                kernel_cost(Kernel::kTs, Format::kCoo, stats0)));
+            HiCooTensor hout = ctx.hx;
+            const RunStats th = timed_runs(
+                [&] {
+                    ts_values(TsOp::kMul, ctx.hx.values().data(),
+                              hout.values().data(), ctx.hx.nnz(),
+                              1.0009f);
+                },
+                options.runs);
+            runs.push_back(make_run(
+                entry, Kernel::kTs, Format::kHicoo, th.mean_seconds,
+                kernel_cost(Kernel::kTs, Format::kHicoo, stats0)));
+        }
+
+        // ---- TTV / TTM / MTTKRP: averaged over all modes ----
+        double ttv_coo_s = 0;
+        double ttv_hicoo_s = 0;
+        double ttm_coo_s = 0;
+        double ttm_hicoo_s = 0;
+        double mttkrp_coo_s = 0;
+        double mttkrp_hicoo_s = 0;
+        KernelCost ttv_coo_c;
+        KernelCost ttv_hicoo_c;
+        KernelCost ttm_coo_c;
+        KernelCost ttm_hicoo_c;
+        const Size order = x.order();
+        for (Size mode = 0; mode < order; ++mode) {
+            Rng rng(31 + mode);
+            DenseVector v = DenseVector::random(x.dim(mode), rng);
+            const DenseMatrix& u = ctx.mats[mode];
+
+            CooTtvPlan tvp = ttv_plan_coo(x, mode);
+            TensorStats stats = stats0;
+            stats.num_fibers = tvp.fibers.num_fibers();
+            {
+                CooTensor out = tvp.out_pattern;
+                const RunStats t = timed_runs(
+                    [&] { ttv_exec_coo(tvp, v, out); }, options.runs);
+                ttv_coo_s += t.mean_seconds;
+                const KernelCost c =
+                    kernel_cost(Kernel::kTtv, Format::kCoo, stats);
+                ttv_coo_c.flops += c.flops / order;
+                ttv_coo_c.bytes += c.bytes / order;
+            }
+            {
+                HicooTtvPlan plan =
+                    ttv_plan_hicoo(x, mode, options.block_bits);
+                HiCooTensor out = plan.out_pattern;
+                const RunStats t = timed_runs(
+                    [&] { ttv_exec_hicoo(plan, v, out); }, options.runs);
+                ttv_hicoo_s += t.mean_seconds;
+                const KernelCost c =
+                    kernel_cost(Kernel::kTtv, Format::kHicoo, stats);
+                ttv_hicoo_c.flops += c.flops / order;
+                ttv_hicoo_c.bytes += c.bytes / order;
+            }
+            {
+                CooTtmPlan plan = ttm_plan_coo(x, mode, options.rank);
+                ScooTensor out = plan.out_pattern;
+                const RunStats t = timed_runs(
+                    [&] { ttm_exec_coo(plan, u, out); }, options.runs);
+                ttm_coo_s += t.mean_seconds;
+                const KernelCost c = kernel_cost(Kernel::kTtm,
+                                                 Format::kCoo, stats,
+                                                 options.rank);
+                ttm_coo_c.flops += c.flops / order;
+                ttm_coo_c.bytes += c.bytes / order;
+            }
+            {
+                HicooTtmPlan plan = ttm_plan_hicoo(x, mode, options.rank,
+                                                   options.block_bits);
+                SHiCooTensor out = plan.out_pattern;
+                const RunStats t = timed_runs(
+                    [&] { ttm_exec_hicoo(plan, u, out); }, options.runs);
+                ttm_hicoo_s += t.mean_seconds;
+                const KernelCost c = kernel_cost(Kernel::kTtm,
+                                                 Format::kHicoo, stats,
+                                                 options.rank);
+                ttm_hicoo_c.flops += c.flops / order;
+                ttm_hicoo_c.bytes += c.bytes / order;
+            }
+            {
+                FactorList factors = ctx.factors();
+                DenseMatrix out(x.dim(mode), options.rank);
+                const RunStats t = timed_runs(
+                    [&] { mttkrp_coo(x, factors, mode, out); },
+                    options.runs);
+                mttkrp_coo_s += t.mean_seconds;
+                const RunStats th = timed_runs(
+                    [&] { mttkrp_hicoo(ctx.hx, factors, mode, out); },
+                    options.runs);
+                mttkrp_hicoo_s += th.mean_seconds;
+            }
+        }
+        const double n = static_cast<double>(order);
+        runs.push_back(make_run(entry, Kernel::kTtv, Format::kCoo,
+                                ttv_coo_s / n, ttv_coo_c));
+        runs.push_back(make_run(entry, Kernel::kTtv, Format::kHicoo,
+                                ttv_hicoo_s / n, ttv_hicoo_c));
+        runs.push_back(make_run(entry, Kernel::kTtm, Format::kCoo,
+                                ttm_coo_s / n, ttm_coo_c));
+        runs.push_back(make_run(entry, Kernel::kTtm, Format::kHicoo,
+                                ttm_hicoo_s / n, ttm_hicoo_c));
+        runs.push_back(make_run(
+            entry, Kernel::kMttkrp, Format::kCoo, mttkrp_coo_s / n,
+            kernel_cost(Kernel::kMttkrp, Format::kCoo, stats0,
+                        options.rank)));
+        runs.push_back(make_run(
+            entry, Kernel::kMttkrp, Format::kHicoo, mttkrp_hicoo_s / n,
+            kernel_cost(Kernel::kMttkrp, Format::kHicoo, stats0,
+                        options.rank)));
+    }
+    return runs;
+}
+
+std::vector<MeasuredRun>
+run_gpu_suite(const std::vector<NamedTensor>& suite,
+              const gpusim::DeviceSpec& device, const BenchOptions& options)
+{
+    using namespace gpusim;
+    std::vector<MeasuredRun> runs;
+    for (const auto& entry : suite) {
+        PASTA_LOG_INFO << "gpu suite (" << device.name
+                       << "): " << entry.id;
+        TensorContext ctx = make_context(entry, options);
+        const CooTensor& x = entry.tensor;
+        const TensorStats stats0 = base_stats(x, ctx.hx);
+
+        // TEW / TS: one launch each per format.
+        {
+            CooTensor z = x;
+            LaunchProfile p = tew_gpu_coo(x, ctx.y, EwOp::kAdd, z);
+            runs.push_back(make_run(
+                entry, Kernel::kTew, Format::kCoo,
+                estimate_seconds(device, p),
+                kernel_cost(Kernel::kTew, Format::kCoo, stats0)));
+            HiCooTensor hz = ctx.hx;
+            LaunchProfile ph =
+                tew_gpu_hicoo(ctx.hx, ctx.hy, EwOp::kAdd, hz);
+            runs.push_back(make_run(
+                entry, Kernel::kTew, Format::kHicoo,
+                estimate_seconds(device, ph),
+                kernel_cost(Kernel::kTew, Format::kHicoo, stats0)));
+        }
+        {
+            CooTensor out = x;
+            LaunchProfile p = ts_gpu_coo(x, TsOp::kMul, 1.0009f, out);
+            runs.push_back(make_run(
+                entry, Kernel::kTs, Format::kCoo,
+                estimate_seconds(device, p),
+                kernel_cost(Kernel::kTs, Format::kCoo, stats0)));
+            HiCooTensor hout = ctx.hx;
+            LaunchProfile ph =
+                ts_gpu_hicoo(ctx.hx, TsOp::kMul, 1.0009f, hout);
+            runs.push_back(make_run(
+                entry, Kernel::kTs, Format::kHicoo,
+                estimate_seconds(device, ph),
+                kernel_cost(Kernel::kTs, Format::kHicoo, stats0)));
+        }
+
+        // TTV / TTM / MTTKRP averaged across modes.
+        const Size order = x.order();
+        double sec[3][2] = {{0, 0}, {0, 0}, {0, 0}};
+        KernelCost cost[3][2];
+        for (Size mode = 0; mode < order; ++mode) {
+            Rng rng(31 + mode);
+            DenseVector v = DenseVector::random(x.dim(mode), rng);
+            const DenseMatrix& u = ctx.mats[mode];
+            TensorStats stats = stats0;
+
+            CooTtvPlan tvp = ttv_plan_coo(x, mode);
+            stats.num_fibers = tvp.fibers.num_fibers();
+            {
+                CooTensor out = tvp.out_pattern;
+                LaunchProfile p = ttv_gpu_coo(tvp, v, out);
+                sec[0][0] += estimate_seconds(device, p);
+                const KernelCost c =
+                    kernel_cost(Kernel::kTtv, Format::kCoo, stats);
+                cost[0][0].flops += c.flops / order;
+                cost[0][0].bytes += c.bytes / order;
+            }
+            {
+                HicooTtvPlan plan =
+                    ttv_plan_hicoo(x, mode, options.block_bits);
+                HiCooTensor out = plan.out_pattern;
+                LaunchProfile p = ttv_gpu_hicoo(plan, v, out);
+                sec[0][1] += estimate_seconds(device, p);
+                const KernelCost c =
+                    kernel_cost(Kernel::kTtv, Format::kHicoo, stats);
+                cost[0][1].flops += c.flops / order;
+                cost[0][1].bytes += c.bytes / order;
+            }
+            {
+                CooTtmPlan plan = ttm_plan_coo(x, mode, options.rank);
+                ScooTensor out = plan.out_pattern;
+                LaunchProfile p = ttm_gpu_coo(plan, u, out);
+                sec[1][0] += estimate_seconds(device, p);
+                const KernelCost c = kernel_cost(Kernel::kTtm,
+                                                 Format::kCoo, stats,
+                                                 options.rank);
+                cost[1][0].flops += c.flops / order;
+                cost[1][0].bytes += c.bytes / order;
+            }
+            {
+                HicooTtmPlan plan = ttm_plan_hicoo(x, mode, options.rank,
+                                                   options.block_bits);
+                SHiCooTensor out = plan.out_pattern;
+                LaunchProfile p = ttm_gpu_hicoo(plan, u, out);
+                sec[1][1] += estimate_seconds(device, p);
+                const KernelCost c = kernel_cost(Kernel::kTtm,
+                                                 Format::kHicoo, stats,
+                                                 options.rank);
+                cost[1][1].flops += c.flops / order;
+                cost[1][1].bytes += c.bytes / order;
+            }
+            {
+                FactorList factors = ctx.factors();
+                DenseMatrix out(x.dim(mode), options.rank);
+                LaunchProfile p = mttkrp_gpu_coo(x, factors, mode, out);
+                sec[2][0] += estimate_seconds(device, p);
+                LaunchProfile ph =
+                    mttkrp_gpu_hicoo(ctx.hx, factors, mode, out);
+                sec[2][1] += estimate_seconds(device, ph);
+            }
+        }
+        const double n = static_cast<double>(order);
+        cost[2][0] = kernel_cost(Kernel::kMttkrp, Format::kCoo, stats0,
+                                 options.rank);
+        cost[2][1] = kernel_cost(Kernel::kMttkrp, Format::kHicoo, stats0,
+                                 options.rank);
+        const Kernel kernels[3] = {Kernel::kTtv, Kernel::kTtm,
+                                   Kernel::kMttkrp};
+        for (int k = 0; k < 3; ++k) {
+            runs.push_back(make_run(entry, kernels[k], Format::kCoo,
+                                    sec[k][0] / n, cost[k][0]));
+            runs.push_back(make_run(entry, kernels[k], Format::kHicoo,
+                                    sec[k][1] / n, cost[k][1]));
+        }
+    }
+    return runs;
+}
+
+void
+print_figure(const std::string& title, const std::vector<MeasuredRun>& runs,
+             const MachineSpec& platform)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+    std::printf("(GFLOPS per tensor; 'roof' is the paper's red Roofline "
+                "performance line: OI x ERT-DRAM bandwidth of %s)\n",
+                platform.name.c_str());
+    const Kernel kernels[5] = {Kernel::kTew, Kernel::kTs, Kernel::kTtv,
+                               Kernel::kTtm, Kernel::kMttkrp};
+    for (Kernel kernel : kernels) {
+        std::printf("\n-- %s --\n", kernel_name(kernel));
+        std::printf("%-10s %12s %12s %12s %8s %8s\n", "tensor",
+                    "COO GFLOPS", "HiCOO GFLOPS", "roof GFLOPS",
+                    "COO eff", "HiC eff");
+        // Collect per-tensor rows preserving suite order.
+        std::vector<std::string> ids;
+        for (const auto& run : runs) {
+            if (run.kernel != kernel || run.format != Format::kCoo)
+                continue;
+            ids.push_back(run.tensor_id);
+        }
+        for (const auto& id : ids) {
+            const MeasuredRun* coo = nullptr;
+            const MeasuredRun* hicoo = nullptr;
+            for (const auto& run : runs) {
+                if (run.kernel != kernel || run.tensor_id != id)
+                    continue;
+                (run.format == Format::kCoo ? coo : hicoo) = &run;
+            }
+            if (!coo || !hicoo)
+                continue;
+            const double roof = run_roofline_gflops(*coo, platform);
+            std::printf("%-10s %12.3f %12.3f %12.3f %7.0f%% %7.0f%%\n",
+                        id.c_str(), run_gflops(*coo), run_gflops(*hicoo),
+                        roof, 100.0 * run_efficiency(*coo, platform),
+                        100.0 * run_efficiency(*hicoo, platform));
+        }
+    }
+}
+
+void
+export_csv(const std::string& path, const std::vector<MeasuredRun>& runs,
+           const MachineSpec& platform)
+{
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        PASTA_LOG_WARN << "cannot write CSV " << path;
+        return;
+    }
+    std::fprintf(f,
+                 "tensor,kernel,format,seconds,gflops,roofline_gflops,"
+                 "efficiency\n");
+    for (const auto& run : runs) {
+        std::fprintf(f, "%s,%s,%s,%.9g,%.6g,%.6g,%.6g\n",
+                     run.tensor_id.c_str(), kernel_name(run.kernel),
+                     format_name(run.format), run.seconds,
+                     run_gflops(run),
+                     run_roofline_gflops(run, platform),
+                     run_efficiency(run, platform));
+    }
+    std::fclose(f);
+    PASTA_LOG_INFO << "wrote " << path;
+}
+
+void
+maybe_export_csv(const std::string& stem,
+                 const std::vector<MeasuredRun>& runs,
+                 const MachineSpec& platform)
+{
+    const char* dir = std::getenv("PASTA_CSV_DIR");
+    if (!dir || !*dir)
+        return;
+    export_csv(std::string(dir) + "/" + stem + ".csv", runs, platform);
+}
+
+void
+print_averages(const std::vector<MeasuredRun>& runs,
+               const MachineSpec& platform)
+{
+    std::printf("\n-- per-kernel averages on %s --\n",
+                platform.name.c_str());
+    std::printf("%-8s %-7s %12s %12s %12s %10s\n", "kernel", "format",
+                "mean GFLOPS", "min", "max", "mean eff");
+    const Kernel kernels[5] = {Kernel::kTew, Kernel::kTs, Kernel::kTtv,
+                               Kernel::kTtm, Kernel::kMttkrp};
+    for (Kernel kernel : kernels) {
+        for (Format format : {Format::kCoo, Format::kHicoo}) {
+            const EfficiencySummary s =
+                summarize(runs, kernel, format, platform);
+            std::printf("%-8s %-7s %12.3f %12.3f %12.3f %9.0f%%\n",
+                        kernel_name(kernel), format_name(format),
+                        s.mean_gflops, s.min_gflops, s.max_gflops,
+                        100.0 * s.mean_efficiency);
+        }
+    }
+}
+
+}  // namespace pasta::bench

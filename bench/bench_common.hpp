@@ -1,0 +1,75 @@
+/// \file
+/// Shared machinery for the table/figure benchmark binaries.
+///
+/// Every figure binary (Figs. 4-7) runs the same protocol the paper
+/// describes in §V-A2: each kernel five times (configurable), the mean
+/// taken, and TTV/TTM/MTTKRP additionally averaged across all tensor
+/// modes; TEW uses addition and TS multiplication as representatives,
+/// R = 16, HiCOO block size 128.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/cost_model.hpp"
+#include "analysis/efficiency.hpp"
+#include "gen/datasets.hpp"
+#include "gpusim/timing_model.hpp"
+#include "roofline/machine.hpp"
+
+namespace pasta::bench {
+
+/// Global options, overridable through environment variables:
+///   PASTA_SCALE  dataset scale (fraction of paper nnz), default 5e-4
+///   PASTA_RUNS   timed repetitions per kernel, default 3 (paper: 5)
+///   PASTA_CACHE  dataset cache dir, default ".pasta_cache"
+struct BenchOptions {
+    double scale = 5e-4;
+    std::size_t runs = 3;
+    Size rank = 16;                  ///< paper §V-A2
+    unsigned block_bits = 7;         ///< HiCOO B = 128
+    std::string cache_dir = ".pasta_cache";
+};
+
+/// Reads BenchOptions from the environment.
+BenchOptions options_from_env();
+
+/// Loads (generating + caching as needed) the full 30-tensor Table II
+/// suite at the configured scale.
+std::vector<NamedTensor> load_suite(const BenchOptions& options);
+
+/// Measures all five kernels x {COO, HiCOO} on the host CPU for every
+/// tensor; one MeasuredRun per (tensor, kernel, format), times averaged
+/// over runs and modes.
+std::vector<MeasuredRun> run_cpu_suite(const std::vector<NamedTensor>& suite,
+                                       const BenchOptions& options);
+
+/// Same protocol on the simulated GPU: kernels execute through the SIMT
+/// simulator and seconds come from the analytical device timing model.
+std::vector<MeasuredRun> run_gpu_suite(const std::vector<NamedTensor>& suite,
+                                       const gpusim::DeviceSpec& device,
+                                       const BenchOptions& options);
+
+/// Prints one paper-figure block: per kernel, the GFLOPS series over all
+/// tensors for COO and HiCOO plus the red "Roofline performance" line.
+void print_figure(const std::string& title,
+                  const std::vector<MeasuredRun>& runs,
+                  const MachineSpec& platform);
+
+/// Prints the Observation 1/3-style per-kernel averages.
+void print_averages(const std::vector<MeasuredRun>& runs,
+                    const MachineSpec& platform);
+
+/// Writes the full run series as CSV (tensor, kernel, format, seconds,
+/// gflops, roofline_gflops, efficiency) for external plotting.  Figure
+/// binaries call this automatically when PASTA_CSV_DIR is set.
+void export_csv(const std::string& path,
+                const std::vector<MeasuredRun>& runs,
+                const MachineSpec& platform);
+
+/// Exports to $PASTA_CSV_DIR/<stem>.csv when the variable is set.
+void maybe_export_csv(const std::string& stem,
+                      const std::vector<MeasuredRun>& runs,
+                      const MachineSpec& platform);
+
+}  // namespace pasta::bench

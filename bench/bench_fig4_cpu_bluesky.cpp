@@ -1,0 +1,32 @@
+/// \file
+/// Regenerates Figure 4: single-precision performance of the five kernels
+/// in COO and HiCOO over all 30 Table II tensors with the Bluesky
+/// Roofline line.
+///
+/// Substitution note (DESIGN.md): kernels are *measured on this host*
+/// running the identical reference implementations; the Roofline line
+/// comes from the Bluesky descriptor, so the per-tensor/per-kernel shape
+/// (who wins, where tensors exceed the roofline) is reproduced while
+/// absolute GFLOPS reflect the host.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace pasta;
+
+int
+main()
+{
+    const bench::BenchOptions options = bench::options_from_env();
+    std::printf("Figure 4 (CPU, Bluesky roofline), scale %g, %zu runs, "
+                "R=%zu, B=%u\n",
+                options.scale, options.runs, options.rank,
+                1u << options.block_bits);
+    const auto suite = bench::load_suite(options);
+    const auto runs = bench::run_cpu_suite(suite, options);
+    bench::print_figure("Figure 4: five kernels on CPU (Bluesky)", runs,
+                        bluesky());
+    bench::print_averages(runs, bluesky());
+    bench::maybe_export_csv("fig4_cpu_bluesky", runs, bluesky());
+    return 0;
+}

@@ -1,0 +1,28 @@
+/// \file
+/// Regenerates Figure 5: the Figure 4 protocol against the Wingtip
+/// (4-socket Haswell) platform descriptor.  The paper's Wingtip findings
+/// are NUMA-driven (Observation 3: non-streaming kernels lose efficiency
+/// on 4 sockets); with a single measured host the series shape follows
+/// the measurement while the roofline and efficiency columns use the
+/// Wingtip descriptor, whose lower ERT-DRAM fraction encodes the NUMA
+/// penalty.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace pasta;
+
+int
+main()
+{
+    const bench::BenchOptions options = bench::options_from_env();
+    std::printf("Figure 5 (CPU, Wingtip roofline), scale %g, %zu runs\n",
+                options.scale, options.runs);
+    const auto suite = bench::load_suite(options);
+    const auto runs = bench::run_cpu_suite(suite, options);
+    bench::print_figure("Figure 5: five kernels on CPU (Wingtip)", runs,
+                        wingtip());
+    bench::print_averages(runs, wingtip());
+    bench::maybe_export_csv("fig5_cpu_wingtip", runs, wingtip());
+    return 0;
+}

@@ -1,0 +1,27 @@
+/// \file
+/// Regenerates Figure 6: the five kernels on the simulated Tesla P100
+/// (DGX-1P).  Kernels execute through the SIMT simulator (real outputs,
+/// real fiber/block work distributions) and seconds come from the
+/// analytical device timing model parameterized by Table III.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "gpusim/timing_model.hpp"
+
+using namespace pasta;
+
+int
+main()
+{
+    const bench::BenchOptions options = bench::options_from_env();
+    std::printf("Figure 6 (simulated Tesla P100 / DGX-1P), scale %g\n",
+                options.scale);
+    const auto suite = bench::load_suite(options);
+    const auto runs =
+        bench::run_gpu_suite(suite, gpusim::tesla_p100(), options);
+    bench::print_figure("Figure 6: five kernels on DGX-1P (simulated)",
+                        runs, dgx_1p());
+    bench::print_averages(runs, dgx_1p());
+    bench::maybe_export_csv("fig6_gpu_p100", runs, dgx_1p());
+    return 0;
+}

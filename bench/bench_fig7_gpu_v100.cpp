@@ -1,0 +1,26 @@
+/// \file
+/// Regenerates Figure 7: the five kernels on the simulated Tesla V100
+/// (DGX-1V) — larger L2, higher bandwidth, and the improved atomics that
+/// let MTTKRP exceed its roofline in the paper (Observation 2).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "gpusim/timing_model.hpp"
+
+using namespace pasta;
+
+int
+main()
+{
+    const bench::BenchOptions options = bench::options_from_env();
+    std::printf("Figure 7 (simulated Tesla V100 / DGX-1V), scale %g\n",
+                options.scale);
+    const auto suite = bench::load_suite(options);
+    const auto runs =
+        bench::run_gpu_suite(suite, gpusim::tesla_v100(), options);
+    bench::print_figure("Figure 7: five kernels on DGX-1V (simulated)",
+                        runs, dgx_1v());
+    bench::print_averages(runs, dgx_1v());
+    bench::maybe_export_csv("fig7_gpu_v100", runs, dgx_1v());
+    return 0;
+}

@@ -1,0 +1,165 @@
+/// \file
+/// google-benchmark micro sweeps over the five kernels: non-zero count,
+/// rank, block size, and format, on power-law tensors.  Complements the
+/// table/figure harnesses with statistically managed per-kernel timings.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "core/convert.hpp"
+#include "gen/powerlaw.hpp"
+#include "kernels/mttkrp.hpp"
+#include "kernels/tew.hpp"
+#include "kernels/ts.hpp"
+#include "kernels/ttm.hpp"
+#include "kernels/ttv.hpp"
+
+namespace {
+
+using namespace pasta;
+
+CooTensor
+bench_tensor(Size nnz)
+{
+    PowerLawConfig config;
+    config.dims = {1u << 16, 1u << 16, 128};
+    config.nnz = nnz;
+    config.uniform_mode = {false, false, true};
+    config.seed = 42;
+    return generate_powerlaw(config);
+}
+
+void
+BM_TewCoo(benchmark::State& state)
+{
+    const CooTensor x = bench_tensor(static_cast<Size>(state.range(0)));
+    Rng rng(1);
+    CooTensor y = x;
+    for (auto& v : y.values())
+        v = rng.next_float();
+    CooTensor z = x;
+    for (auto _ : state) {
+        tew_values(EwOp::kAdd, x.values().data(), y.values().data(),
+                   z.values().data(), x.nnz());
+        benchmark::DoNotOptimize(z.values().data());
+    }
+    state.SetItemsProcessed(state.iterations() * x.nnz());
+    state.SetBytesProcessed(state.iterations() * 12 * x.nnz());
+}
+BENCHMARK(BM_TewCoo)->Arg(1 << 12)->Arg(1 << 15)->Arg(1 << 18);
+
+void
+BM_TsCoo(benchmark::State& state)
+{
+    const CooTensor x = bench_tensor(static_cast<Size>(state.range(0)));
+    CooTensor y = x;
+    for (auto _ : state) {
+        ts_values(TsOp::kMul, x.values().data(), y.values().data(),
+                  x.nnz(), 1.0001f);
+        benchmark::DoNotOptimize(y.values().data());
+    }
+    state.SetItemsProcessed(state.iterations() * x.nnz());
+    state.SetBytesProcessed(state.iterations() * 8 * x.nnz());
+}
+BENCHMARK(BM_TsCoo)->Arg(1 << 12)->Arg(1 << 15)->Arg(1 << 18);
+
+void
+BM_TtvCoo(benchmark::State& state)
+{
+    const CooTensor x = bench_tensor(static_cast<Size>(state.range(0)));
+    Rng rng(2);
+    DenseVector v = DenseVector::random(x.dim(2), rng);
+    CooTtvPlan plan = ttv_plan_coo(x, 2);
+    CooTensor out = plan.out_pattern;
+    for (auto _ : state) {
+        ttv_exec_coo(plan, v, out);
+        benchmark::DoNotOptimize(out.values().data());
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * x.nnz());
+}
+BENCHMARK(BM_TtvCoo)->Arg(1 << 12)->Arg(1 << 15)->Arg(1 << 18);
+
+void
+BM_TtvHicoo(benchmark::State& state)
+{
+    const CooTensor x = bench_tensor(static_cast<Size>(state.range(0)));
+    Rng rng(2);
+    DenseVector v = DenseVector::random(x.dim(2), rng);
+    HicooTtvPlan plan = ttv_plan_hicoo(x, 2);
+    HiCooTensor out = plan.out_pattern;
+    for (auto _ : state) {
+        ttv_exec_hicoo(plan, v, out);
+        benchmark::DoNotOptimize(out.values().data());
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * x.nnz());
+}
+BENCHMARK(BM_TtvHicoo)->Arg(1 << 12)->Arg(1 << 15)->Arg(1 << 18);
+
+void
+BM_TtmCooRankSweep(benchmark::State& state)
+{
+    const CooTensor x = bench_tensor(1 << 15);
+    const Size rank = static_cast<Size>(state.range(0));
+    Rng rng(3);
+    DenseMatrix u = DenseMatrix::random(x.dim(2), rank, rng);
+    CooTtmPlan plan = ttm_plan_coo(x, 2, rank);
+    ScooTensor out = plan.out_pattern;
+    for (auto _ : state) {
+        ttm_exec_coo(plan, u, out);
+        benchmark::DoNotOptimize(out.values().data());
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * x.nnz() * rank);
+}
+BENCHMARK(BM_TtmCooRankSweep)->Arg(4)->Arg(16)->Arg(64);
+
+void
+BM_MttkrpCoo(benchmark::State& state)
+{
+    const CooTensor x = bench_tensor(static_cast<Size>(state.range(0)));
+    Rng rng(4);
+    std::vector<DenseMatrix> mats;
+    for (Size m = 0; m < x.order(); ++m)
+        mats.push_back(DenseMatrix::random(x.dim(m), 16, rng));
+    FactorList factors = {&mats[0], &mats[1], &mats[2]};
+    DenseMatrix out(x.dim(0), 16);
+    for (auto _ : state) {
+        mttkrp_coo(x, factors, 0, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 3 * x.nnz() * 16);
+}
+BENCHMARK(BM_MttkrpCoo)->Arg(1 << 12)->Arg(1 << 15)->Arg(1 << 18);
+
+void
+BM_MttkrpHicooBlockSweep(benchmark::State& state)
+{
+    const CooTensor x = bench_tensor(1 << 15);
+    const unsigned bits = static_cast<unsigned>(state.range(0));
+    const HiCooTensor h = coo_to_hicoo(x, bits);
+    Rng rng(5);
+    std::vector<DenseMatrix> mats;
+    for (Size m = 0; m < x.order(); ++m)
+        mats.push_back(DenseMatrix::random(x.dim(m), 16, rng));
+    FactorList factors = {&mats[0], &mats[1], &mats[2]};
+    DenseMatrix out(x.dim(0), 16);
+    for (auto _ : state) {
+        mttkrp_hicoo(h, factors, 0, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 3 * x.nnz() * 16);
+    state.counters["blocks"] = static_cast<double>(h.num_blocks());
+}
+BENCHMARK(BM_MttkrpHicooBlockSweep)->Arg(3)->Arg(5)->Arg(7)->Arg(8);
+
+void
+BM_CooToHicooConversion(benchmark::State& state)
+{
+    const CooTensor x = bench_tensor(static_cast<Size>(state.range(0)));
+    for (auto _ : state) {
+        HiCooTensor h = coo_to_hicoo(x, 7);
+        benchmark::DoNotOptimize(h.nnz());
+    }
+    state.SetItemsProcessed(state.iterations() * x.nnz());
+}
+BENCHMARK(BM_CooToHicooConversion)->Arg(1 << 12)->Arg(1 << 15);
+
+}  // namespace

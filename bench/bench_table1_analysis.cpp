@@ -1,0 +1,72 @@
+/// \file
+/// Regenerates Table I: work (#Flops), upper-bound memory access
+/// (#Bytes), and operational intensity of every kernel for a third-order
+/// cubical tensor, in COO and HiCOO — first symbolically (the paper's
+/// M/M_F formulas) and then actualized on a generated tensor so the
+/// min{n_b B, M} term is exercised with real block statistics.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/convert.hpp"
+#include "gen/datasets.hpp"
+
+using namespace pasta;
+
+namespace {
+
+void
+print_row(const char* name, const TensorStats& stats, Kernel kernel,
+          Size rank)
+{
+    const KernelCost coo = kernel_cost(kernel, Format::kCoo, stats, rank);
+    const KernelCost hicoo =
+        kernel_cost(kernel, Format::kHicoo, stats, rank);
+    std::printf("%-8s %14.0f %18.0f %18.0f %10.4f %10.4f\n", name,
+                coo.flops, coo.bytes, hicoo.bytes, coo.oi(), hicoo.oi());
+}
+
+void
+print_table(const char* title, const TensorStats& stats, Size rank)
+{
+    std::printf("\n%s\n", title);
+    std::printf("  (M = %zu, M_F = %zu, n_b = %zu, B = %u, R = %zu)\n",
+                stats.nnz, stats.num_fibers, stats.num_blocks,
+                stats.block_size, rank);
+    std::printf("%-8s %14s %18s %18s %10s %10s\n", "Kernel", "Work",
+                "COO Bytes", "HiCOO Bytes", "COO OI", "HiCOO OI");
+    print_row("TEW", stats, Kernel::kTew, rank);
+    print_row("TS", stats, Kernel::kTs, rank);
+    print_row("TTV", stats, Kernel::kTtv, rank);
+    print_row("TTM", stats, Kernel::kTtm, rank);
+    print_row("MTTKRP", stats, Kernel::kMttkrp, rank);
+}
+
+}  // namespace
+
+int
+main()
+{
+    const bench::BenchOptions options = bench::options_from_env();
+
+    // Symbolic instance matching the paper's assumptions
+    // (I << M_F << M, third-order cubical).
+    TensorStats paper;
+    paper.order = 3;
+    paper.nnz = 10'000'000;
+    paper.num_fibers = 1'000'000;
+    paper.num_blocks = 200'000;
+    paper.block_size = 128;
+    print_table("Table I (symbolic, paper assumptions):", paper,
+                options.rank);
+    std::printf("\npaper's OI column: TEW 1/12=%.4f, TS 1/8=%.4f, "
+                "TTV ~1/6=%.4f, TTM ~1/2=%.4f, MTTKRP ~1/4=%.4f\n",
+                1.0 / 12, 1.0 / 8, 1.0 / 6, 0.5, 0.25);
+
+    // Actualized on a generated catalog tensor.
+    const CooTensor x =
+        synthesize_dataset(find_dataset("regS"), options.scale);
+    TensorStats real = compute_stats(x, 0, options.block_bits);
+    print_table("Table I (actualized on generated regS, mode 0):", real,
+                options.rank);
+    return 0;
+}

@@ -1,0 +1,71 @@
+/// \file
+/// Regenerates Table II: the real (stand-in) and synthetic tensor
+/// inventories — paper-published shape next to the generated shape at the
+/// configured scale, with densities.
+#include <cstdio>
+#include <string>
+
+#include "bench_common.hpp"
+#include "io/registry.hpp"
+
+using namespace pasta;
+
+namespace {
+
+std::string
+dims_string(const std::vector<Index>& dims)
+{
+    std::string s;
+    for (Size m = 0; m < dims.size(); ++m) {
+        s += std::to_string(dims[m]);
+        if (m + 1 < dims.size())
+            s += "x";
+    }
+    return s;
+}
+
+double
+density(const std::vector<Index>& dims, double nnz)
+{
+    double cap = 1.0;
+    for (Index d : dims)
+        cap *= static_cast<double>(d);
+    return nnz / cap;
+}
+
+void
+print_table(const char* title, const std::vector<DatasetSpec>& table,
+            TensorRegistry& registry)
+{
+    std::printf("\n%s\n", title);
+    std::printf("%-4s %-9s %-5s %-28s %10s %9s | %-22s %9s %9s\n", "No.",
+                "Tensor", "Order", "Paper dims", "PaperNnz", "PaperDen",
+                "Generated dims", "GenNnz", "GenDen");
+    for (const auto& spec : table) {
+        const CooTensor t = registry.load(spec.id);
+        std::printf(
+            "%-4s %-9s %-5zu %-28s %10.3g %9.2e | %-22s %9zu %9.2e\n",
+            spec.id.c_str(), spec.name.c_str(), spec.order(),
+            dims_string(spec.paper_dims).c_str(), spec.paper_nnz,
+            density(spec.paper_dims, spec.paper_nnz),
+            dims_string(t.dims()).c_str(), t.nnz(),
+            density(t.dims(), static_cast<double>(t.nnz())));
+    }
+}
+
+}  // namespace
+
+int
+main()
+{
+    const bench::BenchOptions options = bench::options_from_env();
+    TensorRegistry registry(options.cache_dir, options.scale);
+    std::printf("Table II at scale %g (real tensors are power-law "
+                "stand-ins; see DESIGN.md substitutions)\n",
+                options.scale);
+    print_table("(a) real tensors (stand-ins)", real_dataset_table(),
+                registry);
+    print_table("(b) synthetic tensors", synthetic_dataset_table(),
+                registry);
+    return 0;
+}

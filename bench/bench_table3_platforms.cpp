@@ -1,0 +1,48 @@
+/// \file
+/// Regenerates Table III: the four paper platform parameter rows, plus a
+/// measured row for the host this suite actually runs on (characterized
+/// by the ERT micro-kernels).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "roofline/ert.hpp"
+#include "roofline/machine.hpp"
+
+using namespace pasta;
+
+namespace {
+
+void
+print_spec(const MachineSpec& spec)
+{
+    std::printf("%-10s %-9s %8.2f %7d %10.1f %8.1f %9.1f %10.1f %9.1f\n",
+                spec.name.c_str(), spec.microarch.c_str(), spec.freq_ghz,
+                spec.cores, spec.peak_sp_gflops, spec.llc_mb,
+                spec.mem_bw_gbs, spec.ert_dram_gbs, spec.ert_llc_gbs);
+}
+
+}  // namespace
+
+int
+main()
+{
+    std::printf("Table III platform parameters "
+                "(+ ERT-obtainable bandwidths used by Fig. 3)\n");
+    std::printf("%-10s %-9s %8s %7s %10s %8s %9s %10s %9s\n", "Platform",
+                "Microarch", "GHz", "Cores", "PeakGF/s", "LLC MB",
+                "BW GB/s", "ERT-DRAM", "ERT-LLC");
+    for (const auto& spec : paper_platforms())
+        print_spec(spec);
+
+    std::printf("\nmeasuring this host with ERT micro-kernels "
+                "(STREAM-style sweep)...\n");
+    ErtOptions ert_options;
+    ert_options.max_bytes = 128 * 1024 * 1024;
+    ert_options.seconds_per_point = 0.03;
+    const ErtResult ert = run_ert(ert_options);
+    MachineSpec host = host_machine_spec(ert);
+    print_spec(host);
+    std::printf("\nhost attainable peak (FMA chain): %.1f GFLOPS\n",
+                ert.peak_gflops);
+    return 0;
+}

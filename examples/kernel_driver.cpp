@@ -1,0 +1,263 @@
+/// \file
+/// Kernel driver CLI: run any of the five kernels on any dataset (or a
+/// .tns file) in any format, printing time, GFLOPS, and Table I traffic —
+/// the single-command entry point for ad-hoc benchmarking, mirroring how
+/// the original PASTA suite's per-kernel drivers are used.
+///
+/// Usage:
+///   kernel_driver <kernel> <dataset-or-.tns> [options]
+///     kernel:   tew | ts | ttv | ttm | mttkrp
+///     options:  --format coo|hicoo|csf   (default coo)
+///               --mode N                 (default: average over modes)
+///               --rank R                 (default 16)
+///               --scale S                (dataset scale, default 1e-3)
+///               --runs K                 (default 5, the paper's count)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "analysis/cost_model.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "core/convert.hpp"
+#include "core/csf_tensor.hpp"
+#include "gen/datasets.hpp"
+#include "io/tns_io.hpp"
+#include "kernels/csf_kernels.hpp"
+#include "kernels/mttkrp.hpp"
+#include "kernels/tew.hpp"
+#include "kernels/ts.hpp"
+#include "kernels/ttm.hpp"
+#include "kernels/ttv.hpp"
+
+namespace {
+
+using namespace pasta;
+
+struct DriverOptions {
+    std::string kernel;
+    std::string input;
+    std::string format = "coo";
+    Size mode = kNoMode;
+    Size rank = 16;
+    double scale = 1e-3;
+    Size runs = 5;
+};
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: kernel_driver <tew|ts|ttv|ttm|mttkrp> "
+                 "<dataset|file.tns> [--format coo|hicoo|csf] [--mode N] "
+                 "[--rank R] [--scale S] [--runs K]\n");
+    return 2;
+}
+
+CooTensor
+load_input(const DriverOptions& options)
+{
+    if (options.input.size() > 4 &&
+        options.input.substr(options.input.size() - 4) == ".tns")
+        return read_tns_file(options.input);
+    return synthesize_dataset(find_dataset(options.input), options.scale);
+}
+
+/// Runs one (kernel, mode) measurement; returns {seconds, cost}.
+std::pair<double, KernelCost>
+run_mode(const DriverOptions& options, const CooTensor& x, Size mode)
+{
+    Rng rng(7);
+    const Size runs = options.runs;
+    const bool hicoo = options.format == "hicoo";
+    const bool csf = options.format == "csf";
+    TensorStats stats = compute_stats(x, mode);
+    const Format cost_format = hicoo ? Format::kHicoo : Format::kCoo;
+
+    if (options.kernel == "tew") {
+        CooTensor y = x;
+        for (auto& v : y.values())
+            v = rng.next_float() + 0.5f;
+        CooTensor z = x;
+        const RunStats t = timed_runs(
+            [&] {
+                tew_values(EwOp::kAdd, x.values().data(),
+                           y.values().data(), z.values().data(), x.nnz());
+            },
+            runs);
+        return {t.mean_seconds,
+                kernel_cost(Kernel::kTew, cost_format, stats)};
+    }
+    if (options.kernel == "ts") {
+        CooTensor y = x;
+        const RunStats t = timed_runs(
+            [&] {
+                ts_values(TsOp::kMul, x.values().data(),
+                          y.values().data(), x.nnz(), 1.0009f);
+            },
+            runs);
+        return {t.mean_seconds,
+                kernel_cost(Kernel::kTs, cost_format, stats)};
+    }
+    if (options.kernel == "ttv") {
+        DenseVector v = DenseVector::random(x.dim(mode), rng);
+        const KernelCost cost =
+            kernel_cost(Kernel::kTtv, cost_format, stats);
+        if (csf) {
+            std::vector<Size> order;
+            for (Size m = 0; m < x.order(); ++m)
+                if (m != mode)
+                    order.push_back(m);
+            order.push_back(mode);
+            const CsfTensor c = CsfTensor::from_coo(x, order);
+            const RunStats t = timed_runs(
+                [&] {
+                    CooTensor out = ttv_csf(c, v, mode);
+                    (void)out;
+                },
+                runs);
+            return {t.mean_seconds, cost};
+        }
+        if (hicoo) {
+            HicooTtvPlan plan = ttv_plan_hicoo(x, mode);
+            HiCooTensor out = plan.out_pattern;
+            const RunStats t = timed_runs(
+                [&] { ttv_exec_hicoo(plan, v, out); }, runs);
+            return {t.mean_seconds, cost};
+        }
+        CooTtvPlan plan = ttv_plan_coo(x, mode);
+        CooTensor out = plan.out_pattern;
+        const RunStats t =
+            timed_runs([&] { ttv_exec_coo(plan, v, out); }, runs);
+        return {t.mean_seconds, cost};
+    }
+    if (options.kernel == "ttm") {
+        DenseMatrix u = DenseMatrix::random(x.dim(mode), options.rank, rng);
+        const KernelCost cost =
+            kernel_cost(Kernel::kTtm, cost_format, stats, options.rank);
+        if (hicoo) {
+            HicooTtmPlan plan = ttm_plan_hicoo(x, mode, options.rank);
+            SHiCooTensor out = plan.out_pattern;
+            const RunStats t = timed_runs(
+                [&] { ttm_exec_hicoo(plan, u, out); }, runs);
+            return {t.mean_seconds, cost};
+        }
+        CooTtmPlan plan = ttm_plan_coo(x, mode, options.rank);
+        ScooTensor out = plan.out_pattern;
+        const RunStats t =
+            timed_runs([&] { ttm_exec_coo(plan, u, out); }, runs);
+        return {t.mean_seconds, cost};
+    }
+    if (options.kernel == "mttkrp") {
+        std::vector<DenseMatrix> mats;
+        for (Size m = 0; m < x.order(); ++m)
+            mats.push_back(
+                DenseMatrix::random(x.dim(m), options.rank, rng));
+        FactorList factors;
+        for (const auto& m : mats)
+            factors.push_back(&m);
+        DenseMatrix out(x.dim(mode), options.rank);
+        const KernelCost cost = kernel_cost(Kernel::kMttkrp, cost_format,
+                                            stats, options.rank);
+        if (csf) {
+            std::vector<Size> order;
+            order.push_back(mode);
+            for (Size m = 0; m < x.order(); ++m)
+                if (m != mode)
+                    order.push_back(m);
+            const CsfTensor c = CsfTensor::from_coo(x, order);
+            const RunStats t = timed_runs(
+                [&] { mttkrp_csf(c, factors, mode, out); }, runs);
+            return {t.mean_seconds, cost};
+        }
+        if (hicoo) {
+            const HiCooTensor h = coo_to_hicoo(x);
+            const RunStats t = timed_runs(
+                [&] { mttkrp_hicoo(h, factors, mode, out); }, runs);
+            return {t.mean_seconds, cost};
+        }
+        const RunStats t = timed_runs(
+            [&] { mttkrp_coo(x, factors, mode, out); }, runs);
+        return {t.mean_seconds, cost};
+    }
+    throw PastaError("unknown kernel: " + options.kernel);
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    DriverOptions options;
+    if (argc < 3)
+        return usage();
+    options.kernel = argv[1];
+    options.input = argv[2];
+    for (int i = 3; i + 1 < argc; i += 2) {
+        const std::string flag = argv[i];
+        const char* value = argv[i + 1];
+        if (flag == "--format")
+            options.format = value;
+        else if (flag == "--mode")
+            options.mode = std::strtoul(value, nullptr, 10);
+        else if (flag == "--rank")
+            options.rank = std::strtoul(value, nullptr, 10);
+        else if (flag == "--scale")
+            options.scale = std::atof(value);
+        else if (flag == "--runs")
+            options.runs = std::strtoul(value, nullptr, 10);
+        else
+            return usage();
+    }
+    if (options.format != "coo" && options.format != "hicoo" &&
+        options.format != "csf")
+        return usage();
+    if (options.format == "csf" && options.kernel != "ttv" &&
+        options.kernel != "mttkrp") {
+        std::fprintf(stderr,
+                     "csf format supports ttv and mttkrp only\n");
+        return 2;
+    }
+
+    try {
+        const CooTensor x = load_input(options);
+        std::printf("%s-%s on %s: %s, %zu runs\n", options.format.c_str(),
+                    options.kernel.c_str(), options.input.c_str(),
+                    x.describe().c_str(), options.runs);
+        const bool per_mode = options.kernel == "ttv" ||
+                              options.kernel == "ttm" ||
+                              options.kernel == "mttkrp";
+        double total_seconds = 0;
+        KernelCost total_cost;
+        Size modes_run = 0;
+        const Size first = options.mode == kNoMode ? 0 : options.mode;
+        const Size last =
+            options.mode == kNoMode ? x.order() : options.mode + 1;
+        PASTA_CHECK_MSG(!per_mode || first < x.order(),
+                        "mode out of range");
+        for (Size mode = first; mode < (per_mode ? last : first + 1);
+             ++mode) {
+            const auto [seconds, cost] = run_mode(options, x, mode);
+            if (per_mode)
+                std::printf("  mode %zu: %.4f ms, %.3f GFLOPS\n", mode,
+                            seconds * 1e3, gflops(cost.flops, seconds));
+            total_seconds += seconds;
+            total_cost.flops += cost.flops;
+            total_cost.bytes += cost.bytes;
+            ++modes_run;
+        }
+        const double mean_seconds =
+            total_seconds / static_cast<double>(modes_run);
+        const double mean_flops =
+            total_cost.flops / static_cast<double>(modes_run);
+        std::printf("mean: %.4f ms, %.3f GFLOPS, OI %.4f flops/byte\n",
+                    mean_seconds * 1e3, gflops(mean_flops, mean_seconds),
+                    total_cost.oi());
+    } catch (const PastaError& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,164 @@
+/// \file
+/// Orthogonal tensor decomposition by the tensor power method, built on
+/// the suite's TTV kernel.
+///
+/// The paper names TTV "a critical computational kernel of the tensor
+/// power method" (§II-C).  For a symmetric odeco tensor
+///   X = sum_k w_k u_k o u_k o u_k,
+/// repeated TTV contraction v <- normalize(X x_2 v x_3 v) converges to the
+/// dominant u_k; deflation (X <- X - w u o u o u) then peels components
+/// one by one.  This example builds a synthetic odeco tensor, recovers all
+/// components, and reports the recovery error.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/coo_tensor.hpp"
+#include "core/dense.hpp"
+#include "kernels/ttv.hpp"
+
+namespace {
+
+using namespace pasta;
+
+double
+norm2(const DenseVector& v)
+{
+    double n = 0.0;
+    for (Size i = 0; i < v.size(); ++i)
+        n += static_cast<double>(v[i]) * v[i];
+    return std::sqrt(n);
+}
+
+void
+normalize(DenseVector& v)
+{
+    const double n = norm2(v);
+    for (Size i = 0; i < v.size(); ++i)
+        v[i] = static_cast<Value>(v[i] / n);
+}
+
+/// One power iteration: v <- normalize(X x_2 v x_3 v).
+DenseVector
+power_step(const CooTensor& x, const DenseVector& v)
+{
+    CooTensor first = ttv_coo(x, v, 2);
+    CooTensor second = ttv_coo(first, v, 1);
+    DenseVector next(v.size(), 0);
+    for (Size p = 0; p < second.nnz(); ++p)
+        next[second.index(0, p)] = second.value(p);
+    normalize(next);
+    return next;
+}
+
+/// Rayleigh-style eigenvalue estimate w = X x_1 v x_2 v x_3 v.
+double
+eigenvalue(const CooTensor& x, const DenseVector& v)
+{
+    CooTensor first = ttv_coo(x, v, 2);
+    CooTensor second = ttv_coo(first, v, 1);
+    double w = 0.0;
+    for (Size p = 0; p < second.nnz(); ++p)
+        w += static_cast<double>(second.value(p)) * v[second.index(0, p)];
+    return w;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    const Size n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 24;
+    const Size k = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 3;
+
+    // Build an odeco tensor from k orthonormal components with weights
+    // 3, 2.5, 2, ...
+    Rng rng(5);
+    std::vector<DenseVector> comps;
+    for (Size c = 0; c < k; ++c) {
+        DenseVector u = DenseVector::random(n, rng);
+        for (const auto& prev : comps) {
+            double dot = 0.0;
+            for (Size i = 0; i < n; ++i)
+                dot += static_cast<double>(u[i]) * prev[i];
+            for (Size i = 0; i < n; ++i)
+                u[i] -= static_cast<Value>(dot) * prev[i];
+        }
+        normalize(u);
+        comps.push_back(u);
+    }
+    std::vector<double> weights;
+    for (Size c = 0; c < k; ++c)
+        weights.push_back(3.0 - 0.5 * static_cast<double>(c));
+
+    CooTensor x({static_cast<Index>(n), static_cast<Index>(n),
+                 static_cast<Index>(n)});
+    for (Index i = 0; i < n; ++i) {
+        for (Index j = 0; j < n; ++j) {
+            for (Index l = 0; l < n; ++l) {
+                double val = 0.0;
+                for (Size c = 0; c < k; ++c)
+                    val += weights[c] * comps[c][i] * comps[c][j] *
+                           comps[c][l];
+                if (std::abs(val) > 1e-7)
+                    x.append({i, j, l}, static_cast<Value>(val));
+            }
+        }
+    }
+    std::printf("tensor power method: %s, %zu planted components\n",
+                x.describe().c_str(), k);
+
+    // Recover components by power iteration + deflation.
+    CooTensor residual = x;
+    for (Size c = 0; c < k; ++c) {
+        DenseVector v = DenseVector::random(n, rng);
+        normalize(v);
+        for (int iter = 0; iter < 30; ++iter)
+            v = power_step(residual, v);
+        const double w = eigenvalue(residual, v);
+
+        // Match against the planted component with the largest overlap.
+        double best = 0.0;
+        Size best_c = 0;
+        for (Size pc = 0; pc < k; ++pc) {
+            double dot = 0.0;
+            for (Size i = 0; i < n; ++i)
+                dot += static_cast<double>(v[i]) * comps[pc][i];
+            if (std::abs(dot) > std::abs(best)) {
+                best = dot;
+                best_c = pc;
+            }
+        }
+        std::printf(
+            "  recovered component %zu: weight %.4f (planted %.4f), "
+            "|<v,u_%zu>| = %.6f\n",
+            c + 1, w, weights[best_c], best_c, std::abs(best));
+
+        // Deflate: residual <- residual - w v o v o v, rebuilt through a
+        // dense scratch cube (n is example-sized).
+        std::vector<double> cube(n * n * n, 0.0);
+        for (Size p = 0; p < residual.nnz(); ++p)
+            cube[(static_cast<Size>(residual.index(0, p)) * n +
+                  residual.index(1, p)) *
+                     n +
+                 residual.index(2, p)] += residual.value(p);
+        CooTensor next({static_cast<Index>(n), static_cast<Index>(n),
+                        static_cast<Index>(n)});
+        for (Index i = 0; i < n; ++i) {
+            for (Index j = 0; j < n; ++j) {
+                for (Index l = 0; l < n; ++l) {
+                    const double val =
+                        cube[(static_cast<Size>(i) * n + j) * n + l] -
+                        w * v[i] * v[j] * v[l];
+                    if (std::abs(val) > 1e-7)
+                        next.append({i, j, l}, static_cast<Value>(val));
+                }
+            }
+        }
+        residual = next;
+    }
+    std::printf("tensor_power_method done\n");
+    return 0;
+}

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Render the figure benches' CSV output as charts.
+
+Usage:
+    PASTA_CSV_DIR=results ./build/bench/bench_fig4_cpu_bluesky
+    python3 scripts/plot_figures.py results/fig4_cpu_bluesky.csv
+
+With matplotlib installed, writes a grouped-bar PNG per kernel next to the
+CSV (log-scale GFLOPS with the roofline drawn, like the paper's Figs 4-7);
+without it, prints ASCII bar charts so the series remain inspectable on
+any machine.
+"""
+import csv
+import sys
+from collections import defaultdict
+
+KERNELS = ["TEW", "TS", "TTV", "TTM", "MTTKRP"]
+
+
+def load(path):
+    """Returns {kernel: {format: [(tensor, gflops, roofline)]}}."""
+    series = defaultdict(lambda: defaultdict(list))
+    with open(path, newline="") as f:
+        for row in csv.DictReader(f):
+            series[row["kernel"]][row["format"]].append(
+                (row["tensor"], float(row["gflops"]),
+                 float(row["roofline_gflops"])))
+    return series
+
+
+def ascii_chart(kernel, by_format, width=46):
+    rows = by_format.get("COO", [])
+    hicoo = {t: g for t, g, _ in by_format.get("HiCOO", [])}
+    if not rows:
+        return
+    peak = max(
+        max(g for _, g, _ in rows),
+        max(hicoo.values(), default=0.0),
+    )
+    if peak <= 0:
+        return
+    print(f"\n-- {kernel} (GFLOPS, # = COO, + = HiCOO) --")
+    for tensor, gflops, roof in rows:
+        coo_bar = "#" * max(1, int(width * gflops / peak))
+        h = hicoo.get(tensor, 0.0)
+        hicoo_bar = "+" * max(1, int(width * h / peak))
+        print(f"{tensor:>8} {gflops:9.3f} {coo_bar}")
+        print(f"{'':>8} {h:9.3f} {hicoo_bar}")
+    print(f"{'roofline':>8} {rows[0][2]:9.3f}")
+
+
+def plot_png(path, series):
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    fig, axes = plt.subplots(len(KERNELS), 1,
+                             figsize=(12, 3 * len(KERNELS)))
+    for ax, kernel in zip(axes, KERNELS):
+        by_format = series.get(kernel, {})
+        coo = by_format.get("COO", [])
+        hicoo = by_format.get("HiCOO", [])
+        if not coo:
+            continue
+        tensors = [t for t, _, _ in coo]
+        x = range(len(tensors))
+        ax.bar([i - 0.2 for i in x], [g for _, g, _ in coo], 0.4,
+               label="COO")
+        ax.bar([i + 0.2 for i in x], [g for _, g, _ in hicoo], 0.4,
+               label="HiCOO")
+        ax.plot(list(x), [r for _, _, r in coo], "r-",
+                label="Roofline")
+        ax.set_yscale("log")
+        ax.set_ylabel(f"{kernel} GFLOPS")
+        ax.set_xticks(list(x))
+        ax.set_xticklabels(tensors, rotation=60, fontsize=7)
+        ax.legend(fontsize=7)
+    out = path.rsplit(".", 1)[0] + ".png"
+    fig.tight_layout()
+    fig.savefig(out, dpi=120)
+    print(f"wrote {out}")
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 2
+    for path in sys.argv[1:]:
+        series = load(path)
+        print(f"=== {path} ===")
+        try:
+            plot_png(path, series)
+        except ImportError:
+            for kernel in KERNELS:
+                ascii_chart(kernel, series.get(kernel, {}))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,61 @@
+/// \file
+/// Table I cost model: work, upper-bound memory access, and operational
+/// intensity of every kernel/format pair, generalized from the paper's
+/// third-order cubical analysis to arbitrary order.
+///
+/// All quantities follow Table I's conventions: 32-bit indices, 32-bit
+/// values, M non-zeros, M_F mode fibers (I << M_F << M), HiCOO block count
+/// n_b with block edge B.  Memory access is the irregular-access upper
+/// bound; real runs may beat it via cache reuse (the paper's above-100%
+/// efficiencies).
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+#include "core/coo_tensor.hpp"
+
+namespace pasta {
+
+/// The five benchmark kernels.
+enum class Kernel { kTew, kTs, kTtv, kTtm, kMttkrp };
+
+/// The two formats Table I analyzes.
+enum class Format { kCoo, kHicoo };
+
+const char* kernel_name(Kernel k);
+const char* format_name(Format f);
+
+/// Structural statistics of one tensor feeding the cost formulas.
+struct TensorStats {
+    Size order = 0;       ///< N
+    Size nnz = 0;         ///< M
+    Size num_fibers = 0;  ///< M_F for the analyzed mode (TTV/TTM)
+    Size num_blocks = 0;  ///< n_b (HiCOO)
+    Index block_size = 128;  ///< B (HiCOO edge)
+};
+
+/// Computes TensorStats for `x`: M_F for mode `mode` (averaging is up to
+/// the caller; pass kNoMode to skip fiber counting) and the HiCOO block
+/// count at 2^block_bits.
+TensorStats compute_stats(const CooTensor& x, Size mode,
+                          unsigned block_bits = 7);
+
+/// Work and memory traffic of one kernel invocation.
+struct KernelCost {
+    double flops = 0;
+    double bytes = 0;
+
+    /// Operational intensity (#Flops / #Bytes).
+    double oi() const { return bytes > 0 ? flops / bytes : 0.0; }
+};
+
+/// Evaluates the Table I formulas.  `rank` is R for TTM/MTTKRP (ignored
+/// by the others).
+KernelCost kernel_cost(Kernel kernel, Format format,
+                       const TensorStats& stats, Size rank = 16);
+
+/// GFLOPS given flops and measured seconds.
+double gflops(double flops, double seconds);
+
+}  // namespace pasta

@@ -1,0 +1,60 @@
+#include "analysis/efficiency.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "roofline/roofline.hpp"
+
+namespace pasta {
+
+double
+run_gflops(const MeasuredRun& run)
+{
+    return gflops(run.cost.flops, run.seconds);
+}
+
+double
+run_roofline_gflops(const MeasuredRun& run, const MachineSpec& spec)
+{
+    return roofline_performance_gflops(spec, run.cost.oi());
+}
+
+double
+run_efficiency(const MeasuredRun& run, const MachineSpec& spec)
+{
+    const double roof = run_roofline_gflops(run, spec);
+    return roof > 0 ? run_gflops(run) / roof : 0.0;
+}
+
+EfficiencySummary
+summarize(const std::vector<MeasuredRun>& runs, Kernel kernel,
+          Format format, const MachineSpec& spec)
+{
+    EfficiencySummary summary;
+    summary.kernel = kernel;
+    summary.format = format;
+    summary.min_gflops = std::numeric_limits<double>::infinity();
+    double total_gflops = 0;
+    double total_eff = 0;
+    for (const auto& run : runs) {
+        if (run.kernel != kernel || run.format != format)
+            continue;
+        const double g = run_gflops(run);
+        total_gflops += g;
+        total_eff += run_efficiency(run, spec);
+        summary.min_gflops = std::min(summary.min_gflops, g);
+        summary.max_gflops = std::max(summary.max_gflops, g);
+        ++summary.runs;
+    }
+    if (summary.runs > 0) {
+        summary.mean_gflops =
+            total_gflops / static_cast<double>(summary.runs);
+        summary.mean_efficiency =
+            total_eff / static_cast<double>(summary.runs);
+    } else {
+        summary.min_gflops = 0;
+    }
+    return summary;
+}
+
+}  // namespace pasta

@@ -1,0 +1,52 @@
+/// \file
+/// Performance-efficiency accounting (paper §V-C, Observations 1-3).
+///
+/// Efficiency (the paper's "performance efficiency" / "bandwidth
+/// efficiency") is measured GFLOPS over the kernel's Roofline performance
+/// on the platform — OI x ERT-DRAM bandwidth.  Values above 100% are
+/// legitimate and diagnostic: the working set fit in cache (Observation 2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/cost_model.hpp"
+#include "roofline/machine.hpp"
+
+namespace pasta {
+
+/// One measured kernel execution on one tensor.
+struct MeasuredRun {
+    std::string tensor_id;
+    Kernel kernel = Kernel::kTew;
+    Format format = Format::kCoo;
+    double seconds = 0;        ///< mean kernel time
+    KernelCost cost;           ///< Table I work/traffic for this tensor
+};
+
+/// Measured GFLOPS of a run.
+double run_gflops(const MeasuredRun& run);
+
+/// Roofline GFLOPS of a run on `spec` (OI x ERT-DRAM bandwidth).
+double run_roofline_gflops(const MeasuredRun& run, const MachineSpec& spec);
+
+/// Efficiency of a run on `spec`, as a fraction (1.0 = 100%).
+double run_efficiency(const MeasuredRun& run, const MachineSpec& spec);
+
+/// Aggregate statistics the paper's observations quote.
+struct EfficiencySummary {
+    Kernel kernel = Kernel::kTew;
+    Format format = Format::kCoo;
+    double mean_gflops = 0;
+    double min_gflops = 0;
+    double max_gflops = 0;
+    double mean_efficiency = 0;
+    std::size_t runs = 0;
+};
+
+/// Summarizes all runs of one (kernel, format) pair on `spec`.
+EfficiencySummary summarize(const std::vector<MeasuredRun>& runs,
+                            Kernel kernel, Format format,
+                            const MachineSpec& spec);
+
+}  // namespace pasta

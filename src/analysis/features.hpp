@@ -1,0 +1,56 @@
+/// \file
+/// Tensor feature extraction (paper Observation 5: "Extracting features
+/// from real tensors as a basis to create more complete synthetic
+/// tensors would be very helpful for sparse tensor research").
+///
+/// Collects the structural statistics that drive kernel behavior — per-
+/// mode fiber counts and skew, HiCOO block population, value moments —
+/// both for characterizing datasets and for checking that generated
+/// stand-ins match the regimes of the tensors they replace.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/coo_tensor.hpp"
+
+namespace pasta {
+
+/// Fiber statistics of one mode.
+struct ModeFeatures {
+    Index dim = 0;               ///< mode extent
+    Size num_fibers = 0;         ///< M_F of this mode
+    Size max_fiber_nnz = 0;      ///< longest fiber (load imbalance)
+    double mean_fiber_nnz = 0;   ///< M / M_F
+    double cv_fiber_nnz = 0;     ///< coefficient of variation of lengths
+    Size used_indices = 0;       ///< distinct indices with >= 1 non-zero
+};
+
+/// Full structural profile of a sparse tensor.
+struct TensorFeatures {
+    Size order = 0;
+    Size nnz = 0;
+    double density = 0;
+    std::vector<ModeFeatures> modes;
+    Size hicoo_blocks = 0;        ///< n_b at the given block size
+    double mean_block_nnz = 0;    ///< HiCOO compressibility indicator
+    Size max_block_nnz = 0;
+    double value_mean = 0;
+    double value_std = 0;
+};
+
+/// Extracts features of `x` (HiCOO stats at edge 2^block_bits).
+TensorFeatures extract_features(const CooTensor& x,
+                                unsigned block_bits = 7);
+
+/// Multi-line human-readable report.
+std::string features_report(const TensorFeatures& features);
+
+/// Relative difference of two feature profiles on the regime-defining
+/// axes (density order of magnitude, fiber-length means, block density);
+/// small values mean the tensors exercise kernels the same way.  Used by
+/// tests to check stand-in fidelity.
+double features_distance(const TensorFeatures& a, const TensorFeatures& b);
+
+}  // namespace pasta

@@ -1,0 +1,17 @@
+#include "common/error.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pasta::detail {
+
+void
+assert_fail(const char* expr, const char* file, int line,
+            const std::string& msg)
+{
+    std::fprintf(stderr, "pasta: internal assertion failed: %s at %s:%d%s%s\n",
+                 expr, file, line, msg.empty() ? "" : ": ", msg.c_str());
+    std::abort();
+}
+
+}  // namespace pasta::detail

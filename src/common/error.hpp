@@ -1,0 +1,67 @@
+/// \file
+/// Error handling for PASTA++.
+///
+/// Following the gem5 fatal()/panic() split: user-caused conditions (bad
+/// file, mismatched shapes passed to a kernel) throw PastaError, which a
+/// driver can catch and report; internal invariant violations use
+/// PASTA_ASSERT and abort, because they indicate a bug in the suite itself.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pasta {
+
+/// Exception thrown for user-level errors: malformed input files,
+/// shape mismatches, out-of-range modes, and similar recoverable problems.
+class PastaError : public std::runtime_error {
+  public:
+    explicit PastaError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line,
+                              const std::string& msg);
+
+}  // namespace detail
+
+/// Throws PastaError when `cond` is false, reporting the failed expression.
+#define PASTA_CHECK(cond)                                                    \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            std::ostringstream pasta_oss_;                                   \
+            pasta_oss_ << "check failed: " #cond " (" << __FILE__ << ":"     \
+                       << __LINE__ << ")";                                   \
+            throw ::pasta::PastaError(pasta_oss_.str());                     \
+        }                                                                    \
+    } while (0)
+
+/// Throws PastaError when `cond` is false, with a streamed message, e.g.
+///   PASTA_CHECK_MSG(mode < order(), "mode " << mode << " out of range");
+#define PASTA_CHECK_MSG(cond, msg)                                           \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            std::ostringstream pasta_oss_;                                   \
+            pasta_oss_ << msg << " [" #cond " at " << __FILE__ << ":"        \
+                       << __LINE__ << "]";                                   \
+            throw ::pasta::PastaError(pasta_oss_.str());                     \
+        }                                                                    \
+    } while (0)
+
+/// Internal invariant check; aborts on failure (a bug in PASTA++ itself).
+#define PASTA_ASSERT(expr)                                                   \
+    do {                                                                     \
+        if (!(expr))                                                         \
+            ::pasta::detail::assert_fail(#expr, __FILE__, __LINE__, "");     \
+    } while (0)
+
+/// Internal invariant check with an explanatory message.
+#define PASTA_ASSERT_MSG(expr, msg)                                          \
+    do {                                                                     \
+        if (!(expr))                                                         \
+            ::pasta::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));  \
+    } while (0)
+
+}  // namespace pasta

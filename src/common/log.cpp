@@ -1,0 +1,47 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace pasta {
+
+namespace {
+
+std::atomic<LogLevel> g_threshold{LogLevel::kInfo};
+std::mutex g_log_mutex;
+
+const char*
+level_tag(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::kDebug: return "debug";
+      case LogLevel::kInfo: return "info";
+      case LogLevel::kWarn: return "warn";
+      case LogLevel::kError: return "error";
+    }
+    return "?";
+}
+
+}  // namespace
+
+LogLevel
+log_threshold()
+{
+    return g_threshold.load(std::memory_order_relaxed);
+}
+
+void
+set_log_threshold(LogLevel level)
+{
+    g_threshold.store(level, std::memory_order_relaxed);
+}
+
+void
+log_message(LogLevel level, const std::string& message)
+{
+    std::lock_guard<std::mutex> lock(g_log_mutex);
+    std::fprintf(stderr, "[pasta %s] %s\n", level_tag(level), message.c_str());
+}
+
+}  // namespace pasta

@@ -1,0 +1,45 @@
+/// \file
+/// Thin parallel runtime over OpenMP.
+///
+/// The paper's CPU kernels are OpenMP-parallel with configurable schedules
+/// (§V-A2).  This wrapper keeps the scheduling decision explicit at each
+/// call site, exposes the atomic update the COO-MTTKRP algorithm relies on,
+/// and lets tests pin the thread count for deterministic runs.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "common/types.hpp"
+
+namespace pasta {
+
+/// OpenMP loop schedule choices used by the kernels.
+enum class Schedule { kStatic, kDynamic, kGuided };
+
+/// Returns the number of threads parallel_for will use.
+int num_threads();
+
+/// Overrides the worker count (0 restores the OpenMP default).
+void set_num_threads(int n);
+
+/// Runs `body(i)` for i in [begin, end) in parallel with the requested
+/// schedule.  `chunk` of 0 uses the schedule's default chunking.
+void parallel_for(Size begin, Size end, Schedule schedule,
+                  const std::function<void(Size)>& body, Size chunk = 0);
+
+/// Runs `body(first, last)` over contiguous index ranges, one call per
+/// chunk, in parallel.  Lower overhead than per-index dispatch; used by the
+/// streaming kernels (TEW, TS) where the body is a few flops.
+void parallel_for_ranges(Size begin, Size end,
+                         const std::function<void(Size, Size)>& body);
+
+/// Atomically adds `delta` to `*target` (the paper's "omp atomic" /
+/// "atomicAdd" used to protect the MTTKRP output matrix).
+void atomic_add(Value* target, Value delta);
+
+/// Parallel sum reduction of `term(i)` over [begin, end).
+double parallel_sum(Size begin, Size end,
+                    const std::function<double(Size)>& term);
+
+}  // namespace pasta

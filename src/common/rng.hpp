@@ -1,0 +1,50 @@
+/// \file
+/// Deterministic random number generation.
+///
+/// Reproducibility is one of the paper's explicit benchmark-design goals
+/// (§I: "completeness, diversity, extendibility, reproducibility"), so all
+/// randomness in the suite — synthetic generators, test tensors, matrix
+/// initialization — flows through this seeded generator.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace pasta {
+
+/// Small, fast, seedable PRNG (xoshiro256**).  We implement it directly
+/// rather than using std::mt19937 so that streams are cheap to split and
+/// the generated datasets are stable across standard libraries.
+class Rng {
+  public:
+    /// Seeds the generator; identical seeds give identical streams.
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+    /// Returns the next 64 random bits.
+    std::uint64_t next_u64();
+
+    /// Returns a uniformly distributed integer in [0, bound).
+    std::uint64_t next_below(std::uint64_t bound);
+
+    /// Returns a uniformly distributed Index in [0, bound).
+    Index next_index(Index bound);
+
+    /// Returns a uniform double in [0, 1).
+    double next_double();
+
+    /// Returns a uniform float in [0, 1).
+    float next_float();
+
+    /// Returns true with probability `p`.
+    bool next_bernoulli(double p);
+
+    /// Returns a new generator whose stream is decorrelated from this one.
+    /// Used to hand independent streams to parallel workers.
+    Rng split();
+
+  private:
+    std::uint64_t state_[4];
+};
+
+}  // namespace pasta

@@ -1,0 +1,33 @@
+#include "common/timer.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace pasta {
+
+RunStats
+timed_runs(const std::function<void()>& fn, std::size_t runs,
+           std::size_t warmups)
+{
+    for (std::size_t i = 0; i < warmups; ++i)
+        fn();
+
+    RunStats stats;
+    stats.runs = runs;
+    stats.min_seconds = std::numeric_limits<double>::infinity();
+    stats.max_seconds = 0.0;
+    double total = 0.0;
+    Timer timer;
+    for (std::size_t i = 0; i < runs; ++i) {
+        timer.start();
+        fn();
+        double t = timer.elapsed_seconds();
+        total += t;
+        stats.min_seconds = std::min(stats.min_seconds, t);
+        stats.max_seconds = std::max(stats.max_seconds, t);
+    }
+    stats.mean_seconds = runs > 0 ? total / static_cast<double>(runs) : 0.0;
+    return stats;
+}
+
+}  // namespace pasta

@@ -1,0 +1,47 @@
+/// \file
+/// Wall-clock timing utilities used by the benchmark harness.
+///
+/// The paper runs every kernel five times and reports the average runtime
+/// (§V-A2); TimedRuns encapsulates that protocol so every bench binary uses
+/// the same measurement discipline.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace pasta {
+
+/// Simple wall-clock stopwatch.
+class Timer {
+  public:
+    /// Starts (or restarts) the stopwatch.
+    void start() { begin_ = Clock::now(); }
+
+    /// Returns seconds elapsed since the last start().
+    double elapsed_seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - begin_).count();
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point begin_{Clock::now()};
+};
+
+/// Aggregated timing statistics over repeated runs.
+struct RunStats {
+    double mean_seconds = 0.0;
+    double min_seconds = 0.0;
+    double max_seconds = 0.0;
+    std::size_t runs = 0;
+};
+
+/// Runs `fn` `runs` times (after `warmups` untimed warm-up runs) and
+/// returns the per-run timing statistics.  This matches the paper's
+/// measurement protocol of averaging five timed executions.
+RunStats timed_runs(const std::function<void()>& fn, std::size_t runs = 5,
+                    std::size_t warmups = 1);
+
+}  // namespace pasta

@@ -1,0 +1,49 @@
+/// \file
+/// Fundamental scalar and index types shared by every PASTA++ module.
+///
+/// The paper (Table I) fixes the data-type conventions the whole suite is
+/// analyzed under: 32-bit indices, single-precision (32-bit) floating-point
+/// values, and 8-bit element indices inside HiCOO blocks.  We centralize
+/// those choices here so the cost model in `analysis/` and the formats in
+/// `core/` can never drift apart.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace pasta {
+
+/// Coordinate index along one tensor mode (paper: 32-bit indices).
+using Index = std::uint32_t;
+
+/// Element index inside a HiCOO block (paper: 8-bit element indices).
+using EIndex = std::uint8_t;
+
+/// Block index of a HiCOO block along one mode (32-bit like COO indices).
+using BIndex = std::uint32_t;
+
+/// Non-zero value (paper: single-precision floating point).
+using Value = float;
+
+/// Count of non-zeros, fibers, or blocks.  Tensors in the paper reach 144M
+/// non-zeros, and index arithmetic over products of dimensions overflows
+/// 32 bits, so counts are 64-bit.
+using Size = std::size_t;
+
+/// A full coordinate of one non-zero: one Index per mode.
+using Coordinate = std::vector<Index>;
+
+/// Number of bytes of one COO coordinate component or value (both 32-bit).
+inline constexpr Size kIndexBytes = sizeof(Index);
+inline constexpr Size kValueBytes = sizeof(Value);
+inline constexpr Size kEIndexBytes = sizeof(EIndex);
+
+/// Sentinel for "no mode selected".
+inline constexpr Size kNoMode = std::numeric_limits<Size>::max();
+
+/// Largest representable coordinate.
+inline constexpr Index kMaxIndex = std::numeric_limits<Index>::max();
+
+}  // namespace pasta

@@ -1,0 +1,265 @@
+#include "core/convert.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/morton.hpp"
+
+namespace pasta {
+
+HiCooTensor
+coo_to_hicoo(const CooTensor& x, unsigned block_bits)
+{
+    HiCooTensor out(x.dims(), block_bits);
+    if (x.nnz() == 0)
+        return out;
+
+    CooTensor sorted = x;
+    sorted.sort_morton(block_bits);
+
+    const Size n = x.order();
+    const Index mask = out.block_size() - 1;
+    std::vector<BIndex> block_coords(n);
+    std::vector<BIndex> prev_block(n, kMaxIndex);
+    std::vector<EIndex> element_coords(n);
+    for (Size p = 0; p < sorted.nnz(); ++p) {
+        bool new_block = false;
+        for (Size m = 0; m < n; ++m) {
+            block_coords[m] = sorted.index(m, p) >> block_bits;
+            if (block_coords[m] != prev_block[m])
+                new_block = true;
+        }
+        if (new_block) {
+            out.append_block(block_coords.data());
+            prev_block = block_coords;
+        }
+        for (Size m = 0; m < n; ++m)
+            element_coords[m] =
+                static_cast<EIndex>(sorted.index(m, p) & mask);
+        out.append_entry(element_coords.data(), sorted.value(p));
+    }
+    return out;
+}
+
+CooTensor
+hicoo_to_coo(const HiCooTensor& x)
+{
+    CooTensor out(x.dims());
+    out.reserve(x.nnz());
+    Coordinate c(x.order());
+    for (Size b = 0; b < x.num_blocks(); ++b) {
+        for (Size p = x.bptr()[b]; p < x.bptr()[b + 1]; ++p) {
+            for (Size m = 0; m < x.order(); ++m)
+                c[m] = x.coordinate(m, b, p);
+            out.append(c, x.value(p));
+        }
+    }
+    out.sort_lexicographic();
+    return out;
+}
+
+GHiCooTensor
+coo_to_ghicoo(const CooTensor& x, std::vector<bool> compressed,
+              unsigned block_bits)
+{
+    GHiCooTensor out(x.dims(), block_bits, std::move(compressed));
+    if (x.nnz() == 0)
+        return out;
+
+    const Size n = x.order();
+    const Index mask = out.block_size() - 1;
+    const auto& comp = out.compressed_modes();
+    const auto& uncomp = out.uncompressed_modes();
+
+    // Order: Morton over compressed-mode blocks, then compressed element
+    // coordinates, then uncompressed coordinates (lexicographic).
+    CooTensor sorted = x;
+    {
+        std::vector<MortonKey> keys(sorted.nnz());
+        std::vector<Index> bc(comp.size());
+        for (Size p = 0; p < sorted.nnz(); ++p) {
+            for (Size s = 0; s < comp.size(); ++s)
+                bc[s] = sorted.index(comp[s], p) >> block_bits;
+            keys[p] = morton_encode(bc.data(), bc.size());
+        }
+        std::vector<Size> perm(sorted.nnz());
+        std::iota(perm.begin(), perm.end(), 0);
+        std::sort(perm.begin(), perm.end(), [&](Size a, Size b) {
+            if (!(keys[a] == keys[b]))
+                return keys[a] < keys[b];
+            for (Size m : comp)
+                if (sorted.index(m, a) != sorted.index(m, b))
+                    return sorted.index(m, a) < sorted.index(m, b);
+            for (Size m : uncomp)
+                if (sorted.index(m, a) != sorted.index(m, b))
+                    return sorted.index(m, a) < sorted.index(m, b);
+            return false;
+        });
+        sorted.apply_permutation(perm);
+    }
+
+    std::vector<BIndex> block_coords(n, 0);
+    std::vector<BIndex> prev_block(n, kMaxIndex);
+    std::vector<EIndex> element_coords(n, 0);
+    std::vector<Index> raw_coords(n, 0);
+    for (Size p = 0; p < sorted.nnz(); ++p) {
+        bool new_block = false;
+        for (Size m : comp) {
+            block_coords[m] = sorted.index(m, p) >> block_bits;
+            if (block_coords[m] != prev_block[m])
+                new_block = true;
+        }
+        if (new_block) {
+            out.append_block(block_coords.data());
+            for (Size m : comp)
+                prev_block[m] = block_coords[m];
+        }
+        for (Size m : comp)
+            element_coords[m] =
+                static_cast<EIndex>(sorted.index(m, p) & mask);
+        for (Size m : uncomp)
+            raw_coords[m] = sorted.index(m, p);
+        out.append_entry(element_coords.data(), raw_coords.data(),
+                         sorted.value(p));
+    }
+    return out;
+}
+
+CooTensor
+ghicoo_to_coo(const GHiCooTensor& x)
+{
+    CooTensor out(x.dims());
+    out.reserve(x.nnz());
+    Coordinate c(x.order());
+    for (Size b = 0; b < x.num_blocks(); ++b) {
+        for (Size p = x.bptr()[b]; p < x.bptr()[b + 1]; ++p) {
+            for (Size m = 0; m < x.order(); ++m)
+                c[m] = x.coordinate(m, b, p);
+            out.append(c, x.value(p));
+        }
+    }
+    out.sort_lexicographic();
+    return out;
+}
+
+ScooTensor
+coo_to_scoo(const CooTensor& x, Size dense_mode)
+{
+    PASTA_CHECK_MSG(dense_mode < x.order(), "dense mode out of range");
+    ScooTensor out(x.dims(), {dense_mode});
+
+    CooTensor sorted = x;
+    sorted.sort_fibers_last(dense_mode);
+
+    const Size n = x.order();
+    std::vector<Index> sparse_coords(n - 1);
+    Size stripe_pos = kNoMode;
+    bool have_stripe = false;
+    std::vector<Index> prev(n, kMaxIndex);
+    for (Size p = 0; p < sorted.nnz(); ++p) {
+        bool new_stripe = !have_stripe;
+        for (Size m = 0; m < n; ++m) {
+            if (m == dense_mode)
+                continue;
+            if (sorted.index(m, p) != prev[m])
+                new_stripe = true;
+        }
+        if (new_stripe) {
+            Size s = 0;
+            for (Size m = 0; m < n; ++m) {
+                if (m == dense_mode)
+                    continue;
+                sparse_coords[s++] = sorted.index(m, p);
+                prev[m] = sorted.index(m, p);
+            }
+            stripe_pos = out.append_stripe(sparse_coords.data());
+            have_stripe = true;
+        }
+        out.stripe(stripe_pos)[sorted.index(dense_mode, p)] +=
+            sorted.value(p);
+    }
+    return out;
+}
+
+SHiCooTensor
+scoo_to_shicoo(const ScooTensor& x, unsigned block_bits)
+{
+    SHiCooTensor out(x.dims(), x.dense_modes(), block_bits);
+    const Size ns = x.sparse_modes().size();
+    const Size count = x.num_sparse();
+    if (count == 0)
+        return out;
+
+    // Morton-sort the sparse coordinates by block.
+    std::vector<MortonKey> keys(count);
+    std::vector<Index> bc(ns);
+    for (Size pos = 0; pos < count; ++pos) {
+        for (Size s = 0; s < ns; ++s)
+            bc[s] = x.sparse_index(s, pos) >> block_bits;
+        keys[pos] = morton_encode(bc.data(), ns);
+    }
+    std::vector<Size> perm(count);
+    std::iota(perm.begin(), perm.end(), 0);
+    std::sort(perm.begin(), perm.end(), [&](Size a, Size b) {
+        if (!(keys[a] == keys[b]))
+            return keys[a] < keys[b];
+        for (Size s = 0; s < ns; ++s)
+            if (x.sparse_index(s, a) != x.sparse_index(s, b))
+                return x.sparse_index(s, a) < x.sparse_index(s, b);
+        return false;
+    });
+
+    const Index mask = out.block_size() - 1;
+    std::vector<BIndex> block_coords(ns);
+    std::vector<BIndex> prev_block(ns, kMaxIndex);
+    std::vector<EIndex> element_coords(ns);
+    for (Size i = 0; i < count; ++i) {
+        const Size pos = perm[i];
+        bool new_block = false;
+        for (Size s = 0; s < ns; ++s) {
+            block_coords[s] = x.sparse_index(s, pos) >> block_bits;
+            if (block_coords[s] != prev_block[s])
+                new_block = true;
+        }
+        if (new_block) {
+            out.append_block(block_coords.data());
+            prev_block = block_coords;
+        }
+        for (Size s = 0; s < ns; ++s)
+            element_coords[s] =
+                static_cast<EIndex>(x.sparse_index(s, pos) & mask);
+        const Size out_pos = out.append_entry(element_coords.data());
+        std::memcpy(out.stripe(out_pos), x.stripe(pos),
+                    x.stripe_volume() * sizeof(Value));
+    }
+    return out;
+}
+
+bool
+tensors_almost_equal(const CooTensor& a, const CooTensor& b, double tol)
+{
+    if (a.order() != b.order() || a.dims() != b.dims())
+        return false;
+    CooTensor ca = a;
+    CooTensor cb = b;
+    ca.sort_lexicographic();
+    ca.coalesce();
+    cb.sort_lexicographic();
+    cb.coalesce();
+    if (ca.nnz() != cb.nnz())
+        return false;
+    for (Size p = 0; p < ca.nnz(); ++p) {
+        for (Size m = 0; m < ca.order(); ++m)
+            if (ca.index(m, p) != cb.index(m, p))
+                return false;
+        if (std::abs(static_cast<double>(ca.value(p)) -
+                     static_cast<double>(cb.value(p))) > tol)
+            return false;
+    }
+    return true;
+}
+
+}  // namespace pasta

@@ -1,0 +1,158 @@
+#include "core/csf_tensor.hpp"
+
+#include <functional>
+#include <numeric>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace pasta {
+
+Size
+CsfTensor::storage_bytes() const
+{
+    Size total = values_.size() * kValueBytes;
+    for (Size l = 0; l < levels_.size(); ++l) {
+        total += levels_[l].idx.size() * kIndexBytes;
+        total += levels_[l].ptr.size() * sizeof(Size);
+    }
+    return total;
+}
+
+CsfTensor
+CsfTensor::from_coo(const CooTensor& x, std::vector<Size> mode_order)
+{
+    const Size n = x.order();
+    if (mode_order.empty()) {
+        mode_order.resize(n);
+        std::iota(mode_order.begin(), mode_order.end(), 0);
+    }
+    PASTA_CHECK_MSG(mode_order.size() == n, "mode order arity mismatch");
+    {
+        std::vector<bool> seen(n, false);
+        for (Size m : mode_order) {
+            PASTA_CHECK_MSG(m < n, "mode order entry out of range");
+            PASTA_CHECK_MSG(!seen[m], "duplicate mode in mode order");
+            seen[m] = true;
+        }
+    }
+
+    CsfTensor out;
+    out.dims_ = x.dims();
+    out.mode_order_ = mode_order;
+    out.levels_.resize(n);
+    if (x.nnz() == 0)
+        return out;
+
+    CooTensor sorted = x;
+    sorted.sort_by_mode_order(mode_order);
+
+    // Walk the sorted stream once.  A node at level l is created whenever
+    // any index at level <= l changed relative to the previous non-zero;
+    // its ptr entry records where its children start in the next level.
+    std::vector<Index> prev(n, kMaxIndex);
+    bool first = true;
+    for (Size p = 0; p < sorted.nnz(); ++p) {
+        Size break_level = first ? 0 : n;
+        if (!first) {
+            for (Size l = 0; l < n; ++l) {
+                if (sorted.index(mode_order[l], p) != prev[l]) {
+                    break_level = l;
+                    break;
+                }
+            }
+        }
+        PASTA_CHECK_MSG(first || break_level < n,
+                        "duplicate coordinate in CSF input; coalesce "
+                        "first");
+        for (Size l = break_level; l < n; ++l) {
+            out.levels_[l].idx.push_back(sorted.index(mode_order[l], p));
+            prev[l] = sorted.index(mode_order[l], p);
+            if (l + 1 < n)
+                out.levels_[l].ptr.push_back(
+                    out.levels_[l + 1].idx.size());
+        }
+        first = false;
+    }
+    // Close the CSR-style pointer arrays.
+    for (Size l = 0; l + 1 < n; ++l)
+        out.levels_[l].ptr.push_back(out.levels_[l + 1].idx.size());
+    out.values_ = sorted.values();
+    return out;
+}
+
+CooTensor
+CsfTensor::to_coo() const
+{
+    CooTensor out(dims_);
+    out.reserve(nnz());
+    if (nnz() == 0)
+        return out;
+    const Size n = order();
+    Coordinate c(n);
+    // Depth-first expansion using an explicit per-level cursor walk: for
+    // each leaf, find its ancestor at each level via the ptr arrays.
+    // Iterative approach: maintain the current node id per level.
+    std::vector<Size> node(n, 0);
+    std::function<void(Size, Size)> walk = [&](Size level, Size id) {
+        c[mode_order_[level]] = levels_[level].idx[id];
+        if (level + 1 == n) {
+            out.append(c, values_[id]);
+            return;
+        }
+        for (Size child = levels_[level].ptr[id];
+             child < levels_[level].ptr[id + 1]; ++child)
+            walk(level + 1, child);
+    };
+    for (Size root = 0; root < level_size(0); ++root)
+        walk(0, root);
+    out.sort_lexicographic();
+    return out;
+}
+
+void
+CsfTensor::validate() const
+{
+    const Size n = order();
+    PASTA_CHECK_MSG(levels_.size() == n, "level count mismatch");
+    if (nnz() == 0)
+        return;
+    PASTA_CHECK_MSG(levels_[n - 1].idx.size() == values_.size(),
+                    "leaf level / value length mismatch");
+    for (Size l = 0; l < n; ++l) {
+        for (Index idx : levels_[l].idx)
+            PASTA_CHECK_MSG(idx < dims_[mode_order_[l]],
+                            "index out of range at level " << l);
+        if (l + 1 < n) {
+            PASTA_CHECK_MSG(levels_[l].ptr.size() ==
+                                levels_[l].idx.size() + 1,
+                            "ptr length mismatch at level " << l);
+            PASTA_CHECK_MSG(levels_[l].ptr.front() == 0,
+                            "ptr must start at 0");
+            PASTA_CHECK_MSG(levels_[l].ptr.back() ==
+                                levels_[l + 1].idx.size(),
+                            "ptr must cover the next level");
+            for (Size i = 0; i + 1 < levels_[l].ptr.size(); ++i)
+                PASTA_CHECK_MSG(levels_[l].ptr[i] < levels_[l].ptr[i + 1],
+                                "empty CSF node at level " << l);
+        }
+    }
+}
+
+std::string
+CsfTensor::describe() const
+{
+    std::ostringstream oss;
+    oss << order() << "-order CSF(order ";
+    for (Size l = 0; l < mode_order_.size(); ++l)
+        oss << mode_order_[l] << (l + 1 < mode_order_.size() ? "," : "");
+    oss << ") ";
+    for (Size m = 0; m < order(); ++m)
+        oss << dims_[m] << (m + 1 < order() ? "x" : "");
+    oss << ", " << nnz() << " nnz, level sizes";
+    for (Size l = 0; l < num_levels(); ++l)
+        oss << " " << level_size(l);
+    return oss.str();
+}
+
+}  // namespace pasta

@@ -1,0 +1,84 @@
+/// \file
+/// Compressed Sparse Fiber (CSF) format (Smith et al., SPLATT [23]).
+///
+/// The paper names CSF the first format to add next to COO and HiCOO
+/// (§III, §VII: "data representations, such as compressed sparse fiber
+/// (CSF) ... will be considered adding to the suite").  CSF stores the
+/// non-zeros as a forest of prefix-compressed paths: level 0 holds the
+/// distinct mode-order[0] indices (tree roots), each deeper level holds
+/// the distinct next-mode indices under one parent, and the leaf level
+/// carries the values.  Unlike COO/HiCOO, CSF is *mode-specific*: one
+/// representation favors computations in its root mode, which is exactly
+/// the trade-off the paper's mode-generic discussion (§III) calls out.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/coo_tensor.hpp"
+
+namespace pasta {
+
+/// One level of the CSF tree: indices plus pointers into the next level.
+struct CsfLevel {
+    std::vector<Index> idx;  ///< node index along this level's mode
+    std::vector<Size> ptr;   ///< children of node i: [ptr[i], ptr[i+1])
+};
+
+/// Arbitrary-order sparse tensor in CSF format.
+class CsfTensor {
+  public:
+    CsfTensor() = default;
+
+    /// Number of modes.
+    Size order() const { return dims_.size(); }
+
+    /// Dimension sizes in *original* mode numbering.
+    const std::vector<Index>& dims() const { return dims_; }
+    Index dim(Size mode) const { return dims_[mode]; }
+
+    /// The mode permutation: mode_order()[level] is the original mode
+    /// stored at tree level `level` (root first).
+    const std::vector<Size>& mode_order() const { return mode_order_; }
+
+    /// Number of stored non-zeros (leaf count).
+    Size nnz() const { return values_.size(); }
+
+    /// Number of levels (= order).
+    Size num_levels() const { return levels_.size(); }
+
+    /// Level accessor; level 0 is the root.
+    const CsfLevel& level(Size l) const { return levels_[l]; }
+
+    /// Leaf values, aligned with level(order-1).idx.
+    const std::vector<Value>& values() const { return values_; }
+    std::vector<Value>& values() { return values_; }
+
+    /// Number of nodes at a level (fibers at that depth).
+    Size level_size(Size l) const { return levels_[l].idx.size(); }
+
+    /// Storage bytes: per-level indices + pointers + values.
+    Size storage_bytes() const;
+
+    /// Builds CSF from COO with the given level ordering (defaults to
+    /// 0,1,...,N-1 when empty).  Duplicates must be coalesced first.
+    static CsfTensor from_coo(const CooTensor& x,
+                              std::vector<Size> mode_order = {});
+
+    /// Expands back to COO (lexicographically sorted).
+    CooTensor to_coo() const;
+
+    /// Validates structural invariants; throws PastaError on violation.
+    void validate() const;
+
+    std::string describe() const;
+
+  private:
+    std::vector<Index> dims_;
+    std::vector<Size> mode_order_;
+    std::vector<CsfLevel> levels_;  ///< levels_[order-1].ptr is unused
+    std::vector<Value> values_;
+};
+
+}  // namespace pasta

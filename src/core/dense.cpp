@@ -1,0 +1,52 @@
+#include "core/dense.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pasta {
+
+void
+DenseMatrix::randomize(Rng& rng)
+{
+    for (auto& v : data_)
+        v = rng.next_float();
+}
+
+DenseMatrix
+DenseMatrix::random(Size rows, Size cols, Rng& rng)
+{
+    DenseMatrix m(rows, cols);
+    m.randomize(rng);
+    return m;
+}
+
+void
+DenseVector::randomize(Rng& rng)
+{
+    for (auto& v : data_)
+        v = rng.next_float();
+}
+
+DenseVector
+DenseVector::random(Size n, Rng& rng)
+{
+    DenseVector v(n);
+    v.randomize(rng);
+    return v;
+}
+
+double
+max_abs_diff(const DenseMatrix& a, const DenseMatrix& b)
+{
+    PASTA_CHECK_MSG(a.rows() == b.rows() && a.cols() == b.cols(),
+                    "max_abs_diff: shape mismatch");
+    double worst = 0.0;
+    const Size n = a.rows() * a.cols();
+    for (Size i = 0; i < n; ++i)
+        worst = std::max(worst,
+                         std::abs(static_cast<double>(a.data()[i]) -
+                                  static_cast<double>(b.data()[i])));
+    return worst;
+}
+
+}  // namespace pasta

@@ -1,0 +1,100 @@
+/// \file
+/// Dense matrix and vector containers used as kernel operands.
+///
+/// The paper's TTM takes U in R^{I_n x R} (the transposed-mode convention,
+/// footnote 2: rows indexed by the tensor mode, columns by the rank) and
+/// MTTKRP takes one such factor matrix per mode.  Row-major storage makes a
+/// "row of U for tensor index i" contiguous, which is what every kernel
+/// streams over.
+#pragma once
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace pasta {
+
+/// Dense row-major matrix of Value.
+class DenseMatrix {
+  public:
+    DenseMatrix() = default;
+
+    /// Creates a rows x cols matrix initialized to `fill`.
+    DenseMatrix(Size rows, Size cols, Value fill = 0)
+        : rows_(rows), cols_(cols), data_(rows * cols, fill)
+    {
+    }
+
+    Size rows() const { return rows_; }
+    Size cols() const { return cols_; }
+
+    /// Element access (no bounds check in release builds).
+    Value& operator()(Size r, Size c) { return data_[r * cols_ + c]; }
+    Value operator()(Size r, Size c) const { return data_[r * cols_ + c]; }
+
+    /// Pointer to the start of row r; the row is cols() contiguous values.
+    Value* row(Size r) { return data_.data() + r * cols_; }
+    const Value* row(Size r) const { return data_.data() + r * cols_; }
+
+    Value* data() { return data_.data(); }
+    const Value* data() const { return data_.data(); }
+
+    /// Sets every element to `v`.
+    void fill(Value v) { std::fill(data_.begin(), data_.end(), v); }
+
+    /// Storage footprint in bytes (values only, matching Table I).
+    Size storage_bytes() const { return data_.size() * kValueBytes; }
+
+    /// Fills with uniform random values in [0, 1) from `rng`.
+    void randomize(Rng& rng);
+
+    /// Returns a rows x cols matrix with uniform random entries.
+    static DenseMatrix random(Size rows, Size cols, Rng& rng);
+
+    friend bool operator==(const DenseMatrix&, const DenseMatrix&) = default;
+
+  private:
+    Size rows_ = 0;
+    Size cols_ = 0;
+    std::vector<Value> data_;
+};
+
+/// Dense vector of Value.
+class DenseVector {
+  public:
+    DenseVector() = default;
+
+    /// Creates a length-n vector initialized to `fill`.
+    explicit DenseVector(Size n, Value fill = 0) : data_(n, fill) {}
+
+    Size size() const { return data_.size(); }
+
+    Value& operator[](Size i) { return data_[i]; }
+    Value operator[](Size i) const { return data_[i]; }
+
+    Value* data() { return data_.data(); }
+    const Value* data() const { return data_.data(); }
+
+    void fill(Value v) { std::fill(data_.begin(), data_.end(), v); }
+
+    Size storage_bytes() const { return data_.size() * kValueBytes; }
+
+    /// Fills with uniform random values in [0, 1) from `rng`.
+    void randomize(Rng& rng);
+
+    /// Returns a length-n vector with uniform random entries.
+    static DenseVector random(Size n, Rng& rng);
+
+    friend bool operator==(const DenseVector&, const DenseVector&) = default;
+
+  private:
+    std::vector<Value> data_;
+};
+
+/// Maximum absolute element-wise difference between two matrices of the
+/// same shape; used by tests to compare kernel outputs to references.
+double max_abs_diff(const DenseMatrix& a, const DenseMatrix& b);
+
+}  // namespace pasta

@@ -1,0 +1,94 @@
+#include "core/fcoo_tensor.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "core/fibers.hpp"
+
+namespace pasta {
+
+FcooTensor
+FcooTensor::build(const CooTensor& x, Size mode)
+{
+    PASTA_CHECK_MSG(mode < x.order(), "mode " << mode << " out of range");
+    PASTA_CHECK_MSG(x.order() >= 2, "F-COO needs an order >= 2 tensor");
+
+    FcooTensor out;
+    out.dims_ = x.dims();
+    out.mode_ = mode;
+
+    CooTensor sorted = x;
+    sorted.sort_fibers_last(mode);
+    const FiberPartition fibers = compute_fibers(sorted, mode);
+
+    out.values_ = sorted.values();
+    out.product_indices_ = sorted.mode_indices(mode);
+    out.flags_.assign(sorted.nnz(), 0);
+    out.fiber_of_.assign(sorted.nnz(), 0);
+
+    std::vector<Index> out_dims;
+    for (Size m = 0; m < x.order(); ++m)
+        if (m != mode)
+            out_dims.push_back(x.dim(m));
+    out.out_pattern_ = CooTensor(out_dims);
+    out.out_pattern_.reserve(fibers.num_fibers());
+    Coordinate oc(out_dims.size());
+    for (Size f = 0; f < fibers.num_fibers(); ++f) {
+        const Size head = fibers.fptr[f];
+        out.flags_[head] = 1;
+        for (Size p = fibers.fptr[f]; p < fibers.fptr[f + 1]; ++p)
+            out.fiber_of_[p] = static_cast<Index>(f);
+        Size s = 0;
+        for (Size m = 0; m < x.order(); ++m)
+            if (m != mode)
+                oc[s++] = sorted.index(m, head);
+        out.out_pattern_.append(oc, 0);
+    }
+    return out;
+}
+
+Size
+FcooTensor::storage_bytes() const
+{
+    // Values + one product index per non-zero + 1-bit flags + the
+    // per-fiber output coordinates (N-1 indices each).
+    return nnz() * (kValueBytes + kIndexBytes) + (nnz() + 7) / 8 +
+           num_fibers() * (order() - 1) * kIndexBytes;
+}
+
+void
+FcooTensor::validate() const
+{
+    PASTA_CHECK_MSG(product_indices_.size() == nnz(),
+                    "product index length mismatch");
+    PASTA_CHECK_MSG(flags_.size() == nnz(), "flag length mismatch");
+    PASTA_CHECK_MSG(fiber_of_.size() == nnz(),
+                    "fiber map length mismatch");
+    for (Index idx : product_indices_)
+        PASTA_CHECK_MSG(idx < dims_[mode_], "product index out of range");
+    if (nnz() > 0) {
+        PASTA_CHECK_MSG(flags_[0] == 1, "first non-zero must start a fiber");
+        Size fiber_count = 0;
+        for (Size p = 0; p < nnz(); ++p) {
+            if (flags_[p])
+                ++fiber_count;
+            PASTA_CHECK_MSG(fiber_of_[p] + 1 == fiber_count,
+                            "fiber map inconsistent with flags at " << p);
+        }
+        PASTA_CHECK_MSG(fiber_count == num_fibers(),
+                        "flag count != output fibers");
+    }
+}
+
+std::string
+FcooTensor::describe() const
+{
+    std::ostringstream oss;
+    oss << order() << "-order F-COO(mode " << mode_ << ") ";
+    for (Size m = 0; m < order(); ++m)
+        oss << dims_[m] << (m + 1 < order() ? "x" : "");
+    oss << ", " << nnz() << " nnz in " << num_fibers() << " fibers";
+    return oss.str();
+}
+
+}  // namespace pasta

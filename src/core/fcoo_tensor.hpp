@@ -1,0 +1,78 @@
+/// \file
+/// Flagged COO (F-COO) format (Liu et al. [26], cited in paper §III).
+///
+/// F-COO is a *computation-specific* format: built for one kernel mode,
+/// it stores, per non-zero, only the index of the mode being multiplied
+/// (the product mode) plus one bit flagging the start of each output
+/// fiber; the untouched output coordinates live once per fiber, not per
+/// non-zero.  The payoff is GPU-friendly parallelization over non-zeros
+/// (perfect balance regardless of fiber skew) using segmented reduction
+/// across the flags — the opposite trade from Algorithm 2's
+/// fiber-per-thread mapping.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/coo_tensor.hpp"
+
+namespace pasta {
+
+/// Third-party-format TTV/TTM carrier: F-COO specialized for one mode.
+class FcooTensor {
+  public:
+    FcooTensor() = default;
+
+    /// Builds the F-COO form of `x` for computations along `mode`
+    /// (sorts a copy fibers-last, computes flags and the output pattern).
+    static FcooTensor build(const CooTensor& x, Size mode);
+
+    Size order() const { return dims_.size(); }
+    const std::vector<Index>& dims() const { return dims_; }
+
+    /// The mode this F-COO instance was built for.
+    Size mode() const { return mode_; }
+
+    Size nnz() const { return values_.size(); }
+
+    /// Number of output fibers (start flags set).
+    Size num_fibers() const { return out_pattern_.nnz(); }
+
+    /// Value of non-zero `p`.
+    Value value(Size p) const { return values_[p]; }
+    const std::vector<Value>& values() const { return values_; }
+
+    /// Product-mode index of non-zero `p` (the only per-non-zero index).
+    Index product_index(Size p) const { return product_indices_[p]; }
+
+    /// Start-of-fiber flag of non-zero `p`.
+    bool start_flag(Size p) const { return flags_[p] != 0; }
+
+    /// Output-fiber id of non-zero `p` (prefix sum of flags, cached).
+    Index fiber_of(Size p) const { return fiber_of_[p]; }
+
+    /// The (N-1)-order output pattern: one zero-valued entry per fiber,
+    /// coordinates = the fiber's non-product-mode indices.
+    const CooTensor& out_pattern() const { return out_pattern_; }
+
+    /// Storage bytes: values + product indices + 1-bit flags (rounded to
+    /// bytes) + per-fiber output coordinates.
+    Size storage_bytes() const;
+
+    /// Validates invariants; throws PastaError on violation.
+    void validate() const;
+
+    std::string describe() const;
+
+  private:
+    std::vector<Index> dims_;
+    Size mode_ = 0;
+    std::vector<Value> values_;
+    std::vector<Index> product_indices_;
+    std::vector<std::uint8_t> flags_;
+    std::vector<Index> fiber_of_;
+    CooTensor out_pattern_;
+};
+
+}  // namespace pasta

@@ -1,0 +1,47 @@
+#include "core/fibers.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace pasta {
+
+Size
+FiberPartition::max_fiber_length() const
+{
+    Size longest = 0;
+    for (Size f = 0; f < num_fibers(); ++f)
+        longest = std::max(longest, fiber_length(f));
+    return longest;
+}
+
+FiberPartition
+compute_fibers(const CooTensor& x, Size mode)
+{
+    PASTA_CHECK_MSG(mode < x.order(), "mode " << mode << " out of range");
+    FiberPartition part;
+    part.mode = mode;
+    const Size m_count = x.nnz();
+    if (m_count == 0) {
+        part.fptr = {0};
+        return part;
+    }
+    part.fptr.push_back(0);
+    for (Size p = 1; p < m_count; ++p) {
+        bool boundary = false;
+        for (Size m = 0; m < x.order(); ++m) {
+            if (m == mode)
+                continue;
+            if (x.index(m, p) != x.index(m, p - 1)) {
+                boundary = true;
+                break;
+            }
+        }
+        if (boundary)
+            part.fptr.push_back(p);
+    }
+    part.fptr.push_back(m_count);
+    return part;
+}
+
+}  // namespace pasta

@@ -1,0 +1,40 @@
+/// \file
+/// Mode-n fiber discovery over a COO tensor.
+///
+/// A mode-n fiber is the set of non-zeros sharing every coordinate except
+/// the mode-n one (paper §II).  TTV and TTM pre-processing (Algorithm 1,
+/// line 1) computes the number of fibers M_F and a fiber pointer array
+/// `fptr` delimiting each fiber in the sorted non-zero stream.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/coo_tensor.hpp"
+
+namespace pasta {
+
+/// Fiber layout of one mode of a sorted COO tensor.
+struct FiberPartition {
+    Size mode = 0;           ///< The mode the fibers run along.
+    std::vector<Size> fptr;  ///< fptr[f]..fptr[f+1] delimit fiber f; size M_F+1.
+
+    /// Number of fibers M_F.
+    Size num_fibers() const { return fptr.empty() ? 0 : fptr.size() - 1; }
+
+    /// Length (non-zero count) of fiber f.
+    Size fiber_length(Size f) const { return fptr[f + 1] - fptr[f]; }
+
+    /// Length of the longest fiber; drives load imbalance in the paper's
+    /// fiber-parallel TTV/TTM (Observation 4 discussion).
+    Size max_fiber_length() const;
+};
+
+/// Computes the mode-`mode` fiber partition of `x`.
+///
+/// \pre `x` is sorted with `sort_fibers_last(mode)`, i.e. all non-zeros of
+///      a fiber are contiguous.  Violations are detected only insofar as
+///      they change index boundaries; callers own the precondition.
+FiberPartition compute_fibers(const CooTensor& x, Size mode);
+
+}  // namespace pasta

@@ -1,0 +1,106 @@
+#include "core/ghicoo_tensor.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace pasta {
+
+GHiCooTensor::GHiCooTensor(std::vector<Index> dims, unsigned block_bits,
+                           std::vector<bool> compressed)
+    : dims_(std::move(dims)), block_bits_(block_bits),
+      compressed_(std::move(compressed))
+{
+    PASTA_CHECK_MSG(!dims_.empty(), "tensor order must be at least 1");
+    PASTA_CHECK_MSG(compressed_.size() == dims_.size(),
+                    "compression mask arity mismatch");
+    PASTA_CHECK_MSG(block_bits_ >= 1 && block_bits_ <= 8,
+                    "block bits outside [1,8]");
+    binds_.resize(dims_.size());
+    einds_.resize(dims_.size());
+    raw_inds_.resize(dims_.size());
+    for (Size m = 0; m < dims_.size(); ++m) {
+        if (compressed_[m])
+            compressed_modes_.push_back(m);
+        else
+            uncompressed_modes_.push_back(m);
+    }
+    PASTA_CHECK_MSG(!compressed_modes_.empty(),
+                    "gHiCOO needs at least one compressed mode");
+}
+
+Size
+GHiCooTensor::append_block(const BIndex* block_coords)
+{
+    if (bptr_.empty())
+        bptr_.push_back(0);
+    for (Size m : compressed_modes_)
+        binds_[m].push_back(block_coords[m]);
+    bptr_.push_back(values_.size());
+    return bptr_.size() - 2;
+}
+
+void
+GHiCooTensor::append_entry(const EIndex* element_coords,
+                           const Index* raw_coords, Value value)
+{
+    PASTA_ASSERT_MSG(!bptr_.empty(), "append_entry before append_block");
+    for (Size m : compressed_modes_)
+        einds_[m].push_back(element_coords[m]);
+    for (Size m : uncompressed_modes_)
+        raw_inds_[m].push_back(raw_coords[m]);
+    values_.push_back(value);
+    bptr_.back() = values_.size();
+}
+
+Size
+GHiCooTensor::storage_bytes() const
+{
+    const Size nc = compressed_modes_.size();
+    const Size nu = uncompressed_modes_.size();
+    return num_blocks() * (nc * sizeof(BIndex) + sizeof(Size)) +
+           nnz() * (nc * kEIndexBytes + nu * kIndexBytes + kValueBytes);
+}
+
+void
+GHiCooTensor::validate() const
+{
+    const Size nb = num_blocks();
+    PASTA_CHECK_MSG(bptr_.empty() || bptr_.front() == 0,
+                    "bptr must start at 0");
+    PASTA_CHECK_MSG(bptr_.empty() || bptr_.back() == nnz(),
+                    "bptr must end at nnz");
+    for (Size m : compressed_modes_) {
+        PASTA_CHECK_MSG(binds_[m].size() == nb, "binds length mismatch");
+        PASTA_CHECK_MSG(einds_[m].size() == nnz(), "einds length mismatch");
+    }
+    for (Size m : uncompressed_modes_) {
+        PASTA_CHECK_MSG(raw_inds_[m].size() == nnz(),
+                        "raw index length mismatch");
+        for (Index idx : raw_inds_[m])
+            PASTA_CHECK_MSG(idx < dims_[m], "raw index out of range");
+    }
+    for (Size b = 0; b < nb; ++b) {
+        PASTA_CHECK_MSG(bptr_[b] < bptr_[b + 1], "empty block " << b);
+        for (Size p = bptr_[b]; p < bptr_[b + 1]; ++p)
+            for (Size m = 0; m < order(); ++m)
+                PASTA_CHECK_MSG(coordinate(m, b, p) < dims_[m],
+                                "reconstructed coordinate out of range");
+    }
+}
+
+std::string
+GHiCooTensor::describe() const
+{
+    std::ostringstream oss;
+    oss << order() << "-order gHiCOO(B=" << block_size() << ", comp=";
+    for (Size m = 0; m < order(); ++m)
+        oss << (compressed_[m] ? '1' : '0');
+    oss << ") ";
+    for (Size m = 0; m < order(); ++m)
+        oss << dims_[m] << (m + 1 < order() ? "x" : "");
+    oss << ", " << nnz() << " nnz in " << num_blocks() << " blocks";
+    return oss.str();
+}
+
+}  // namespace pasta

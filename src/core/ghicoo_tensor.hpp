@@ -1,0 +1,119 @@
+/// \file
+/// Generalized HiCOO (gHiCOO) format (paper §III-C, Fig. 2b; introduced by
+/// this benchmark suite).
+///
+/// gHiCOO chooses, per mode, whether indices are block-compressed (HiCOO
+/// style: shared 32-bit block index + 8-bit element offset) or kept as a
+/// plain COO index array.  Two uses motivate it:
+///  1. hyper-sparse tensors where blocking a mode yields blocks of one or
+///     two non-zeros and the block metadata outweighs the savings;
+///  2. kernels like TTV and TTM that consume only the product mode's raw
+///     index — leaving that mode uncompressed lets the kernel bypass the
+///     blocking and, because blocks then contain whole fibers, run with no
+///     data race between blocks.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pasta {
+
+/// Arbitrary-order sparse tensor with per-mode compression choice.
+class GHiCooTensor {
+  public:
+    GHiCooTensor() = default;
+
+    /// Creates an empty gHiCOO tensor.  `compressed[m]` selects HiCOO-style
+    /// block compression for mode m; at least one mode must be compressed
+    /// (otherwise use CooTensor).
+    GHiCooTensor(std::vector<Index> dims, unsigned block_bits,
+                 std::vector<bool> compressed);
+
+    Size order() const { return dims_.size(); }
+    const std::vector<Index>& dims() const { return dims_; }
+    Index dim(Size mode) const { return dims_[mode]; }
+
+    unsigned block_bits() const { return block_bits_; }
+    Index block_size() const { return Index{1} << block_bits_; }
+
+    /// Whether mode `m` is block-compressed.
+    bool is_compressed(Size m) const { return compressed_[m]; }
+
+    /// Compressed / uncompressed mode lists (ascending).
+    const std::vector<Size>& compressed_modes() const
+    {
+        return compressed_modes_;
+    }
+    const std::vector<Size>& uncompressed_modes() const
+    {
+        return uncompressed_modes_;
+    }
+
+    Size nnz() const { return values_.size(); }
+    Size num_blocks() const { return bptr_.empty() ? 0 : bptr_.size() - 1; }
+    const std::vector<Size>& bptr() const { return bptr_; }
+
+    /// Block index of block `b` along compressed mode `mode`.
+    BIndex block_index(Size mode, Size b) const { return binds_[mode][b]; }
+
+    /// Element index of non-zero `pos` along compressed mode `mode`.
+    EIndex element_index(Size mode, Size pos) const
+    {
+        return einds_[mode][pos];
+    }
+
+    /// Raw COO index of non-zero `pos` along uncompressed mode `mode`.
+    Index raw_index(Size mode, Size pos) const
+    {
+        return raw_inds_[mode][pos];
+    }
+
+    Value value(Size pos) const { return values_[pos]; }
+    std::vector<Value>& values() { return values_; }
+    const std::vector<Value>& values() const { return values_; }
+
+    /// Appends a block given its compressed-mode block coordinates
+    /// (arity = order; entries at uncompressed modes are ignored).
+    Size append_block(const BIndex* block_coords);
+
+    /// Appends one non-zero to the last block: 8-bit offsets for
+    /// compressed modes, full indices for uncompressed modes (both arrays
+    /// are indexed by mode; irrelevant slots ignored).
+    void append_entry(const EIndex* element_coords, const Index* raw_coords,
+                      Value value);
+
+    /// Reconstructs the full coordinate of non-zero `pos` in block `b`
+    /// along any mode.
+    Index coordinate(Size mode, Size b, Size pos) const
+    {
+        if (compressed_[mode])
+            return (static_cast<Index>(binds_[mode][b]) << block_bits_) |
+                   einds_[mode][pos];
+        return raw_inds_[mode][pos];
+    }
+
+    /// Storage bytes: block metadata over compressed modes + 8-bit element
+    /// indices + full 32-bit arrays for uncompressed modes + values.
+    Size storage_bytes() const;
+
+    /// Validates invariants; throws PastaError on violation.
+    void validate() const;
+
+    std::string describe() const;
+
+  private:
+    std::vector<Index> dims_;
+    unsigned block_bits_ = 7;
+    std::vector<bool> compressed_;
+    std::vector<Size> compressed_modes_;
+    std::vector<Size> uncompressed_modes_;
+    std::vector<std::vector<BIndex>> binds_;     ///< [mode][block]; empty if raw
+    std::vector<Size> bptr_;
+    std::vector<std::vector<EIndex>> einds_;     ///< [mode][pos]; empty if raw
+    std::vector<std::vector<Index>> raw_inds_;   ///< [mode][pos]; empty if comp.
+    std::vector<Value> values_;
+};
+
+}  // namespace pasta

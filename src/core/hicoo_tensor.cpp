@@ -1,0 +1,108 @@
+#include "core/hicoo_tensor.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace pasta {
+
+HiCooTensor::HiCooTensor(std::vector<Index> dims, unsigned block_bits)
+    : dims_(std::move(dims)), block_bits_(block_bits)
+{
+    PASTA_CHECK_MSG(!dims_.empty(), "tensor order must be at least 1");
+    PASTA_CHECK_MSG(block_bits_ >= 1 && block_bits_ <= 8,
+                    "block bits " << block_bits_
+                                  << " outside [1,8] (8-bit element index)");
+    binds_.resize(dims_.size());
+    einds_.resize(dims_.size());
+}
+
+Size
+HiCooTensor::append_block(const BIndex* block_coords)
+{
+    if (bptr_.empty())
+        bptr_.push_back(0);
+    for (Size m = 0; m < order(); ++m)
+        binds_[m].push_back(block_coords[m]);
+    bptr_.push_back(values_.size());
+    return binds_[0].size() - 1;
+}
+
+void
+HiCooTensor::append_entry(const EIndex* element_coords, Value value)
+{
+    PASTA_ASSERT_MSG(!bptr_.empty(), "append_entry before append_block");
+    for (Size m = 0; m < order(); ++m)
+        einds_[m].push_back(element_coords[m]);
+    values_.push_back(value);
+    bptr_.back() = values_.size();
+}
+
+Size
+HiCooTensor::max_block_nnz() const
+{
+    Size worst = 0;
+    for (Size b = 0; b < num_blocks(); ++b)
+        worst = std::max(worst, bptr_[b + 1] - bptr_[b]);
+    return worst;
+}
+
+double
+HiCooTensor::mean_block_nnz() const
+{
+    return num_blocks() == 0
+               ? 0.0
+               : static_cast<double>(nnz()) /
+                     static_cast<double>(num_blocks());
+}
+
+Size
+HiCooTensor::storage_bytes() const
+{
+    const Size n = order();
+    return num_blocks() * (n * sizeof(BIndex) + sizeof(Size)) +
+           nnz() * (n * kEIndexBytes + kValueBytes);
+}
+
+void
+HiCooTensor::validate() const
+{
+    const Size nb = num_blocks();
+    PASTA_CHECK_MSG(bptr_.empty() || bptr_.front() == 0,
+                    "bptr must start at 0");
+    PASTA_CHECK_MSG(bptr_.empty() || bptr_.back() == nnz(),
+                    "bptr must end at nnz");
+    const Index max_eind = block_size() - 1;
+    for (Size m = 0; m < order(); ++m) {
+        PASTA_CHECK_MSG(binds_[m].size() == nb, "binds length mismatch");
+        PASTA_CHECK_MSG(einds_[m].size() == nnz(), "einds length mismatch");
+        const BIndex max_bind = static_cast<BIndex>(
+            (dims_[m] + block_size() - 1) >> block_bits_);
+        for (BIndex bi : binds_[m])
+            PASTA_CHECK_MSG(bi < max_bind, "block index out of range");
+        for (EIndex ei : einds_[m])
+            PASTA_CHECK_MSG(ei <= max_eind, "element index out of range");
+    }
+    for (Size b = 0; b < nb; ++b) {
+        PASTA_CHECK_MSG(bptr_[b] < bptr_[b + 1], "empty block " << b);
+        for (Size p = bptr_[b]; p < bptr_[b + 1]; ++p) {
+            for (Size m = 0; m < order(); ++m)
+                PASTA_CHECK_MSG(coordinate(m, b, p) < dims_[m],
+                                "reconstructed coordinate out of range");
+        }
+    }
+}
+
+std::string
+HiCooTensor::describe() const
+{
+    std::ostringstream oss;
+    oss << order() << "-order HiCOO(B=" << block_size() << ") ";
+    for (Size m = 0; m < order(); ++m)
+        oss << dims_[m] << (m + 1 < order() ? "x" : "");
+    oss << ", " << nnz() << " nnz in " << num_blocks() << " blocks";
+    return oss.str();
+}
+
+}  // namespace pasta

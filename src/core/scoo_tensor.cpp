@@ -1,0 +1,135 @@
+#include "core/scoo_tensor.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace pasta {
+
+ScooTensor::ScooTensor(std::vector<Index> dims, std::vector<Size> dense_modes)
+    : dims_(std::move(dims)), dense_modes_(std::move(dense_modes))
+{
+    PASTA_CHECK_MSG(!dims_.empty(), "tensor order must be at least 1");
+    PASTA_CHECK_MSG(!dense_modes_.empty(), "sCOO needs a dense mode");
+    PASTA_CHECK_MSG(dense_modes_.size() < dims_.size(),
+                    "sCOO needs at least one sparse mode");
+    PASTA_CHECK_MSG(std::is_sorted(dense_modes_.begin(), dense_modes_.end()),
+                    "dense modes must be ascending");
+    stripe_volume_ = 1;
+    Size prev = kNoMode;
+    for (Size dm : dense_modes_) {
+        PASTA_CHECK_MSG(dm < dims_.size(), "dense mode out of range");
+        PASTA_CHECK_MSG(dm != prev, "duplicate dense mode");
+        prev = dm;
+        stripe_volume_ *= dims_[dm];
+    }
+    for (Size m = 0; m < dims_.size(); ++m) {
+        if (!std::binary_search(dense_modes_.begin(), dense_modes_.end(), m))
+            sparse_modes_.push_back(m);
+    }
+    sparse_indices_.resize(sparse_modes_.size());
+}
+
+void
+ScooTensor::reserve(Size n)
+{
+    for (auto& idx : sparse_indices_)
+        idx.reserve(n);
+    values_.reserve(n * stripe_volume_);
+}
+
+Size
+ScooTensor::append_stripe(const Index* sparse_coords)
+{
+    for (Size s = 0; s < sparse_modes_.size(); ++s) {
+        PASTA_ASSERT_MSG(sparse_coords[s] < dims_[sparse_modes_[s]],
+                         "sparse coordinate out of range");
+        sparse_indices_[s].push_back(sparse_coords[s]);
+    }
+    values_.resize(values_.size() + stripe_volume_, 0);
+    return sparse_indices_[0].size() - 1;
+}
+
+Value
+ScooTensor::at(const Coordinate& coords) const
+{
+    PASTA_CHECK_MSG(coords.size() == order(), "coordinate arity mismatch");
+    // Linear offset of the dense part of the coordinate within a stripe.
+    Size dense_off = 0;
+    for (Size dm : dense_modes_)
+        dense_off = dense_off * dims_[dm] + coords[dm];
+    for (Size pos = 0; pos < num_sparse(); ++pos) {
+        bool match = true;
+        for (Size s = 0; s < sparse_modes_.size(); ++s) {
+            if (sparse_indices_[s][pos] != coords[sparse_modes_[s]]) {
+                match = false;
+                break;
+            }
+        }
+        if (match)
+            return stripe(pos)[dense_off];
+    }
+    return 0;
+}
+
+Size
+ScooTensor::storage_bytes() const
+{
+    return num_sparse() * sparse_modes_.size() * kIndexBytes +
+           values_.size() * kValueBytes;
+}
+
+CooTensor
+ScooTensor::to_coo() const
+{
+    CooTensor out(dims_);
+    Coordinate c(order());
+    for (Size pos = 0; pos < num_sparse(); ++pos) {
+        for (Size s = 0; s < sparse_modes_.size(); ++s)
+            c[sparse_modes_[s]] = sparse_indices_[s][pos];
+        const Value* vals = stripe(pos);
+        for (Size off = 0; off < stripe_volume_; ++off) {
+            if (vals[off] == 0)
+                continue;
+            // Decode the dense-mode coordinates from the stripe offset.
+            Size rem = off;
+            for (Size d = dense_modes_.size(); d-- > 0;) {
+                const Index extent = dims_[dense_modes_[d]];
+                c[dense_modes_[d]] = static_cast<Index>(rem % extent);
+                rem /= extent;
+            }
+            out.append(c, vals[off]);
+        }
+    }
+    out.sort_lexicographic();
+    return out;
+}
+
+void
+ScooTensor::validate() const
+{
+    PASTA_CHECK_MSG(values_.size() == num_sparse() * stripe_volume_,
+                    "value array length mismatch");
+    for (Size s = 0; s < sparse_modes_.size(); ++s) {
+        PASTA_CHECK_MSG(sparse_indices_[s].size() == num_sparse(),
+                        "sparse index array length mismatch");
+        for (Index idx : sparse_indices_[s])
+            PASTA_CHECK_MSG(idx < dims_[sparse_modes_[s]],
+                            "sparse index out of range");
+    }
+}
+
+std::string
+ScooTensor::describe() const
+{
+    std::ostringstream oss;
+    oss << order() << "-order sCOO ";
+    for (Size m = 0; m < order(); ++m)
+        oss << dims_[m] << (m + 1 < order() ? "x" : "");
+    oss << ", " << num_sparse() << " sparse coords x " << stripe_volume_
+        << " dense";
+    return oss.str();
+}
+
+}  // namespace pasta

@@ -1,0 +1,201 @@
+#include "gen/datasets.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "gen/kronecker.hpp"
+#include "gen/powerlaw.hpp"
+
+namespace pasta {
+
+namespace {
+
+/// Marks modes with extent below this threshold as uniform (the short,
+/// effectively dense modes of the irregular tensors).
+constexpr Index kShortModeThreshold = 2048;
+
+DatasetSpec
+make_spec(std::string id, std::string name, bool real, GenKind gen,
+          std::vector<Index> dims, double nnz)
+{
+    DatasetSpec spec;
+    spec.id = std::move(id);
+    spec.name = std::move(name);
+    spec.real = real;
+    spec.gen = gen;
+    spec.paper_dims = std::move(dims);
+    spec.paper_nnz = nnz;
+    spec.uniform_mode.resize(spec.paper_dims.size());
+    for (Size m = 0; m < spec.paper_dims.size(); ++m)
+        spec.uniform_mode[m] = spec.paper_dims[m] < kShortModeThreshold;
+    return spec;
+}
+
+constexpr double kK = 1e3;
+constexpr double kM = 1e6;
+
+}  // namespace
+
+const std::vector<DatasetSpec>&
+real_dataset_table()
+{
+    // Table II(a), dims and nnz as published; every real tensor is
+    // synthesized as a power-law stand-in (see file comment).
+    static const std::vector<DatasetSpec> table = {
+        make_spec("r1", "vast", true, GenKind::kPowerLaw,
+                  {165'000, 11'000, 2}, 26 * kM),
+        make_spec("r2", "nell2", true, GenKind::kPowerLaw,
+                  {12'000, 9'000, 29'000}, 77 * kM),
+        make_spec("r3", "choa", true, GenKind::kPowerLaw,
+                  {712'000, 10'000, 767}, 27 * kM),
+        make_spec("r4", "darpa", true, GenKind::kPowerLaw,
+                  {22'000, 22'000, 24'000'000}, 28 * kM),
+        make_spec("r5", "fb-m", true, GenKind::kPowerLaw,
+                  {23'000'000, 23'000'000, 166}, 100 * kM),
+        make_spec("r6", "fb-s", true, GenKind::kPowerLaw,
+                  {39'000'000, 39'000'000, 532}, 140 * kM),
+        make_spec("r7", "flickr", true, GenKind::kPowerLaw,
+                  {320'000, 28'000'000, 1'600'000}, 113 * kM),
+        make_spec("r8", "deli", true, GenKind::kPowerLaw,
+                  {533'000, 17'000'000, 2'500'000}, 140 * kM),
+        make_spec("r9", "nell1", true, GenKind::kPowerLaw,
+                  {2'900'000, 2'100'000, 25'000'000}, 144 * kM),
+        make_spec("r10", "crime4d", true, GenKind::kPowerLaw,
+                  {6'000, 24, 77, 32}, 5 * kM),
+        make_spec("r11", "uber4d", true, GenKind::kPowerLaw,
+                  {183, 24, 1'140, 1'717}, 3 * kM),
+        make_spec("r12", "nips4d", true, GenKind::kPowerLaw,
+                  {2'000, 3'000, 14'000, 17}, 3 * kM),
+        make_spec("r13", "enron4d", true, GenKind::kPowerLaw,
+                  {6'000, 6'000, 244'000, 1'000}, 54 * kM),
+        make_spec("r14", "flickr4d", true, GenKind::kPowerLaw,
+                  {320'000, 28'000'000, 1'600'000, 731}, 113 * kM),
+        make_spec("r15", "deli4d", true, GenKind::kPowerLaw,
+                  {533'000, 17'000'000, 2'500'000, 1'000}, 140 * kM),
+    };
+    return table;
+}
+
+const std::vector<DatasetSpec>&
+synthetic_dataset_table()
+{
+    // Table II(b): regular = Kronecker, irregular = power law with the
+    // short mode(s) uniform, sizes in a "small, medium, large" period.
+    static const std::vector<DatasetSpec> table = {
+        make_spec("s1", "regS", false, GenKind::kKronecker,
+                  {65'000, 65'000, 65'000}, 1.1 * kM),
+        make_spec("s2", "regM", false, GenKind::kKronecker,
+                  {1'100'000, 1'100'000, 1'100'000}, 11.5 * kM),
+        make_spec("s3", "regL", false, GenKind::kKronecker,
+                  {8'300'000, 8'300'000, 8'300'000}, 94 * kM),
+        make_spec("s4", "irrS", false, GenKind::kPowerLaw,
+                  {32'000, 32'000, 76}, 1 * kM),
+        make_spec("s5", "irrM", false, GenKind::kPowerLaw,
+                  {524'000, 524'000, 126}, 10 * kM),
+        make_spec("s6", "irrL", false, GenKind::kPowerLaw,
+                  {4'200'000, 4'200'000, 168}, 84 * kM),
+        make_spec("s7", "regS4d", false, GenKind::kKronecker,
+                  {8'200, 8'200, 8'200, 8'200}, 1 * kM),
+        make_spec("s8", "regM4d", false, GenKind::kKronecker,
+                  {2'100'000, 2'100'000, 2'100'000, 2'100'000}, 11.2 * kM),
+        make_spec("s9", "regL4d", false, GenKind::kKronecker,
+                  {8'300'000, 8'300'000, 8'300'000, 8'300'000}, 110 * kM),
+        make_spec("s10", "irrS4d", false, GenKind::kPowerLaw,
+                  {1'600'000, 1'600'000, 1'600'000, 82}, 1.0 * kM),
+        make_spec("s11", "irrM4d", false, GenKind::kPowerLaw,
+                  {2'600'000, 2'600'000, 2'600'000, 144}, 10.8 * kM),
+        make_spec("s12", "irrL4d", false, GenKind::kPowerLaw,
+                  {4'200'000, 4'200'000, 4'200'000, 226}, 100 * kM),
+        make_spec("s13", "irr2S4d", false, GenKind::kPowerLaw,
+                  {1'000'000, 1'000'000, 122, 436}, 1.6 * kM),
+        make_spec("s14", "irr2M4d", false, GenKind::kPowerLaw,
+                  {4'200'000, 4'200'000, 232, 746}, 19.9 * kM),
+        make_spec("s15", "irr2L4d", false, GenKind::kPowerLaw,
+                  {8'300'000, 8'300'000, 952, 324}, 109 * kM),
+    };
+    return table;
+}
+
+const DatasetSpec&
+find_dataset(const std::string& id_or_name)
+{
+    for (const auto* table : {&real_dataset_table(),
+                              &synthetic_dataset_table()}) {
+        for (const auto& spec : *table)
+            if (spec.id == id_or_name || spec.name == id_or_name)
+                return spec;
+    }
+    throw PastaError("unknown dataset: " + id_or_name);
+}
+
+ScaledShape
+scaled_shape(const DatasetSpec& spec, double scale)
+{
+    PASTA_CHECK_MSG(scale > 0 && scale <= 1.0,
+                    "scale must be in (0, 1], got " << scale);
+    ScaledShape shape;
+    shape.nnz = static_cast<Size>(
+        std::max(1.0, spec.paper_nnz * scale));
+    const double dim_scale =
+        std::pow(scale, 1.0 / static_cast<double>(spec.order()));
+    shape.dims.resize(spec.order());
+    for (Size m = 0; m < spec.order(); ++m) {
+        const double scaled =
+            std::round(static_cast<double>(spec.paper_dims[m]) * dim_scale);
+        shape.dims[m] = static_cast<Index>(
+            std::max(2.0, std::min(scaled,
+                                   static_cast<double>(spec.paper_dims[m]))));
+    }
+    // Grow the dims uniformly until distinct sampling has headroom
+    // (capacity of at least 4x the requested non-zeros).
+    for (;;) {
+        double capacity = 1.0;
+        for (Index d : shape.dims)
+            capacity *= static_cast<double>(d);
+        if (capacity >= 4.0 * static_cast<double>(shape.nnz))
+            break;
+        for (auto& d : shape.dims)
+            d = static_cast<Index>(
+                std::ceil(static_cast<double>(d) * 1.3));
+    }
+    return shape;
+}
+
+CooTensor
+synthesize_dataset(const DatasetSpec& spec, double scale)
+{
+    const ScaledShape shape = scaled_shape(spec, scale);
+    // Deterministic per-dataset seed keyed on the id string.
+    std::uint64_t seed = 0xCBF29CE484222325ULL;
+    for (char c : spec.id)
+        seed = (seed ^ static_cast<std::uint64_t>(c)) * 0x100000001B3ULL;
+
+    if (spec.gen == GenKind::kKronecker) {
+        KroneckerConfig config;
+        config.dims = shape.dims;
+        config.nnz = shape.nnz;
+        config.seed = seed;
+        return generate_kronecker(config);
+    }
+    PowerLawConfig config;
+    config.dims = shape.dims;
+    config.nnz = shape.nnz;
+    config.uniform_mode = spec.uniform_mode;
+    config.seed = seed;
+    return generate_powerlaw(config);
+}
+
+std::vector<NamedTensor>
+standard_suite(double scale)
+{
+    std::vector<NamedTensor> suite;
+    for (const auto* table : {&real_dataset_table(),
+                              &synthetic_dataset_table()}) {
+        for (const auto& spec : *table)
+            suite.push_back(
+                {spec.id, spec.name, synthesize_dataset(spec, scale)});
+    }
+    return suite;
+}
+
+}  // namespace pasta

@@ -1,0 +1,78 @@
+/// \file
+/// The paper's tensor dataset (Table II) as a generative catalog.
+///
+/// Table II(a)'s real tensors (FROSTT, HaTen2, CHOA) total hundreds of
+/// millions of non-zeros and are not redistributable here; per DESIGN.md's
+/// substitution rule each is replaced by a *shape-faithful stand-in*:
+/// same order, dimension ratios, and mode-size skew (short modes stay
+/// short), generated with the power-law generator that models the
+/// scale-free structure of the underlying graphs/relations.  Table II(b)'s
+/// synthetic tensors are generated exactly as the paper describes
+/// (Kronecker for the regular family, power-law for the irregular ones).
+///
+/// A global scale factor shrinks every dataset to laptop size: non-zeros
+/// scale linearly, dimensions by the order-th root, which preserves the
+/// density regime and the per-mode nnz/dimension ratios that drive fiber
+/// statistics and load imbalance.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/coo_tensor.hpp"
+
+namespace pasta {
+
+/// Which generator synthesizes a dataset.
+enum class GenKind { kKronecker, kPowerLaw };
+
+/// One row of Table II.
+struct DatasetSpec {
+    std::string id;        ///< "r1".."r15" or "s1".."s15"
+    std::string name;      ///< e.g. "vast", "regS"
+    bool real = false;     ///< Table II(a) (stand-in) vs II(b)
+    GenKind gen = GenKind::kPowerLaw;
+    std::vector<Index> paper_dims;   ///< dimensions as published
+    double paper_nnz = 0;            ///< non-zeros as published
+    std::vector<bool> uniform_mode;  ///< short modes sampled uniformly
+
+    Size order() const { return paper_dims.size(); }
+};
+
+/// Table II(a): the fifteen real tensors r1..r15.
+const std::vector<DatasetSpec>& real_dataset_table();
+
+/// Table II(b): the fifteen synthetic tensors s1..s15.
+const std::vector<DatasetSpec>& synthetic_dataset_table();
+
+/// Looks up a spec by id ("r3") or name ("choa") across both tables;
+/// throws PastaError when unknown.
+const DatasetSpec& find_dataset(const std::string& id_or_name);
+
+/// Scaled target shape of `spec` at `scale` (fraction of the paper's nnz,
+/// e.g. 1e-3).  Returns {dims, nnz}; dimensions shrink by scale^(1/order)
+/// and are grown back minimally when the requested nnz would not fit.
+struct ScaledShape {
+    std::vector<Index> dims;
+    Size nnz = 0;
+};
+ScaledShape scaled_shape(const DatasetSpec& spec, double scale);
+
+/// Generates the dataset at `scale` with a deterministic per-dataset seed.
+CooTensor synthesize_dataset(const DatasetSpec& spec, double scale);
+
+/// A generated tensor with its catalog identity, as consumed by benches.
+struct NamedTensor {
+    std::string id;
+    std::string name;
+    CooTensor tensor;
+};
+
+/// Generates the full 30-tensor suite (r1..r15 stand-ins + s1..s15) at
+/// `scale`.  Order matches the paper's figures: reals first, then
+/// synthetic.
+std::vector<NamedTensor> standard_suite(double scale);
+
+}  // namespace pasta

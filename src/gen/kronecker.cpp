@@ -1,0 +1,145 @@
+#include "gen/kronecker.hpp"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace pasta {
+
+std::vector<double>
+default_kronecker_initiator(Size order, Index initiator_edge)
+{
+    PASTA_CHECK_MSG(initiator_edge >= 2, "initiator edge must be >= 2");
+    PASTA_CHECK_MSG(order >= 1, "order must be >= 1");
+    // Per-mode weights decay geometrically: w(0)=1, w(c)=0.45^c, giving
+    // the RMAT-like (a >> b) skew that produces power-law distributions.
+    std::vector<double> mode_weights(initiator_edge);
+    double mode_total = 0.0;
+    for (Index c = 0; c < initiator_edge; ++c) {
+        mode_weights[c] = std::pow(0.45, static_cast<double>(c));
+        mode_total += mode_weights[c];
+    }
+    for (auto& w : mode_weights)
+        w /= mode_total;
+
+    Size cells = 1;
+    for (Size m = 0; m < order; ++m)
+        cells *= initiator_edge;
+    std::vector<double> initiator(cells);
+    for (Size cell = 0; cell < cells; ++cell) {
+        double p = 1.0;
+        Size rem = cell;
+        for (Size m = 0; m < order; ++m) {
+            p *= mode_weights[rem % initiator_edge];
+            rem /= initiator_edge;
+        }
+        initiator[cell] = p;
+    }
+    return initiator;
+}
+
+CooTensor
+generate_kronecker(const KroneckerConfig& config)
+{
+    PASTA_CHECK_MSG(!config.dims.empty(), "dims must be non-empty");
+    PASTA_CHECK_MSG(config.initiator_edge >= 2, "initiator edge >= 2");
+    const Size order = config.dims.size();
+    const Index edge = config.initiator_edge;
+
+    std::vector<double> initiator = config.initiator;
+    if (initiator.empty())
+        initiator = default_kronecker_initiator(order, edge);
+    Size cells = 1;
+    for (Size m = 0; m < order; ++m)
+        cells *= edge;
+    PASTA_CHECK_MSG(initiator.size() == cells,
+                    "initiator size " << initiator.size() << " != edge^order "
+                                      << cells);
+
+    // Cumulative distribution over initiator cells.
+    std::vector<double> cdf(cells);
+    double total = 0.0;
+    for (Size c = 0; c < cells; ++c) {
+        PASTA_CHECK_MSG(initiator[c] >= 0, "negative initiator probability");
+        total += initiator[c];
+        cdf[c] = total;
+    }
+    PASTA_CHECK_MSG(total > 0, "initiator probabilities sum to 0");
+    for (auto& v : cdf)
+        v /= total;
+
+    // Levels: enough Kronecker iterations to cover the largest dimension;
+    // the strip-off rule discards out-of-range coordinates (paper §IV-B1).
+    Index max_dim = 0;
+    for (Index d : config.dims)
+        max_dim = std::max(max_dim, d);
+    unsigned levels = 0;
+    double reach = 1.0;
+    while (reach < static_cast<double>(max_dim)) {
+        reach *= static_cast<double>(edge);
+        ++levels;
+    }
+    levels = std::max(levels, 1u);
+
+    double capacity = 1.0;
+    for (Index d : config.dims)
+        capacity *= static_cast<double>(d);
+    PASTA_CHECK_MSG(static_cast<double>(config.nnz) <= 0.5 * capacity,
+                    "requested nnz too dense for Kronecker strip-off");
+
+    Rng rng(config.seed);
+    CooTensor out(config.dims);
+    out.reserve(config.nnz);
+    std::unordered_set<std::uint64_t> seen;
+    seen.reserve(config.nnz * 2);
+    Coordinate coord(order);
+    // Failsafe cap so pathological configs terminate with an error
+    // instead of spinning.
+    Size attempts = 0;
+    const Size max_attempts = 1000 * (config.nnz + 1000);
+    while (out.nnz() < config.nnz) {
+        PASTA_CHECK_MSG(++attempts <= max_attempts,
+                        "Kronecker sampling did not converge; dims too "
+                        "small for requested nnz?");
+        std::fill(coord.begin(), coord.end(), 0);
+        for (unsigned level = 0; level < levels; ++level) {
+            const double u = rng.next_double();
+            // Binary search the cell CDF.
+            Size lo = 0;
+            Size hi = cells - 1;
+            while (lo < hi) {
+                const Size mid = (lo + hi) / 2;
+                if (cdf[mid] < u)
+                    lo = mid + 1;
+                else
+                    hi = mid;
+            }
+            Size rem = lo;
+            for (Size m = 0; m < order; ++m) {
+                coord[m] = coord[m] * edge +
+                           static_cast<Index>(rem % edge);
+                rem /= edge;
+            }
+        }
+        bool in_range = true;
+        for (Size m = 0; m < order; ++m) {
+            if (coord[m] >= config.dims[m]) {
+                in_range = false;
+                break;
+            }
+        }
+        if (!in_range)
+            continue;  // strip off out-of-range coordinates
+        std::uint64_t h = 1469598103934665603ULL;
+        for (Size m = 0; m < order; ++m)
+            h = (h ^ coord[m]) * 1099511628211ULL;
+        if (seen.insert(h).second)
+            out.append(coord, rng.next_float() + 0.5f);
+    }
+    out.sort_lexicographic();
+    return out;
+}
+
+}  // namespace pasta

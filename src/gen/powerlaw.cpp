@@ -1,0 +1,73 @@
+#include "gen/powerlaw.hpp"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "common/error.hpp"
+
+namespace pasta {
+
+Index
+sample_powerlaw_index(Rng& rng, Index dim, double alpha)
+{
+    PASTA_ASSERT(dim > 0);
+    if (dim == 1)
+        return 0;
+    PASTA_ASSERT(alpha > 1.0);
+    // Inverse CDF of the continuous bounded power law on [1, dim+1):
+    //   x = ((hi^(1-a) - 1) u + 1)^(1/(1-a)),  a = alpha.
+    const double one_minus_a = 1.0 - alpha;
+    const double hi = std::pow(static_cast<double>(dim) + 1.0, one_minus_a);
+    const double u = rng.next_double();
+    const double x = std::pow((hi - 1.0) * u + 1.0, 1.0 / one_minus_a);
+    Index idx = static_cast<Index>(x) - 1;
+    return idx >= dim ? dim - 1 : idx;
+}
+
+CooTensor
+generate_powerlaw(const PowerLawConfig& config)
+{
+    PASTA_CHECK_MSG(!config.dims.empty(), "dims must be non-empty");
+    PASTA_CHECK_MSG(config.alpha > 1.0, "alpha must exceed 1");
+    const Size order = config.dims.size();
+    PASTA_CHECK_MSG(config.uniform_mode.empty() ||
+                        config.uniform_mode.size() == order,
+                    "uniform_mode arity mismatch");
+
+    double capacity = 1.0;
+    for (Index d : config.dims)
+        capacity *= static_cast<double>(d);
+    PASTA_CHECK_MSG(static_cast<double>(config.nnz) <= 0.5 * capacity,
+                    "requested nnz too dense for distinct sampling");
+
+    Rng rng(config.seed);
+    CooTensor out(config.dims);
+    out.reserve(config.nnz);
+    std::unordered_set<std::uint64_t> seen;
+    seen.reserve(config.nnz * 2);
+    Coordinate coord(order);
+    Size attempts = 0;
+    const Size max_attempts = 1000 * (config.nnz + 1000);
+    while (out.nnz() < config.nnz) {
+        PASTA_CHECK_MSG(++attempts <= max_attempts,
+                        "power-law sampling did not converge; hot indices "
+                        "saturated?  Lower alpha or nnz.");
+        for (Size m = 0; m < order; ++m) {
+            const bool uniform =
+                !config.uniform_mode.empty() && config.uniform_mode[m];
+            coord[m] = uniform
+                           ? rng.next_index(config.dims[m])
+                           : sample_powerlaw_index(rng, config.dims[m],
+                                                   config.alpha);
+        }
+        std::uint64_t h = 1469598103934665603ULL;
+        for (Size m = 0; m < order; ++m)
+            h = (h ^ coord[m]) * 1099511628211ULL;
+        if (seen.insert(h).second)
+            out.append(coord, rng.next_float() + 0.5f);
+    }
+    out.sort_lexicographic();
+    return out;
+}
+
+}  // namespace pasta

@@ -1,0 +1,50 @@
+/// \file
+/// Biased power-law tensor generator (paper §IV-B2).
+///
+/// Models the FireHose streaming benchmark's biased power-law edge
+/// generator, extended to tensors: a stream of order-N coordinates whose
+/// sparse-mode indices follow a power-law (Zipf-like) distribution —
+/// a few hot indices receive most of the non-zeros — while short "dense"
+/// modes are drawn uniformly.  Stacking power-law graphs as slices of a
+/// hypergraph is exactly this construction: the slice index is a short
+/// uniform mode over power-law distributed (i, j) pairs.  Unlike the
+/// Kronecker model, arbitrary dimension sizes are directly generated.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "core/coo_tensor.hpp"
+
+namespace pasta {
+
+/// Configuration of the power-law generator.
+struct PowerLawConfig {
+    /// Target dimension sizes.
+    std::vector<Index> dims;
+
+    /// Number of distinct non-zeros to produce.
+    Size nnz = 0;
+
+    /// Power-law exponent for the sparse modes (> 1; larger = more skew).
+    double alpha = 1.8;
+
+    /// Marks modes sampled uniformly (the short, effectively dense modes
+    /// of the paper's irregular tensors).  Empty = all modes power-law.
+    std::vector<bool> uniform_mode;
+
+    /// Deterministic seed.
+    std::uint64_t seed = 1;
+};
+
+/// Generates a sparse tensor from `config`.  Coordinates are distinct and
+/// lexicographically sorted; values are uniform in [0.5, 1.5).
+CooTensor generate_powerlaw(const PowerLawConfig& config);
+
+/// Samples one index in [0, dim) from the bounded continuous power-law
+/// p(x) ~ x^-alpha via inverse-CDF (exposed for distribution tests).
+Index sample_powerlaw_index(Rng& rng, Index dim, double alpha);
+
+}  // namespace pasta

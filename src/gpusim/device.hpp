@@ -1,0 +1,74 @@
+/// \file
+/// SIMT execution model for the GPU kernel implementations.
+///
+/// This environment has no physical GPU, so the suite executes the paper's
+/// GPU algorithms on a simulated device: a CUDA-like launch of a 1-D grid
+/// of 1-D/2-D thread blocks, where each simulated thread runs the kernel
+/// functor with its (blockIdx, threadIdx) coordinates.  Thread blocks are
+/// distributed over host worker threads; atomicAdd has real atomic
+/// semantics, so the GPU algorithms' correctness properties (data races
+/// avoided via atomics, output independence across blocks) are exercised
+/// for real.  Performance of a launch is *modeled*, not measured — see
+/// timing_model.hpp.
+#pragma once
+
+#include <functional>
+
+#include "common/types.hpp"
+
+namespace pasta::gpusim {
+
+/// CUDA-style 3-component extent (z unused by this suite's kernels).
+struct Dim3 {
+    Size x = 1;
+    Size y = 1;
+    Size z = 1;
+
+    Size volume() const { return x * y * z; }
+};
+
+/// Per-thread coordinates handed to the kernel functor.
+struct ThreadCtx {
+    Dim3 block_idx;
+    Dim3 thread_idx;
+    Dim3 grid_dim;
+    Dim3 block_dim;
+
+    /// Flattened global x index (CUDA: blockIdx.x * blockDim.x +
+    /// threadIdx.x).
+    Size global_x() const
+    {
+        return block_idx.x * block_dim.x + thread_idx.x;
+    }
+
+    /// Flattened global y index.
+    Size global_y() const
+    {
+        return block_idx.y * block_dim.y + thread_idx.y;
+    }
+};
+
+/// Simulated atomicAdd on a float, safe across concurrently executing
+/// simulated thread blocks.
+void atomic_add(Value* address, Value value);
+
+/// Number of thread blocks needed to cover `work` items with `block`
+/// threads each (CUDA's ceil-div grid sizing).
+inline Size
+grid_blocks(Size work, Size block)
+{
+    return work == 0 ? 0 : (work + block - 1) / block;
+}
+
+/// Default 1-D thread block size used by the paper's COO GPU kernels
+/// (Algorithm 2 assigns M non-zeros to M/256 blocks of 256 threads).
+inline constexpr Size kDefaultBlockThreads = 256;
+
+/// Executes `kernel` once per simulated thread of a `grid` x `block`
+/// launch.  Thread blocks may run concurrently on host threads; threads
+/// within one block run sequentially (no intra-block synchronization is
+/// used by this suite's kernels).
+void launch(Dim3 grid, Dim3 block,
+            const std::function<void(const ThreadCtx&)>& kernel);
+
+}  // namespace pasta::gpusim

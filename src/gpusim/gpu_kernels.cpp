@@ -1,0 +1,434 @@
+#include "gpusim/gpu_kernels.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "gpusim/device.hpp"
+
+namespace pasta::gpusim {
+
+namespace {
+
+/// Per-non-zero bytes of a streaming value kernel (read x, read y, write z).
+constexpr Size kTewBytesPerNnz = 12;
+/// Per-non-zero bytes of TS (read x, write y).
+constexpr Size kTsBytesPerNnz = 8;
+
+/// Uniform per-block byte split for balanced 1-D launches.
+std::vector<double>
+uniform_block_bytes(Size total_bytes, Size num_blocks)
+{
+    if (num_blocks == 0)
+        return {};
+    return std::vector<double>(
+        num_blocks,
+        static_cast<double>(total_bytes) / static_cast<double>(num_blocks));
+}
+
+}  // namespace
+
+LaunchProfile
+tew_gpu_coo(const CooTensor& x, const CooTensor& y, EwOp op, CooTensor& z)
+{
+    PASTA_CHECK_MSG(x.same_pattern(y), "tew_gpu_coo requires same pattern");
+    PASTA_CHECK_MSG(z.nnz() == x.nnz(), "output nnz mismatch");
+    const Size m = x.nnz();
+    const Value* xv = x.values().data();
+    const Value* yv = y.values().data();
+    Value* zv = z.values().data();
+    const Dim3 grid{grid_blocks(m, kDefaultBlockThreads), 1, 1};
+    const Dim3 block{kDefaultBlockThreads, 1, 1};
+    launch(grid, block, [&](const ThreadCtx& ctx) {
+        const Size tid = ctx.global_x();
+        if (tid < m)
+            zv[tid] = apply_ew(op, xv[tid], yv[tid]);
+    });
+
+    LaunchProfile prof;
+    prof.flops = m;
+    prof.dram_bytes = kTewBytesPerNnz * m;
+    prof.working_set_bytes = 3 * kValueBytes * m;
+    prof.block_bytes = uniform_block_bytes(prof.dram_bytes, grid.x);
+    return prof;
+}
+
+LaunchProfile
+tew_gpu_hicoo(const HiCooTensor& x, const HiCooTensor& y, EwOp op,
+              HiCooTensor& z)
+{
+    PASTA_CHECK_MSG(x.nnz() == y.nnz() && x.nnz() == z.nnz(),
+                    "tew_gpu_hicoo nnz mismatch");
+    const Size m = x.nnz();
+    const Value* xv = x.values().data();
+    const Value* yv = y.values().data();
+    Value* zv = z.values().data();
+    const Dim3 grid{grid_blocks(m, kDefaultBlockThreads), 1, 1};
+    const Dim3 block{kDefaultBlockThreads, 1, 1};
+    launch(grid, block, [&](const ThreadCtx& ctx) {
+        const Size tid = ctx.global_x();
+        if (tid < m)
+            zv[tid] = apply_ew(op, xv[tid], yv[tid]);
+    });
+
+    LaunchProfile prof;
+    prof.flops = m;
+    prof.dram_bytes = kTewBytesPerNnz * m;
+    prof.working_set_bytes = 3 * kValueBytes * m;
+    prof.block_bytes = uniform_block_bytes(prof.dram_bytes, grid.x);
+    return prof;
+}
+
+namespace {
+
+LaunchProfile
+ts_gpu_values(const Value* xv, Value* yv, Size m, TsOp op, Value s)
+{
+    const Dim3 grid{grid_blocks(m, kDefaultBlockThreads), 1, 1};
+    const Dim3 block{kDefaultBlockThreads, 1, 1};
+    launch(grid, block, [&](const ThreadCtx& ctx) {
+        const Size tid = ctx.global_x();
+        if (tid < m)
+            yv[tid] = apply_ts(op, xv[tid], s);
+    });
+    LaunchProfile prof;
+    prof.flops = m;
+    prof.dram_bytes = kTsBytesPerNnz * m;
+    prof.working_set_bytes = 2 * kValueBytes * m;
+    prof.block_bytes = uniform_block_bytes(prof.dram_bytes, grid.x);
+    return prof;
+}
+
+}  // namespace
+
+LaunchProfile
+ts_gpu_coo(const CooTensor& x, TsOp op, Value s, CooTensor& y)
+{
+    PASTA_CHECK_MSG(y.nnz() == x.nnz(), "output nnz mismatch");
+    return ts_gpu_values(x.values().data(), y.values().data(), x.nnz(), op,
+                         s);
+}
+
+LaunchProfile
+ts_gpu_hicoo(const HiCooTensor& x, TsOp op, Value s, HiCooTensor& y)
+{
+    PASTA_CHECK_MSG(y.nnz() == x.nnz(), "output nnz mismatch");
+    return ts_gpu_values(x.values().data(), y.values().data(), x.nnz(), op,
+                         s);
+}
+
+namespace {
+
+/// Per-thread-block byte accounting for fiber-per-thread TTV launches:
+/// block `b` owns fibers [b*256, (b+1)*256); each fiber moves
+/// 12 bytes per non-zero (value + mode index + gathered vector element)
+/// plus 12 bytes of output/fptr traffic.
+std::vector<double>
+ttv_block_bytes(const std::vector<Size>& fptr, Size threads_per_block)
+{
+    const Size num_fibers = fptr.size() - 1;
+    const Size num_blocks = grid_blocks(num_fibers, threads_per_block);
+    std::vector<double> bytes(num_blocks, 0.0);
+    for (Size f = 0; f < num_fibers; ++f) {
+        const Size len = fptr[f + 1] - fptr[f];
+        bytes[f / threads_per_block] +=
+            12.0 * static_cast<double>(len) + 12.0;
+    }
+    return bytes;
+}
+
+}  // namespace
+
+LaunchProfile
+ttv_gpu_coo(const CooTtvPlan& plan, const DenseVector& v, CooTensor& out)
+{
+    const Size num_fibers = plan.fibers.num_fibers();
+    PASTA_CHECK_MSG(out.nnz() == num_fibers, "output nnz mismatch");
+    PASTA_CHECK_MSG(v.size() == plan.sorted.dim(plan.mode),
+                    "vector length mismatch");
+    const Value* xv = plan.sorted.values().data();
+    const Index* kind = plan.sorted.mode_indices(plan.mode).data();
+    const Value* vv = v.data();
+    Value* yv = out.values().data();
+    const auto& fptr = plan.fibers.fptr;
+
+    const Dim3 grid{grid_blocks(num_fibers, kDefaultBlockThreads), 1, 1};
+    const Dim3 block{kDefaultBlockThreads, 1, 1};
+    launch(grid, block, [&](const ThreadCtx& ctx) {
+        const Size tid = ctx.global_x();
+        if (tid >= num_fibers)
+            return;
+        Value acc = 0;
+        for (Size p = fptr[tid]; p < fptr[tid + 1]; ++p)
+            acc += xv[p] * vv[kind[p]];
+        yv[tid] = acc;
+    });
+
+    const Size m = plan.sorted.nnz();
+    LaunchProfile prof;
+    prof.flops = 2 * m;
+    prof.dram_bytes = 12 * m + 12 * num_fibers;
+    prof.working_set_bytes =
+        8 * m + kValueBytes * v.size() + 12 * num_fibers;
+    prof.block_bytes = ttv_block_bytes(fptr, kDefaultBlockThreads);
+    return prof;
+}
+
+LaunchProfile
+ttv_gpu_hicoo(const HicooTtvPlan& plan, const DenseVector& v,
+              HiCooTensor& out)
+{
+    const GHiCooTensor& g = plan.input;
+    const Size num_fibers = plan.fptr.size() - 1;
+    PASTA_CHECK_MSG(out.nnz() == num_fibers, "output nnz mismatch");
+    PASTA_CHECK_MSG(v.size() == g.dim(plan.mode), "vector length mismatch");
+    const Value* xv = g.values().data();
+    const Value* vv = v.data();
+    Value* yv = out.values().data();
+    const auto& fptr = plan.fptr;
+    const Size mode = plan.mode;
+
+    const Dim3 grid{grid_blocks(num_fibers, kDefaultBlockThreads), 1, 1};
+    const Dim3 block{kDefaultBlockThreads, 1, 1};
+    launch(grid, block, [&](const ThreadCtx& ctx) {
+        const Size tid = ctx.global_x();
+        if (tid >= num_fibers)
+            return;
+        Value acc = 0;
+        for (Size p = fptr[tid]; p < fptr[tid + 1]; ++p)
+            acc += xv[p] * vv[g.raw_index(mode, p)];
+        yv[tid] = acc;
+    });
+
+    const Size m = g.nnz();
+    LaunchProfile prof;
+    prof.flops = 2 * m;
+    prof.dram_bytes = 12 * m + 12 * num_fibers;
+    prof.working_set_bytes =
+        8 * m + kValueBytes * v.size() + 12 * num_fibers;
+    prof.block_bytes = ttv_block_bytes(fptr, kDefaultBlockThreads);
+    return prof;
+}
+
+namespace {
+
+/// Builds the non-zero -> fiber map consumed by the 2-D TTM mapping.
+std::vector<Index>
+nnz_to_fiber(const std::vector<Size>& fptr, Size m)
+{
+    std::vector<Index> map(m);
+    const Size num_fibers = fptr.size() - 1;
+    for (Size f = 0; f < num_fibers; ++f)
+        for (Size p = fptr[f]; p < fptr[f + 1]; ++p)
+            map[p] = static_cast<Index>(f);
+    return map;
+}
+
+}  // namespace
+
+LaunchProfile
+ttm_gpu_coo(const CooTtmPlan& plan, const DenseMatrix& u, ScooTensor& out)
+{
+    const Size m = plan.sorted.nnz();
+    const Size rank = plan.rank;
+    const Size num_fibers = plan.fibers.num_fibers();
+    PASTA_CHECK_MSG(u.cols() == rank, "matrix rank mismatch");
+    PASTA_CHECK_MSG(out.num_sparse() == num_fibers,
+                    "output stripe count mismatch");
+    std::fill(out.values().begin(), out.values().end(), 0.0f);
+    const std::vector<Index> fiber_of = nnz_to_fiber(plan.fibers.fptr, m);
+
+    const Value* xv = plan.sorted.values().data();
+    const Index* kind = plan.sorted.mode_indices(plan.mode).data();
+
+    // 2-D thread blocks: x walks matrix columns (coalesced), y walks
+    // non-zeros (paper §III-B2; Ma et al. [34]).
+    const Size by = std::max<Size>(1, kDefaultBlockThreads / rank);
+    const Dim3 block{rank, by, 1};
+    const Dim3 grid{grid_blocks(m, by), 1, 1};
+    launch(grid, block, [&](const ThreadCtx& ctx) {
+        const Size p = ctx.block_idx.x * ctx.block_dim.y + ctx.thread_idx.y;
+        const Size r = ctx.thread_idx.x;
+        if (p >= m)
+            return;
+        const Value contrib = xv[p] * u(kind[p], r);
+        atomic_add(out.stripe(fiber_of[p]) + r, contrib);
+    });
+
+    LaunchProfile prof;
+    prof.flops = 2 * m * rank;
+    // Table I, COO-TTM row: 4MR + 4 M_F R + 8 M_F + 8M + 8 M_F.
+    prof.dram_bytes =
+        4 * m * rank + 4 * num_fibers * rank + 16 * num_fibers + 8 * m;
+    prof.working_set_bytes = 8 * m + u.rows() * rank * kValueBytes +
+                             num_fibers * rank * kValueBytes;
+    prof.atomics = m * rank;
+    prof.block_bytes = uniform_block_bytes(prof.dram_bytes, grid.x);
+    return prof;
+}
+
+LaunchProfile
+ttm_gpu_hicoo(const HicooTtmPlan& plan, const DenseMatrix& u,
+              SHiCooTensor& out)
+{
+    const GHiCooTensor& g = plan.input;
+    const Size m = g.nnz();
+    const Size rank = plan.rank;
+    const Size num_fibers = plan.fptr.size() - 1;
+    PASTA_CHECK_MSG(u.cols() == rank, "matrix rank mismatch");
+    PASTA_CHECK_MSG(out.num_sparse() == num_fibers,
+                    "output stripe count mismatch");
+    std::fill(out.values().begin(), out.values().end(), 0.0f);
+    const std::vector<Index> fiber_of = nnz_to_fiber(plan.fptr, m);
+
+    const Value* xv = g.values().data();
+    const Size mode = plan.mode;
+
+    const Size by = std::max<Size>(1, kDefaultBlockThreads / rank);
+    const Dim3 block{rank, by, 1};
+    const Dim3 grid{grid_blocks(m, by), 1, 1};
+    launch(grid, block, [&](const ThreadCtx& ctx) {
+        const Size p = ctx.block_idx.x * ctx.block_dim.y + ctx.thread_idx.y;
+        const Size r = ctx.thread_idx.x;
+        if (p >= m)
+            return;
+        const Value contrib = xv[p] * u(g.raw_index(mode, p), r);
+        atomic_add(out.stripe(fiber_of[p]) + r, contrib);
+    });
+
+    LaunchProfile prof;
+    prof.flops = 2 * m * rank;
+    // Table I, HiCOO-TTM row: 4MR + 4 M_F R + 8M + 8 M_F.
+    prof.dram_bytes =
+        4 * m * rank + 4 * num_fibers * rank + 8 * m + 8 * num_fibers;
+    prof.working_set_bytes = 8 * m + u.rows() * rank * kValueBytes +
+                             num_fibers * rank * kValueBytes;
+    prof.atomics = m * rank;
+    prof.block_bytes = uniform_block_bytes(prof.dram_bytes, grid.x);
+    return prof;
+}
+
+LaunchProfile
+mttkrp_gpu_coo(const CooTensor& x, const FactorList& factors, Size mode,
+               DenseMatrix& out)
+{
+    const Size rank = check_factors(x.dims(), factors);
+    PASTA_CHECK_MSG(mode < x.order(), "mode out of range");
+    PASTA_CHECK_MSG(out.rows() == x.dim(mode) && out.cols() == rank,
+                    "output matrix shape mismatch");
+    out.fill(0);
+    const Size m = x.nnz();
+    const Size order = x.order();
+    const Value* xv = x.values().data();
+
+    const Size by = std::max<Size>(1, kDefaultBlockThreads / rank);
+    const Dim3 block{rank, by, 1};
+    const Dim3 grid{grid_blocks(m, by), 1, 1};
+    launch(grid, block, [&](const ThreadCtx& ctx) {
+        const Size p = ctx.block_idx.x * ctx.block_dim.y + ctx.thread_idx.y;
+        const Size r = ctx.thread_idx.x;
+        if (p >= m)
+            return;
+        Value prod = xv[p];
+        for (Size mm = 0; mm < order; ++mm) {
+            if (mm == mode)
+                continue;
+            prod *= (*factors[mm])(x.index(mm, p), r);
+        }
+        atomic_add(out.row(x.index(mode, p)) + r, prod);
+    });
+
+    LaunchProfile prof;
+    prof.flops = order * m * rank;
+    // Table I, COO-MTTKRP row generalized: 4 N M R + 4(N+1) M.
+    prof.dram_bytes = 4 * order * m * rank + 4 * (order + 1) * m;
+    Size factor_bytes = 0;
+    for (Size mm = 0; mm < order; ++mm)
+        factor_bytes += factors[mm]->rows() * rank * kValueBytes;
+    prof.working_set_bytes =
+        (order + 1) * kIndexBytes * m + factor_bytes +
+        out.rows() * rank * kValueBytes;
+    prof.atomics = m * rank;
+    prof.block_bytes = uniform_block_bytes(prof.dram_bytes, grid.x);
+    return prof;
+}
+
+LaunchProfile
+mttkrp_gpu_hicoo(const HiCooTensor& x, const FactorList& factors, Size mode,
+                 DenseMatrix& out)
+{
+    const Size rank = check_factors(x.dims(), factors);
+    PASTA_CHECK_MSG(mode < x.order(), "mode out of range");
+    PASTA_CHECK_MSG(out.rows() == x.dim(mode) && out.cols() == rank,
+                    "output matrix shape mismatch");
+    PASTA_CHECK_MSG(x.order() <= 8, "HiCOO MTTKRP supports order <= 8");
+    out.fill(0);
+    const Size order = x.order();
+    const unsigned bits = x.block_bits();
+    const Size nb = x.num_blocks();
+    const Value* xv = x.values().data();
+    const auto& bptr = x.bptr();
+
+    // One tensor block per thread block (paper §III-D2): the x dimension
+    // walks the rank, the y dimension walks the block's non-zeros.
+    const Size by = std::max<Size>(1, kDefaultBlockThreads / rank);
+    const Dim3 block{rank, by, 1};
+    const Dim3 grid{nb, 1, 1};
+    launch(grid, block, [&](const ThreadCtx& ctx) {
+        const Size b = ctx.block_idx.x;
+        const Size r = ctx.thread_idx.x;
+        const Value* base[8];
+        for (Size mm = 0; mm < order; ++mm)
+            base[mm] = factors[mm]->row(
+                static_cast<Size>(x.block_index(mm, b)) << bits);
+        Value* out_base =
+            out.row(static_cast<Size>(x.block_index(mode, b)) << bits);
+        const Size stride = rank;
+        // Each y-thread strides over the block's non-zeros.
+        for (Size p = bptr[b] + ctx.thread_idx.y; p < bptr[b + 1];
+             p += ctx.block_dim.y) {
+            Value prod = xv[p];
+            for (Size mm = 0; mm < order; ++mm) {
+                if (mm == mode)
+                    continue;
+                prod *= base[mm][static_cast<Size>(x.element_index(mm, p)) *
+                                     stride +
+                                 r];
+            }
+            atomic_add(out_base +
+                           static_cast<Size>(x.element_index(mode, p)) *
+                               stride +
+                           r,
+                       prod);
+        }
+    });
+
+    const Size m = x.nnz();
+    LaunchProfile prof;
+    prof.flops = order * m * rank;
+    // Table I, HiCOO-MTTKRP row generalized:
+    // 4 N R min(n_b B, M) + (4 + N) M + (4N + 8) n_b.
+    const Size block_edge = x.block_size();
+    prof.dram_bytes = 4 * order * rank * std::min(nb * block_edge, m) +
+                      (4 + order) * m + (4 * order + 8) * nb;
+    Size factor_bytes = 0;
+    for (Size mm = 0; mm < order; ++mm)
+        factor_bytes += factors[mm]->rows() * rank * kValueBytes;
+    prof.working_set_bytes = x.storage_bytes() + factor_bytes +
+                             out.rows() * rank * kValueBytes;
+    prof.atomics = m * rank;
+    // Per-thread-block traffic is proportional to the block's population
+    // plus its matrix tiles; this is where the HiCOO GPU kernel's load
+    // imbalance comes from.
+    prof.block_bytes.resize(nb);
+    for (Size b = 0; b < nb; ++b) {
+        const Size nnz_b = bptr[b + 1] - bptr[b];
+        prof.block_bytes[b] =
+            static_cast<double>((4 + order) * nnz_b +
+                                4 * order * rank * block_edge +
+                                (4 * order + 8));
+    }
+    return prof;
+}
+
+}  // namespace pasta::gpusim

@@ -1,0 +1,75 @@
+/// \file
+/// GPU implementations of the five tensor kernels on the simulated device
+/// (paper §III-B2, §III-D2; Algorithm 2).
+///
+/// Work decomposition follows the paper exactly:
+///  * TEW / TS / TTV (COO): 1-D grids of 1-D 256-thread blocks over
+///    non-zeros or fibers (Algorithm 2);
+///  * TTM / MTTKRP (COO): 1-D grids of 2-D thread blocks — the x dimension
+///    walks matrix columns (memory coalescing), the y dimension walks
+///    non-zeros — with atomicAdd protecting the output (ParTI mapping);
+///  * HiCOO GPU kernels match their COO counterparts except MTTKRP, which
+///    maps one tensor block to one thread block, trading the COO kernel's
+///    balanced non-zero distribution for blocked locality (and suffering
+///    the load imbalance the paper's Observation 4 reports).
+///
+/// Each function computes the real output through the SIMT executor and
+/// returns a LaunchProfile with the launch's actual work accounting
+/// (fiber/block populations included) for the timing model.
+#pragma once
+
+#include "core/coo_tensor.hpp"
+#include "core/dense.hpp"
+#include "core/hicoo_tensor.hpp"
+#include "core/scoo_tensor.hpp"
+#include "core/shicoo_tensor.hpp"
+#include "gpusim/timing_model.hpp"
+#include "kernels/mttkrp.hpp"
+#include "kernels/ops.hpp"
+#include "kernels/ttm.hpp"
+#include "kernels/ttv.hpp"
+
+namespace pasta::gpusim {
+
+/// COO-TEW-GPU (same-pattern): one thread per non-zero.
+LaunchProfile tew_gpu_coo(const CooTensor& x, const CooTensor& y, EwOp op,
+                          CooTensor& z);
+
+/// HiCOO-TEW-GPU: identical value computation on the HiCOO value stream.
+LaunchProfile tew_gpu_hicoo(const HiCooTensor& x, const HiCooTensor& y,
+                            EwOp op, HiCooTensor& z);
+
+/// COO-TS-GPU: one thread per non-zero.
+LaunchProfile ts_gpu_coo(const CooTensor& x, TsOp op, Value s, CooTensor& y);
+
+/// HiCOO-TS-GPU.
+LaunchProfile ts_gpu_hicoo(const HiCooTensor& x, TsOp op, Value s,
+                           HiCooTensor& y);
+
+/// COO-TTV-GPU (Algorithm 2): one thread per fiber.
+LaunchProfile ttv_gpu_coo(const CooTtvPlan& plan, const DenseVector& v,
+                          CooTensor& out);
+
+/// HiCOO-TTV-GPU: one thread per fiber over the gHiCOO entry stream.
+LaunchProfile ttv_gpu_hicoo(const HicooTtvPlan& plan, const DenseVector& v,
+                            HiCooTensor& out);
+
+/// COO-TTM-GPU: 2-D blocks, x = matrix columns, y = non-zeros; atomicAdd
+/// into the output stripes.
+LaunchProfile ttm_gpu_coo(const CooTtmPlan& plan, const DenseMatrix& u,
+                          ScooTensor& out);
+
+/// HiCOO-TTM-GPU: same mapping over the gHiCOO entry stream.
+LaunchProfile ttm_gpu_hicoo(const HicooTtmPlan& plan, const DenseMatrix& u,
+                            SHiCooTensor& out);
+
+/// COO-MTTKRP-GPU: 2-D blocks, x = rank, y = non-zeros; atomicAdd.
+LaunchProfile mttkrp_gpu_coo(const CooTensor& x, const FactorList& factors,
+                             Size mode, DenseMatrix& out);
+
+/// HiCOO-MTTKRP-GPU: one tensor block per thread block; atomicAdd stays.
+LaunchProfile mttkrp_gpu_hicoo(const HiCooTensor& x,
+                               const FactorList& factors, Size mode,
+                               DenseMatrix& out);
+
+}  // namespace pasta::gpusim

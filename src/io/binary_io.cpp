@@ -1,0 +1,88 @@
+#include "io/binary_io.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace pasta {
+
+namespace {
+
+constexpr char kMagic[4] = {'P', 'S', 'T', 'B'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void
+write_pod(std::ofstream& out, const T& v)
+{
+    out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+void
+read_pod(std::ifstream& in, T& v)
+{
+    in.read(reinterpret_cast<char*>(&v), sizeof(T));
+}
+
+}  // namespace
+
+void
+write_binary_file(const std::string& path, const CooTensor& x)
+{
+    std::ofstream out(path, std::ios::binary);
+    PASTA_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+    out.write(kMagic, sizeof(kMagic));
+    write_pod(out, kVersion);
+    const std::uint64_t order = x.order();
+    const std::uint64_t nnz = x.nnz();
+    write_pod(out, order);
+    write_pod(out, nnz);
+    for (Size m = 0; m < x.order(); ++m)
+        write_pod(out, x.dim(m));
+    for (Size m = 0; m < x.order(); ++m)
+        out.write(
+            reinterpret_cast<const char*>(x.mode_indices(m).data()),
+            static_cast<std::streamsize>(nnz * sizeof(Index)));
+    out.write(reinterpret_cast<const char*>(x.values().data()),
+              static_cast<std::streamsize>(nnz * sizeof(Value)));
+    PASTA_CHECK_MSG(out.good(), "write to " << path << " failed");
+}
+
+CooTensor
+read_binary_file(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    PASTA_CHECK_MSG(in.good(), "cannot open " << path);
+    char magic[4];
+    in.read(magic, sizeof(magic));
+    PASTA_CHECK_MSG(in.good() && std::memcmp(magic, kMagic, 4) == 0,
+                    path << " is not a PSTB file");
+    std::uint32_t version = 0;
+    read_pod(in, version);
+    PASTA_CHECK_MSG(version == kVersion,
+                    "unsupported PSTB version " << version);
+    std::uint64_t order = 0;
+    std::uint64_t nnz = 0;
+    read_pod(in, order);
+    read_pod(in, nnz);
+    PASTA_CHECK_MSG(in.good() && order >= 1 && order <= 16,
+                    "implausible order " << order);
+    std::vector<Index> dims(order);
+    for (auto& d : dims)
+        read_pod(in, d);
+    CooTensor x(dims);
+    x.resize_nnz(nnz);
+    for (Size m = 0; m < x.order(); ++m)
+        in.read(reinterpret_cast<char*>(x.mode_indices(m).data()),
+                static_cast<std::streamsize>(nnz * sizeof(Index)));
+    in.read(reinterpret_cast<char*>(x.values().data()),
+            static_cast<std::streamsize>(nnz * sizeof(Value)));
+    PASTA_CHECK_MSG(in.good(), "truncated PSTB file " << path);
+    x.validate();
+    return x;
+}
+
+}  // namespace pasta

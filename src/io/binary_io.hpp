@@ -1,0 +1,23 @@
+/// \file
+/// Compact binary tensor format for fast dataset caching.
+///
+/// Layout (little-endian, host-order):
+///   magic "PSTB" | u32 version | u64 order | u64 nnz |
+///   u32 dims[order] | u32 indices[order][nnz] | f32 values[nnz]
+/// Mode-major index arrays mirror the in-memory COO layout, so reads and
+/// writes are straight memcpy-sized block transfers.
+#pragma once
+
+#include <string>
+
+#include "core/coo_tensor.hpp"
+
+namespace pasta {
+
+/// Writes `x` to `path` in PSTB format; throws PastaError on IO failure.
+void write_binary_file(const std::string& path, const CooTensor& x);
+
+/// Reads a PSTB file; throws PastaError on IO/format errors.
+CooTensor read_binary_file(const std::string& path);
+
+}  // namespace pasta

@@ -1,0 +1,60 @@
+#include "io/registry.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "io/binary_io.hpp"
+
+namespace pasta {
+
+TensorRegistry::TensorRegistry(std::string cache_dir, double scale)
+    : cache_dir_(std::move(cache_dir)), scale_(scale)
+{
+    PASTA_CHECK_MSG(scale_ > 0 && scale_ <= 1.0,
+                    "scale must be in (0, 1]");
+}
+
+std::string
+TensorRegistry::cache_path(const DatasetSpec& spec) const
+{
+    if (cache_dir_.empty())
+        return {};
+    std::ostringstream oss;
+    oss << cache_dir_ << "/" << spec.id << "_" << spec.name << "_s"
+        << scale_ << ".pstb";
+    return oss.str();
+}
+
+CooTensor
+TensorRegistry::load(const std::string& id_or_name)
+{
+    const DatasetSpec& spec = find_dataset(id_or_name);
+    const std::string path = cache_path(spec);
+    if (!path.empty() && std::filesystem::exists(path)) {
+        try {
+            return read_binary_file(path);
+        } catch (const PastaError& e) {
+            PASTA_LOG_WARN << "stale cache " << path << " (" << e.what()
+                           << "); regenerating";
+        }
+    }
+    CooTensor tensor = synthesize_dataset(spec, scale_);
+    if (!path.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(cache_dir_, ec);
+        if (!ec) {
+            try {
+                write_binary_file(path, tensor);
+            } catch (const PastaError& e) {
+                PASTA_LOG_WARN << "cannot cache " << path << ": "
+                               << e.what();
+            }
+        }
+    }
+    return tensor;
+}
+
+}  // namespace pasta

@@ -1,0 +1,36 @@
+/// \file
+/// Disk-backed tensor registry: resolves a dataset id to a tensor, caching
+/// generated datasets as PSTB files so repeated bench runs skip synthesis.
+#pragma once
+
+#include <string>
+
+#include "core/coo_tensor.hpp"
+#include "gen/datasets.hpp"
+
+namespace pasta {
+
+/// Resolves dataset tensors, generating and caching on first use.
+class TensorRegistry {
+  public:
+    /// Creates a registry caching under `cache_dir` (created on demand);
+    /// an empty dir disables caching.
+    explicit TensorRegistry(std::string cache_dir = ".pasta_cache",
+                            double scale = 1e-3);
+
+    /// The generation scale used for cache keys.
+    double scale() const { return scale_; }
+
+    /// Loads dataset `id_or_name` ("r3", "choa", "s1", "regS"...),
+    /// from cache when present, generating (and caching) otherwise.
+    CooTensor load(const std::string& id_or_name);
+
+    /// Cache file path for a spec (empty when caching is disabled).
+    std::string cache_path(const DatasetSpec& spec) const;
+
+  private:
+    std::string cache_dir_;
+    double scale_;
+};
+
+}  // namespace pasta

@@ -1,0 +1,35 @@
+/// \file
+/// FROSTT `.tns` text format reader/writer.
+///
+/// The FROSTT convention (frostt.io): each line holds one non-zero as
+/// N whitespace-separated 1-based coordinates followed by the value;
+/// `#` starts a comment.  ParTI-style headers are also accepted: an
+/// optional first non-comment line with the order N followed by a line of
+/// N dimension sizes.  Without a header, dimensions are inferred from the
+/// maximum coordinate per mode.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/coo_tensor.hpp"
+
+namespace pasta {
+
+/// Reads a tensor from a `.tns` stream; throws PastaError on malformed
+/// input.  The result is lexicographically sorted and validated.
+CooTensor read_tns(std::istream& in);
+
+/// Reads a tensor from a `.tns` file.
+CooTensor read_tns_file(const std::string& path);
+
+/// Writes a tensor in FROSTT format (with a ParTI-style header when
+/// `with_header` is set).
+void write_tns(std::ostream& out, const CooTensor& x,
+               bool with_header = true);
+
+/// Writes a tensor to a `.tns` file.
+void write_tns_file(const std::string& path, const CooTensor& x,
+                    bool with_header = true);
+
+}  // namespace pasta

@@ -1,0 +1,162 @@
+#include "kernels/contraction.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace pasta {
+
+namespace {
+
+/// Splits [0, order) into (contracted in given order, free ascending).
+std::vector<Size>
+free_modes(Size order, const std::vector<Size>& contracted)
+{
+    std::vector<bool> is_contracted(order, false);
+    for (Size m : contracted) {
+        PASTA_CHECK_MSG(m < order, "contraction mode out of range");
+        PASTA_CHECK_MSG(!is_contracted[m],
+                        "mode contracted twice: " << m);
+        is_contracted[m] = true;
+    }
+    std::vector<Size> free;
+    for (Size m = 0; m < order; ++m)
+        if (!is_contracted[m])
+            free.push_back(m);
+    return free;
+}
+
+/// FNV-1a hash of a coordinate tuple drawn from selected modes.
+std::uint64_t
+hash_modes(const CooTensor& t, const std::vector<Size>& modes, Size pos)
+{
+    std::uint64_t h = 1469598103934665603ULL;
+    for (Size m : modes)
+        h = (h ^ t.index(m, pos)) * 1099511628211ULL;
+    return h;
+}
+
+bool
+equal_modes(const CooTensor& a, const std::vector<Size>& ma, Size pa,
+            const CooTensor& b, const std::vector<Size>& mb, Size pb)
+{
+    for (Size k = 0; k < ma.size(); ++k)
+        if (a.index(ma[k], pa) != b.index(mb[k], pb))
+            return false;
+    return true;
+}
+
+}  // namespace
+
+CooTensor
+contract(const CooTensor& a, const std::vector<Size>& modes_a,
+         const CooTensor& b, const std::vector<Size>& modes_b)
+{
+    PASTA_CHECK_MSG(modes_a.size() == modes_b.size(),
+                    "contraction arity mismatch: " << modes_a.size()
+                                                   << " vs "
+                                                   << modes_b.size());
+    PASTA_CHECK_MSG(!modes_a.empty(), "no contraction modes given");
+    for (Size k = 0; k < modes_a.size(); ++k) {
+        PASTA_CHECK_MSG(modes_a[k] < a.order() && modes_b[k] < b.order(),
+                        "contraction mode out of range");
+        PASTA_CHECK_MSG(a.dim(modes_a[k]) == b.dim(modes_b[k]),
+                        "extent mismatch on contracted pair "
+                            << k << ": " << a.dim(modes_a[k]) << " vs "
+                            << b.dim(modes_b[k]));
+    }
+    const std::vector<Size> free_a = free_modes(a.order(), modes_a);
+    const std::vector<Size> free_b = free_modes(b.order(), modes_b);
+
+    std::vector<Index> out_dims;
+    for (Size m : free_a)
+        out_dims.push_back(a.dim(m));
+    for (Size m : free_b)
+        out_dims.push_back(b.dim(m));
+    const bool scalar_output = out_dims.empty();
+    if (scalar_output)
+        out_dims.push_back(1);
+    CooTensor out(out_dims);
+
+    if (a.nnz() == 0 || b.nnz() == 0)
+        return out;
+
+    // Index B by contracted coordinate: hash -> positions (chained).
+    std::unordered_multimap<std::uint64_t, Size> b_index;
+    b_index.reserve(b.nnz() * 2);
+    for (Size p = 0; p < b.nnz(); ++p)
+        b_index.emplace(hash_modes(b, modes_b, p), p);
+
+    // Accumulate output coordinates in a hash map keyed by the packed
+    // output coordinate hash; store coordinate + value (collision-checked
+    // by full comparison against the stored coordinate).
+    struct OutEntry {
+        Coordinate coords;
+        double value;
+    };
+    std::unordered_map<std::uint64_t, std::vector<OutEntry>> acc;
+    acc.reserve(a.nnz() * 2);
+
+    Coordinate oc(out.order());
+    for (Size pa = 0; pa < a.nnz(); ++pa) {
+        const std::uint64_t key = hash_modes(a, modes_a, pa);
+        auto range = b_index.equal_range(key);
+        for (auto it = range.first; it != range.second; ++it) {
+            const Size pb = it->second;
+            if (!equal_modes(a, modes_a, pa, b, modes_b, pb))
+                continue;  // hash collision
+            Size s = 0;
+            for (Size m : free_a)
+                oc[s++] = a.index(m, pa);
+            for (Size m : free_b)
+                oc[s++] = b.index(m, pb);
+            if (scalar_output)
+                oc[0] = 0;
+            std::uint64_t oh = 1469598103934665603ULL;
+            for (Index c : oc)
+                oh = (oh ^ c) * 1099511628211ULL;
+            const double term = static_cast<double>(a.value(pa)) *
+                                static_cast<double>(b.value(pb));
+            auto& bucket = acc[oh];
+            bool found = false;
+            for (auto& entry : bucket) {
+                if (entry.coords == oc) {
+                    entry.value += term;
+                    found = true;
+                    break;
+                }
+            }
+            if (!found)
+                bucket.push_back({oc, term});
+        }
+    }
+
+    Size total = 0;
+    for (const auto& [h, bucket] : acc)
+        total += bucket.size();
+    out.reserve(total);
+    for (const auto& [h, bucket] : acc)
+        for (const auto& entry : bucket)
+            out.append(entry.coords, static_cast<Value>(entry.value));
+    out.sort_lexicographic();
+    return out;
+}
+
+double
+inner_product(const CooTensor& a, const CooTensor& b)
+{
+    PASTA_CHECK_MSG(a.dims() == b.dims(),
+                    "inner_product requires identical shapes");
+    std::vector<Size> all_modes(a.order());
+    for (Size m = 0; m < a.order(); ++m)
+        all_modes[m] = m;
+    const CooTensor scalar = contract(a, all_modes, b, all_modes);
+    double total = 0;
+    for (Size p = 0; p < scalar.nnz(); ++p)
+        total += scalar.value(p);
+    return total;
+}
+
+}  // namespace pasta

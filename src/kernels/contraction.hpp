@@ -1,0 +1,35 @@
+/// \file
+/// General sparse tensor-tensor contraction (SpTC), a §VII suite
+/// extension: "tensor contraction, a sparse tensor with a sparse
+/// vector/matrix products".
+///
+/// C = A x_{modes_a, modes_b} B contracts each mode in `modes_a` of A
+/// with the matching mode of `modes_b` of B (equal extents, pairwise).
+/// The output's modes are A's free modes followed by B's free modes, in
+/// their original orders; TTM/TTV are the special cases where B is dense,
+/// so the sparse-sparse case is the one the suite lacked.
+///
+/// The implementation is a hash join: B is indexed by its contracted
+/// coordinate, A is streamed, and output coordinates accumulate in a
+/// hash map (duplicate contributions sum).
+#pragma once
+
+#include <vector>
+
+#include "core/coo_tensor.hpp"
+
+namespace pasta {
+
+/// Contracts `modes_a` of `a` against `modes_b` of `b` (same length,
+/// pairwise equal extents).  Throws PastaError on arity/extent mismatch
+/// or when every mode of either tensor is contracted away on both sides
+/// (full contraction to a scalar is returned as a 1-element order-1
+/// tensor).
+CooTensor contract(const CooTensor& a, const std::vector<Size>& modes_a,
+                   const CooTensor& b, const std::vector<Size>& modes_b);
+
+/// Inner (full) contraction of two same-shape tensors: sum of products
+/// over matching coordinates.
+double inner_product(const CooTensor& a, const CooTensor& b);
+
+}  // namespace pasta

@@ -1,0 +1,173 @@
+#include "kernels/csf_kernels.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace pasta {
+
+namespace {
+
+/// Recursive SPLATT-style accumulation for one subtree.
+///
+/// Computes, for the subtree rooted at node `id` of level `level`, the
+/// R-vector
+///   acc(r) = sum over leaves under id of value * prod over levels
+///            below `level` of U^(mode at that level)(idx, r)
+/// i.e. the Khatri-Rao partial product of everything strictly below
+/// this node.
+void
+accumulate_subtree(const CsfTensor& x, const FactorList& factors,
+                   Size level, Size id, Value* acc, Size rank,
+                   std::vector<Value>& scratch)
+{
+    const Size n = x.order();
+    if (level + 1 == n) {
+        // Leaf: value times the leaf mode's factor row.
+        const Value* row =
+            factors[x.mode_order()[level]]->row(x.level(level).idx[id]);
+        const Value v = x.values()[id];
+        for (Size r = 0; r < rank; ++r)
+            acc[r] = v * row[r];
+        return;
+    }
+    for (Size r = 0; r < rank; ++r)
+        acc[r] = 0;
+    Value* child_acc = scratch.data() + level * rank;
+    for (Size child = x.level(level).ptr[id];
+         child < x.level(level).ptr[id + 1]; ++child) {
+        accumulate_subtree(x, factors, level + 1, child, child_acc, rank,
+                           scratch);
+        if (level + 2 == n) {
+            // Child is a leaf: child_acc already includes its factor row.
+            for (Size r = 0; r < rank; ++r)
+                acc[r] += child_acc[r];
+        } else {
+            const Value* row = factors[x.mode_order()[level + 1]]->row(
+                x.level(level + 1).idx[child]);
+            for (Size r = 0; r < rank; ++r)
+                acc[r] += child_acc[r] * row[r];
+        }
+    }
+}
+
+}  // namespace
+
+void
+mttkrp_csf(const CsfTensor& x, const FactorList& factors, Size mode,
+           DenseMatrix& out, Schedule schedule)
+{
+    const Size rank = check_factors(x.dims(), factors);
+    PASTA_CHECK_MSG(mode < x.order(), "mode out of range");
+    PASTA_CHECK_MSG(!x.mode_order().empty() && x.mode_order()[0] == mode,
+                    "CSF MTTKRP requires a tree rooted at the output "
+                    "mode; this tree is rooted at mode "
+                        << (x.mode_order().empty() ? kNoMode
+                                                   : x.mode_order()[0]));
+    PASTA_CHECK_MSG(out.rows() == x.dim(mode) && out.cols() == rank,
+                    "output matrix shape mismatch");
+    out.fill(0);
+    if (x.nnz() == 0)
+        return;
+
+    const Size n = x.order();
+    parallel_for(
+        0, x.level_size(0), schedule,
+        [&](Size root) {
+            // Each root owns one distinct output row: race-free.
+            std::vector<Value> scratch(n * rank);
+            std::vector<Value> acc(rank);
+            if (n == 1) {
+                // Degenerate order-1 MTTKRP: out(i, r) += value.
+                Value* out_row = out.row(x.level(0).idx[root]);
+                for (Size r = 0; r < rank; ++r)
+                    out_row[r] += x.values()[root];
+                return;
+            }
+            accumulate_subtree(x, factors, 0, root, acc.data(), rank,
+                               scratch);
+            // acc holds sum over children c of (subtree(c) * U(idx_c)):
+            // accumulate_subtree at level 0 already applied the level-1
+            // factor rows, so acc is the full Khatri-Rao partial.
+            Value* out_row = out.row(x.level(0).idx[root]);
+            for (Size r = 0; r < rank; ++r)
+                out_row[r] += acc[r];
+        },
+        8);
+}
+
+CooTensor
+ttv_csf(const CsfTensor& x, const DenseVector& v, Size mode,
+        Schedule schedule)
+{
+    const Size n = x.order();
+    PASTA_CHECK_MSG(n >= 2, "TTV needs an order >= 2 tensor");
+    PASTA_CHECK_MSG(mode < n, "mode out of range");
+    PASTA_CHECK_MSG(x.mode_order().back() == mode,
+                    "CSF TTV requires a tree with the product mode at "
+                    "the leaves");
+    PASTA_CHECK_MSG(v.size() == x.dim(mode), "vector length mismatch");
+
+    // Output dims: original dims minus the contracted mode.
+    std::vector<Index> out_dims;
+    for (Size m = 0; m < n; ++m)
+        if (m != mode)
+            out_dims.push_back(x.dim(m));
+    CooTensor out(out_dims);
+    if (x.nnz() == 0)
+        return out;
+
+    // One output non-zero per level-(n-2) node.  Reconstruct each node's
+    // ancestor path to recover the full output coordinate.
+    const Size fibers = x.level_size(n - 2);
+    out.resize_nnz(fibers);
+
+    // Parent pointers per level for coordinate reconstruction.
+    std::vector<std::vector<Size>> parent(n);
+    for (Size l = 0; l + 1 < n; ++l) {
+        parent[l + 1].resize(x.level_size(l + 1));
+        for (Size id = 0; id < x.level_size(l); ++id)
+            for (Size c = x.level(l).ptr[id]; c < x.level(l).ptr[id + 1];
+                 ++c)
+                parent[l + 1][c] = id;
+    }
+
+    // Output mode slot for each retained level.
+    std::vector<Size> out_slot(n, kNoMode);
+    {
+        // The output coordinate order follows the original mode
+        // numbering with `mode` removed.
+        std::vector<Size> remaining;
+        for (Size m = 0; m < n; ++m)
+            if (m != mode)
+                remaining.push_back(m);
+        for (Size l = 0; l + 1 < n; ++l) {
+            const Size orig_mode = x.mode_order()[l];
+            for (Size s = 0; s < remaining.size(); ++s)
+                if (remaining[s] == orig_mode)
+                    out_slot[l] = s;
+        }
+    }
+
+    parallel_for(
+        0, fibers, schedule,
+        [&](Size f) {
+            Value acc = 0;
+            for (Size leaf = x.level(n - 2).ptr[f];
+                 leaf < x.level(n - 2).ptr[f + 1]; ++leaf)
+                acc += x.values()[leaf] * v[x.level(n - 1).idx[leaf]];
+            out.values()[f] = acc;
+            // Walk ancestors to fill the output coordinate.
+            Size id = f;
+            for (Size l = n - 1; l-- > 0;) {
+                out.mode_indices(out_slot[l])[f] = x.level(l).idx[id];
+                if (l > 0)
+                    id = parent[l][id];
+            }
+        },
+        64);
+    out.sort_lexicographic();
+    return out;
+}
+
+}  // namespace pasta

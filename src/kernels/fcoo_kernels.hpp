@@ -1,0 +1,31 @@
+/// \file
+/// F-COO TTV kernels: non-zero-parallel with segmented accumulation
+/// across the start flags.
+///
+/// Compared to the suite's fiber-per-thread COO-TTV (Algorithm 2), the
+/// F-COO mapping assigns non-zeros, not fibers, to threads — perfect load
+/// balance under fiber skew, paid for with cross-thread combination at
+/// fiber boundaries (atomics on the simulated GPU, carry fix-up on CPU).
+#pragma once
+
+#include "core/coo_tensor.hpp"
+#include "core/dense.hpp"
+#include "core/fcoo_tensor.hpp"
+#include "gpusim/timing_model.hpp"
+
+namespace pasta {
+
+/// F-COO-TTV-OMP: chunk-parallel segmented sum over the flag stream.
+/// Returns the contracted tensor (pattern = f.out_pattern()).
+CooTensor ttv_fcoo(const FcooTensor& f, const DenseVector& v);
+
+namespace gpusim {
+
+/// F-COO-TTV-GPU: one thread per non-zero, atomicAdd into the owning
+/// fiber's output slot.  The returned profile has *uniform* per-block
+/// bytes (the format's selling point) and M atomics (its price).
+LaunchProfile ttv_gpu_fcoo(const FcooTensor& f, const DenseVector& v,
+                           CooTensor& out);
+
+}  // namespace gpusim
+}  // namespace pasta

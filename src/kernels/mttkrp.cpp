@@ -1,0 +1,214 @@
+#include "kernels/mttkrp.hpp"
+
+#include "common/error.hpp"
+
+namespace pasta {
+
+Size
+check_factors(const std::vector<Index>& dims, const FactorList& factors)
+{
+    PASTA_CHECK_MSG(factors.size() == dims.size(),
+                    "expected " << dims.size() << " factor matrices, got "
+                                << factors.size());
+    PASTA_CHECK_MSG(!factors.empty(), "no factor matrices");
+    const Size rank = factors[0]->cols();
+    PASTA_CHECK_MSG(rank > 0, "factor rank must be positive");
+    for (Size m = 0; m < dims.size(); ++m) {
+        PASTA_CHECK_MSG(factors[m] != nullptr, "null factor matrix");
+        PASTA_CHECK_MSG(factors[m]->cols() == rank,
+                        "factor rank mismatch on mode " << m);
+        PASTA_CHECK_MSG(factors[m]->rows() == dims[m],
+                        "factor rows " << factors[m]->rows()
+                                       << " != dim " << dims[m]
+                                       << " on mode " << m);
+    }
+    return rank;
+}
+
+namespace {
+
+/// Stack budget for the per-non-zero accumulator row.  The paper uses
+/// R = 16 as the low-rank default; 256 covers every rank the benches sweep.
+constexpr Size kMaxStackRank = 256;
+
+}  // namespace
+
+void
+mttkrp_coo(const CooTensor& x, const FactorList& factors, Size mode,
+           DenseMatrix& out, Schedule schedule)
+{
+    const Size rank = check_factors(x.dims(), factors);
+    PASTA_CHECK_MSG(mode < x.order(), "mode out of range");
+    PASTA_CHECK_MSG(out.rows() == x.dim(mode) && out.cols() == rank,
+                    "output matrix shape mismatch");
+    PASTA_CHECK_MSG(rank <= kMaxStackRank,
+                    "rank " << rank << " exceeds kernel limit "
+                            << kMaxStackRank);
+    out.fill(0);
+
+    const Size order = x.order();
+    const Value* xv = x.values().data();
+    parallel_for(
+        0, x.nnz(), schedule,
+        [&](Size p) {
+            Value acc[kMaxStackRank];
+            const Value xval = xv[p];
+#pragma omp simd
+            for (Size r = 0; r < rank; ++r)
+                acc[r] = xval;
+            for (Size m = 0; m < order; ++m) {
+                if (m == mode)
+                    continue;
+                const Value* row = factors[m]->row(x.index(m, p));
+#pragma omp simd
+                for (Size r = 0; r < rank; ++r)
+                    acc[r] *= row[r];
+            }
+            Value* out_row = out.row(x.index(mode, p));
+            for (Size r = 0; r < rank; ++r)
+                atomic_add(out_row + r, acc[r]);
+        },
+        256);
+}
+
+void
+mttkrp_hicoo(const HiCooTensor& x, const FactorList& factors, Size mode,
+             DenseMatrix& out, Schedule schedule)
+{
+    const Size rank = check_factors(x.dims(), factors);
+    PASTA_CHECK_MSG(mode < x.order(), "mode out of range");
+    PASTA_CHECK_MSG(out.rows() == x.dim(mode) && out.cols() == rank,
+                    "output matrix shape mismatch");
+    PASTA_CHECK_MSG(rank <= kMaxStackRank,
+                    "rank " << rank << " exceeds kernel limit "
+                            << kMaxStackRank);
+    PASTA_CHECK_MSG(x.order() <= 8, "HiCOO MTTKRP supports order <= 8");
+    out.fill(0);
+
+    const Size order = x.order();
+    const unsigned bits = x.block_bits();
+    const Value* xv = x.values().data();
+    const auto& bptr = x.bptr();
+    parallel_for(
+        0, x.num_blocks(), schedule,
+        [&](Size b) {
+            // Per-block factor base rows (Algorithm 3, line 3): the block
+            // index selects a B x R tile of each matrix, so the inner loop
+            // decodes only 8-bit element offsets.
+            const Value* base[8];
+            Value* out_base =
+                out.row(static_cast<Size>(x.block_index(mode, b)) << bits);
+            for (Size m = 0; m < order; ++m)
+                base[m] = factors[m]->row(
+                    static_cast<Size>(x.block_index(m, b)) << bits);
+            const Size rank_stride = out.cols();
+            for (Size p = bptr[b]; p < bptr[b + 1]; ++p) {
+                Value acc[kMaxStackRank];
+                const Value xval = xv[p];
+#pragma omp simd
+                for (Size r = 0; r < rank; ++r)
+                    acc[r] = xval;
+                for (Size m = 0; m < order; ++m) {
+                    if (m == mode)
+                        continue;
+                    const Value* row =
+                        base[m] + static_cast<Size>(x.element_index(m, p)) *
+                                      rank_stride;
+#pragma omp simd
+                    for (Size r = 0; r < rank; ++r)
+                        acc[r] *= row[r];
+                }
+                Value* out_row =
+                    out_base + static_cast<Size>(x.element_index(mode, p)) *
+                                   rank_stride;
+                for (Size r = 0; r < rank; ++r)
+                    atomic_add(out_row + r, acc[r]);
+            }
+        },
+        8);
+}
+
+void
+mttkrp_coo_privatized(const CooTensor& x, const FactorList& factors,
+                      Size mode, DenseMatrix& out)
+{
+    const Size rank = check_factors(x.dims(), factors);
+    PASTA_CHECK_MSG(mode < x.order(), "mode out of range");
+    PASTA_CHECK_MSG(out.rows() == x.dim(mode) && out.cols() == rank,
+                    "output matrix shape mismatch");
+    PASTA_CHECK_MSG(rank <= kMaxStackRank,
+                    "rank " << rank << " exceeds kernel limit "
+                            << kMaxStackRank);
+    out.fill(0);
+
+    const int threads = num_threads();
+    const Size order = x.order();
+    const Value* xv = x.values().data();
+    // One private output copy per worker, merged after the sweep.
+    std::vector<DenseMatrix> privates(
+        threads, DenseMatrix(out.rows(), rank, 0));
+    parallel_for_ranges(0, x.nnz(), [&](Size first, Size last) {
+        // parallel_for_ranges hands each worker one contiguous chunk;
+        // identify the chunk by its start to pick a private buffer.
+        const Size chunk =
+            first / (((x.nnz() + threads - 1) / threads) == 0
+                         ? 1
+                         : (x.nnz() + threads - 1) / threads);
+        DenseMatrix& local =
+            privates[std::min<Size>(chunk, privates.size() - 1)];
+        for (Size p = first; p < last; ++p) {
+            Value acc[kMaxStackRank];
+            const Value xval = xv[p];
+            for (Size r = 0; r < rank; ++r)
+                acc[r] = xval;
+            for (Size m = 0; m < order; ++m) {
+                if (m == mode)
+                    continue;
+                const Value* row = factors[m]->row(x.index(m, p));
+                for (Size r = 0; r < rank; ++r)
+                    acc[r] *= row[r];
+            }
+            Value* out_row = local.row(x.index(mode, p));
+            for (Size r = 0; r < rank; ++r)
+                out_row[r] += acc[r];
+        }
+    });
+    // Reduction (parallel over output rows, race-free).
+    parallel_for(0, out.rows(), Schedule::kStatic, [&](Size i) {
+        Value* dst = out.row(i);
+        for (const auto& local : privates) {
+            const Value* src = local.row(i);
+            for (Size r = 0; r < rank; ++r)
+                dst[r] += src[r];
+        }
+    });
+}
+
+void
+mttkrp_coo_seq(const CooTensor& x, const FactorList& factors, Size mode,
+               DenseMatrix& out)
+{
+    const Size rank = check_factors(x.dims(), factors);
+    PASTA_CHECK_MSG(mode < x.order(), "mode out of range");
+    PASTA_CHECK_MSG(out.rows() == x.dim(mode) && out.cols() == rank,
+                    "output matrix shape mismatch");
+    out.fill(0);
+    std::vector<Value> acc(rank);
+    for (Size p = 0; p < x.nnz(); ++p) {
+        const Value xval = x.value(p);
+        for (Size r = 0; r < rank; ++r)
+            acc[r] = xval;
+        for (Size m = 0; m < x.order(); ++m) {
+            if (m == mode)
+                continue;
+            const Value* row = factors[m]->row(x.index(m, p));
+            for (Size r = 0; r < rank; ++r)
+                acc[r] *= row[r];
+        }
+        Value* out_row = out.row(x.index(mode, p));
+        for (Size r = 0; r < rank; ++r)
+            out_row[r] += acc[r];
+    }
+}
+
+}  // namespace pasta

@@ -1,0 +1,61 @@
+/// \file
+/// Matricized tensor times Khatri-Rao product (MTTKRP, paper §II-E,
+/// Algorithm 3).
+///
+/// For an Nth-order tensor x and factor matrices U^(m) in R^{I_m x R},
+/// the mode-n MTTKRP updates row i_n of the output by
+///   out(i_n, r) += x(i_1..i_N) * prod_{m != n} U^(m)(i_m, r).
+/// The Khatri-Rao product is never materialized (paper §II-E): the kernel
+/// fuses it into the sparse traversal.
+///
+/// COO-MTTKRP-OMP parallelizes over non-zeros and protects the output
+/// rows with atomics (the ParTI strategy).  HiCOO-MTTKRP-OMP (Algorithm 3)
+/// parallelizes over tensor blocks, addressing factor matrices through
+/// per-block base pointers so that only 8-bit element offsets are decoded
+/// in the inner loop.  Blocks sharing an output row block can still
+/// collide, so the block kernel uses the same atomic update — the paper's
+/// reference implementations deliberately avoid privatization and other
+/// advanced tuning (§III-D).
+#pragma once
+
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "core/coo_tensor.hpp"
+#include "core/dense.hpp"
+#include "core/hicoo_tensor.hpp"
+
+namespace pasta {
+
+/// Factor matrix list: one DenseMatrix per tensor mode, all with R columns
+/// and factors[m].rows() == x.dim(m).
+using FactorList = std::vector<const DenseMatrix*>;
+
+/// Validates factor shapes against `dims`; throws PastaError on mismatch.
+/// Returns the common rank R.
+Size check_factors(const std::vector<Index>& dims, const FactorList& factors);
+
+/// COO-MTTKRP-OMP timed kernel: zeroes `out` (I_mode x R) then accumulates.
+/// Parallel over non-zeros with atomic output updates.
+void mttkrp_coo(const CooTensor& x, const FactorList& factors, Size mode,
+                DenseMatrix& out, Schedule schedule = Schedule::kStatic);
+
+/// HiCOO-MTTKRP-OMP timed kernel (Algorithm 3): parallel over blocks.
+void mttkrp_hicoo(const HiCooTensor& x, const FactorList& factors, Size mode,
+                  DenseMatrix& out, Schedule schedule = Schedule::kDynamic);
+
+/// Sequential COO-MTTKRP (no atomics), used as a deterministic baseline by
+/// tests and by the single-thread crossover ablation.
+void mttkrp_coo_seq(const CooTensor& x, const FactorList& factors, Size mode,
+                    DenseMatrix& out);
+
+/// Privatized COO-MTTKRP-OMP: each thread accumulates into a private
+/// copy of the output matrix, reduced at the end — the lock-avoiding
+/// strategy the paper's reference implementations deliberately omit
+/// (§III-D: "advanced techniques such as privatization ... are not
+/// adopted").  Provided as the ablation counterpart: it trades
+/// O(threads x I_mode x R) extra memory for atomic-free updates.
+void mttkrp_coo_privatized(const CooTensor& x, const FactorList& factors,
+                           Size mode, DenseMatrix& out);
+
+}  // namespace pasta

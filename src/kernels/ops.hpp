@@ -1,0 +1,42 @@
+/// \file
+/// Shared operation descriptors for the five tensor kernels (paper §II).
+#pragma once
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace pasta {
+
+/// Element-wise binary operations (TEW, paper §II-A).
+enum class EwOp { kAdd, kSub, kMul, kDiv };
+
+/// Tensor-scalar operations (TS, paper §II-B).  The suite implements TSA
+/// and TSM; TSS and TSD are expressible through them (x - s = x + (-s),
+/// x / s = x * (1/s)), mirroring the paper's choice.
+enum class TsOp { kAdd, kMul };
+
+/// Applies an EwOp to one pair of scalars.
+inline Value
+apply_ew(EwOp op, Value a, Value b)
+{
+    switch (op) {
+      case EwOp::kAdd: return a + b;
+      case EwOp::kSub: return a - b;
+      case EwOp::kMul: return a * b;
+      case EwOp::kDiv: return a / b;
+    }
+    return 0;
+}
+
+/// Applies a TsOp to a scalar pair.
+inline Value
+apply_ts(TsOp op, Value a, Value s)
+{
+    return op == TsOp::kAdd ? a + s : a * s;
+}
+
+/// Human-readable kernel-op names used by bench output.
+const char* ew_op_name(EwOp op);
+const char* ts_op_name(TsOp op);
+
+}  // namespace pasta

@@ -1,0 +1,180 @@
+#include "kernels/reference.hpp"
+
+#include "common/error.hpp"
+
+namespace pasta {
+
+const char*
+ew_op_name(EwOp op)
+{
+    switch (op) {
+      case EwOp::kAdd: return "add";
+      case EwOp::kSub: return "sub";
+      case EwOp::kMul: return "mul";
+      case EwOp::kDiv: return "div";
+    }
+    return "?";
+}
+
+const char*
+ts_op_name(TsOp op)
+{
+    return op == TsOp::kAdd ? "tsa" : "tsm";
+}
+
+DenseTensor::DenseTensor(std::vector<Index> dims) : dims_(std::move(dims))
+{
+    PASTA_CHECK_MSG(!dims_.empty(), "tensor order must be at least 1");
+    Size vol = 1;
+    for (Index d : dims_) {
+        PASTA_CHECK_MSG(d > 0, "zero dimension");
+        vol *= d;
+    }
+    PASTA_CHECK_MSG(vol <= (Size{1} << 28),
+                    "dense reference tensor too large (" << vol << ")");
+    data_.assign(vol, 0.0);
+}
+
+Size
+DenseTensor::offset(const Coordinate& c) const
+{
+    PASTA_ASSERT(c.size() == order());
+    Size off = 0;
+    for (Size m = 0; m < order(); ++m)
+        off = off * dims_[m] + c[m];
+    return off;
+}
+
+Coordinate
+DenseTensor::coordinate(Size off) const
+{
+    Coordinate c(order());
+    for (Size m = order(); m-- > 0;) {
+        c[m] = static_cast<Index>(off % dims_[m]);
+        off /= dims_[m];
+    }
+    return c;
+}
+
+DenseTensor
+DenseTensor::from_coo(const CooTensor& x)
+{
+    DenseTensor t(x.dims());
+    for (Size p = 0; p < x.nnz(); ++p)
+        t.at(x.coordinate(p)) += x.value(p);
+    return t;
+}
+
+CooTensor
+DenseTensor::to_coo() const
+{
+    CooTensor out(dims_);
+    for (Size i = 0; i < volume(); ++i) {
+        if (data_[i] != 0.0)
+            out.append(coordinate(i), static_cast<Value>(data_[i]));
+    }
+    out.sort_lexicographic();
+    return out;
+}
+
+DenseTensor
+ref_tew(const DenseTensor& x, const DenseTensor& y, EwOp op)
+{
+    PASTA_CHECK_MSG(x.dims() == y.dims(), "ref_tew shape mismatch");
+    DenseTensor z(x.dims());
+    for (Size i = 0; i < x.volume(); ++i)
+        z.flat(i) = apply_ew(op, static_cast<Value>(x.flat(i)),
+                             static_cast<Value>(y.flat(i)));
+    return z;
+}
+
+CooTensor
+ref_ts(const CooTensor& x, TsOp op, Value s)
+{
+    CooTensor y = x;
+    for (Size p = 0; p < y.nnz(); ++p)
+        y.value(p) = apply_ts(op, x.value(p), s);
+    return y;
+}
+
+DenseTensor
+ref_ttv(const DenseTensor& x, const DenseVector& v, Size mode)
+{
+    PASTA_CHECK_MSG(mode < x.order(), "mode out of range");
+    PASTA_CHECK_MSG(v.size() == x.dims()[mode], "vector length mismatch");
+    std::vector<Index> out_dims;
+    for (Size m = 0; m < x.order(); ++m)
+        if (m != mode)
+            out_dims.push_back(x.dims()[m]);
+    if (out_dims.empty())
+        out_dims.push_back(1);  // order-1 input contracts to a scalar
+    DenseTensor y(out_dims);
+    Coordinate c(x.order());
+    for (Size i = 0; i < x.volume(); ++i) {
+        c = x.coordinate(i);
+        Coordinate oc;
+        for (Size m = 0; m < x.order(); ++m)
+            if (m != mode)
+                oc.push_back(c[m]);
+        if (oc.empty())
+            oc.push_back(0);
+        y.at(oc) += x.flat(i) * static_cast<double>(v[c[mode]]);
+    }
+    return y;
+}
+
+DenseTensor
+ref_ttm(const DenseTensor& x, const DenseMatrix& u, Size mode)
+{
+    PASTA_CHECK_MSG(mode < x.order(), "mode out of range");
+    PASTA_CHECK_MSG(u.rows() == x.dims()[mode], "matrix rows mismatch");
+    std::vector<Index> out_dims = x.dims();
+    out_dims[mode] = static_cast<Index>(u.cols());
+    DenseTensor y(out_dims);
+    for (Size i = 0; i < x.volume(); ++i) {
+        if (x.flat(i) == 0.0)
+            continue;
+        Coordinate c = x.coordinate(i);
+        const Index k = c[mode];
+        for (Size r = 0; r < u.cols(); ++r) {
+            c[mode] = static_cast<Index>(r);
+            y.at(c) += x.flat(i) * static_cast<double>(u(k, r));
+        }
+    }
+    return y;
+}
+
+DenseMatrix
+ref_mttkrp(const DenseTensor& x,
+           const std::vector<const DenseMatrix*>& factors, Size mode)
+{
+    PASTA_CHECK_MSG(mode < x.order(), "mode out of range");
+    PASTA_CHECK_MSG(factors.size() == x.order(), "factor count mismatch");
+    const Size rank = factors[0]->cols();
+    for (Size m = 0; m < x.order(); ++m) {
+        PASTA_CHECK_MSG(factors[m]->cols() == rank, "rank mismatch");
+        PASTA_CHECK_MSG(factors[m]->rows() == x.dims()[m],
+                        "factor rows mismatch on mode " << m);
+    }
+    DenseMatrix out(x.dims()[mode], rank, 0);
+    std::vector<double> acc(rank);
+    for (Size i = 0; i < x.volume(); ++i) {
+        if (x.flat(i) == 0.0)
+            continue;
+        const Coordinate c = x.coordinate(i);
+        for (Size r = 0; r < rank; ++r) {
+            double prod = x.flat(i);
+            for (Size m = 0; m < x.order(); ++m) {
+                if (m == mode)
+                    continue;
+                prod *= static_cast<double>((*factors[m])(c[m], r));
+            }
+            acc[r] = prod;
+        }
+        for (Size r = 0; r < rank; ++r)
+            out(c[mode], r) += static_cast<Value>(acc[r]);
+    }
+    return out;
+}
+
+}  // namespace pasta

@@ -1,0 +1,73 @@
+/// \file
+/// Dense reference implementations of the five kernels.
+///
+/// These are deliberately naive, double-accumulating, loop-nest versions
+/// used only to validate the sparse kernels in tests.  They materialize the
+/// tensor densely, so they are restricted to small test shapes.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/coo_tensor.hpp"
+#include "core/dense.hpp"
+#include "kernels/ops.hpp"
+
+namespace pasta {
+
+/// Small dense arbitrary-order tensor with double storage, for validation.
+class DenseTensor {
+  public:
+    DenseTensor() = default;
+
+    /// Creates a zero tensor of the given shape (total volume must fit in
+    /// memory; intended for test-sized tensors only).
+    explicit DenseTensor(std::vector<Index> dims);
+
+    Size order() const { return dims_.size(); }
+    const std::vector<Index>& dims() const { return dims_; }
+    Size volume() const { return data_.size(); }
+
+    double& at(const Coordinate& c) { return data_[offset(c)]; }
+    double at(const Coordinate& c) const { return data_[offset(c)]; }
+
+    double& flat(Size i) { return data_[i]; }
+    double flat(Size i) const { return data_[i]; }
+
+    /// Row-major linear offset of a coordinate.
+    Size offset(const Coordinate& c) const;
+
+    /// Inverse of offset().
+    Coordinate coordinate(Size off) const;
+
+    /// Densifies a COO tensor (duplicates are summed).
+    static DenseTensor from_coo(const CooTensor& x);
+
+    /// Sparsifies: keeps non-zeros, lexicographically sorted.
+    CooTensor to_coo() const;
+
+  private:
+    std::vector<Index> dims_;
+    std::vector<double> data_;
+};
+
+/// Reference TEW: z = x op y element-wise over the dense cube.
+DenseTensor ref_tew(const DenseTensor& x, const DenseTensor& y, EwOp op);
+
+/// Reference TS applied to the *stored* non-zeros of a sparse tensor
+/// (the sparse TS semantics: the scalar touches only stored entries).
+CooTensor ref_ts(const CooTensor& x, TsOp op, Value s);
+
+/// Reference TTV: y = x x_mode v (dense contraction).
+DenseTensor ref_ttv(const DenseTensor& x, const DenseVector& v, Size mode);
+
+/// Reference TTM: y = x x_mode u with u in R^{I_mode x R}.
+DenseTensor ref_ttm(const DenseTensor& x, const DenseMatrix& u, Size mode);
+
+/// Reference MTTKRP via explicit matricization semantics:
+/// out(i_mode, r) = sum over non-mode coords of x(c) * prod factors.
+DenseMatrix ref_mttkrp(const DenseTensor& x,
+                       const std::vector<const DenseMatrix*>& factors,
+                       Size mode);
+
+}  // namespace pasta

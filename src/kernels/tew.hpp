@@ -1,0 +1,42 @@
+/// \file
+/// Tensor element-wise operations (TEW, paper §II-A, §III-B/§III-D).
+///
+/// Two regimes, exactly as the paper describes:
+///  * same-pattern: both inputs share order, shape, and non-zero pattern.
+///    Pre-processing copies the pattern to the output; the timed kernel is
+///    a single parallel sweep over the value arrays (OI 1/12: three value
+///    streams per non-zero).
+///  * general: inputs share the order but may differ in shape and pattern.
+///    A sorted two-pointer merge produces the output: union semantics for
+///    add/sub (absent entries are zero), intersection semantics for mul
+///    (0 * y = 0) and div (defined only where the divisor is stored).
+#pragma once
+
+#include "common/parallel.hpp"
+#include "core/coo_tensor.hpp"
+#include "core/hicoo_tensor.hpp"
+#include "kernels/ops.hpp"
+
+namespace pasta {
+
+/// Timed inner loop of same-pattern TEW: z[i] = x[i] op y[i] in parallel.
+/// All three arrays have `count` elements.
+void tew_values(EwOp op, const Value* x, const Value* y, Value* z,
+                Size count);
+
+/// COO-TEW-OMP, same-pattern fast path.  Throws when patterns differ.
+CooTensor tew_coo(const CooTensor& x, const CooTensor& y, EwOp op);
+
+/// COO-TEW for general inputs (different shapes/patterns): sorted merge.
+/// Inputs must be lexicographically sorted and duplicate-free; output dims
+/// are the element-wise max of the input dims.
+CooTensor tew_coo_general(const CooTensor& x, const CooTensor& y, EwOp op);
+
+/// HiCOO-TEW-OMP, same-pattern fast path: identical value computation to
+/// COO (paper §III-D1); the pattern (blocks + element indices) is copied
+/// in pre-processing.  Inputs must have identical block structure, which
+/// holds when both were converted from same-pattern COO tensors with the
+/// same block size.
+HiCooTensor tew_hicoo(const HiCooTensor& x, const HiCooTensor& y, EwOp op);
+
+}  // namespace pasta

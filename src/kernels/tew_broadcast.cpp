@@ -1,0 +1,97 @@
+#include "kernels/tew_broadcast.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+
+namespace pasta {
+
+namespace {
+
+std::uint64_t
+hash_coords(const Index* coords, Size n)
+{
+    std::uint64_t h = 1469598103934665603ULL;
+    for (Size m = 0; m < n; ++m)
+        h = (h ^ coords[m]) * 1099511628211ULL;
+    return h;
+}
+
+}  // namespace
+
+CooTensor
+tew_coo_broadcast(const CooTensor& x, const CooTensor& y,
+                  const std::vector<Size>& y_modes, EwOp op)
+{
+    PASTA_CHECK_MSG(op == EwOp::kMul || op == EwOp::kDiv,
+                    "broadcast TEW supports mul and div only (add/sub "
+                    "would densify the free modes)");
+    PASTA_CHECK_MSG(y_modes.size() == y.order(),
+                    "y_modes arity " << y_modes.size() << " != y order "
+                                     << y.order());
+    PASTA_CHECK_MSG(y.order() <= x.order(),
+                    "broadcast operand must not exceed the full "
+                    "tensor's order");
+    PASTA_CHECK_MSG(std::is_sorted(y_modes.begin(), y_modes.end()) &&
+                        std::adjacent_find(y_modes.begin(),
+                                           y_modes.end()) ==
+                            y_modes.end(),
+                    "y_modes must be strictly increasing");
+    for (Size k = 0; k < y_modes.size(); ++k) {
+        PASTA_CHECK_MSG(y_modes[k] < x.order(),
+                        "y_modes entry out of range");
+        PASTA_CHECK_MSG(y.dim(k) == x.dim(y_modes[k]),
+                        "extent mismatch: y mode " << k << " has "
+                                                   << y.dim(k)
+                                                   << ", x mode "
+                                                   << y_modes[k] << " has "
+                                                   << x.dim(y_modes[k]));
+    }
+
+    // Index y by coordinate (hash with full-coordinate verification).
+    struct YEntry {
+        Coordinate coords;
+        Value value;
+    };
+    std::unordered_map<std::uint64_t, std::vector<YEntry>> y_index;
+    y_index.reserve(y.nnz() * 2);
+    for (Size p = 0; p < y.nnz(); ++p) {
+        Coordinate c = y.coordinate(p);
+        y_index[hash_coords(c.data(), c.size())].push_back(
+            {std::move(c), y.value(p)});
+    }
+
+    CooTensor z = x;  // pattern copy, pre-processing
+    const Size yo = y.order();
+    parallel_for(0, x.nnz(), Schedule::kStatic, [&](Size p) {
+        std::vector<Index> probe(yo);
+        for (Size k = 0; k < yo; ++k)
+            probe[k] = x.index(y_modes[k], p);
+        Value yv = 0;
+        const auto it = y_index.find(hash_coords(probe.data(), yo));
+        if (it != y_index.end()) {
+            for (const auto& entry : it->second) {
+                if (std::equal(entry.coords.begin(), entry.coords.end(),
+                               probe.begin())) {
+                    yv = entry.value;
+                    break;
+                }
+            }
+        }
+        z.value(p) = apply_ew(op, x.value(p), yv);
+    });
+
+    if (op == EwOp::kDiv) {
+        for (Size p = 0; p < z.nnz(); ++p)
+            PASTA_CHECK_MSG(std::isfinite(z.value(p)),
+                            "division by a missing (zero) broadcast "
+                            "entry at non-zero "
+                                << p);
+    }
+    return z;
+}
+
+}  // namespace pasta

@@ -1,0 +1,31 @@
+/// \file
+/// Element-wise operations between tensors of *different orders*
+/// (paper §II-A: "more general cases ... for tensors in different tensor
+/// orders and/or shapes").
+///
+/// The lower-order operand y is broadcast over the modes of x it does
+/// not cover: `y_modes[k]` names the x-mode that y's mode k is aligned
+/// with.  Only multiplication and division are supported — they preserve
+/// x's sparsity pattern (0 * y = 0), so the output is predictable, which
+/// is the property the paper's pre-processing relies on.  Addition with
+/// broadcast would densify the free modes and is rejected.
+///
+/// Typical uses: scaling every slice of a data tensor by per-slice
+/// weights, normalizing a relation tensor by entity frequencies.
+#pragma once
+
+#include <vector>
+
+#include "core/coo_tensor.hpp"
+#include "kernels/ops.hpp"
+
+namespace pasta {
+
+/// z = x op broadcast(y): y's mode k aligns with x's mode y_modes[k]
+/// (strictly increasing, extents must match).  `op` must be kMul or
+/// kDiv; division requires every referenced y entry to exist (missing
+/// entries are zeros — dividing by them is reported as an error).
+CooTensor tew_coo_broadcast(const CooTensor& x, const CooTensor& y,
+                            const std::vector<Size>& y_modes, EwOp op);
+
+}  // namespace pasta

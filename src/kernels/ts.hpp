@@ -1,0 +1,24 @@
+/// \file
+/// Tensor-scalar operations (TS, paper §II-B).
+///
+/// TSA and TSM: the scalar is applied to every *stored* non-zero value.
+/// The timed kernel streams one value array in and one out (OI 1/8); the
+/// output pattern equals the input pattern and is copied in pre-processing.
+#pragma once
+
+#include "core/coo_tensor.hpp"
+#include "core/hicoo_tensor.hpp"
+#include "kernels/ops.hpp"
+
+namespace pasta {
+
+/// Timed inner loop: y[i] = x[i] op s in parallel.
+void ts_values(TsOp op, const Value* x, Value* y, Size count, Value s);
+
+/// COO-TS-OMP.
+CooTensor ts_coo(const CooTensor& x, TsOp op, Value s);
+
+/// HiCOO-TS-OMP (same value computation, HiCOO pattern copied).
+HiCooTensor ts_hicoo(const HiCooTensor& x, TsOp op, Value s);
+
+}  // namespace pasta

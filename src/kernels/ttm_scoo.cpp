@@ -1,0 +1,116 @@
+#include "kernels/ttm_scoo.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace pasta {
+
+ScooTensor
+ttm_scoo(const ScooTensor& x, const DenseMatrix& u, Size mode,
+         Schedule schedule)
+{
+    PASTA_CHECK_MSG(mode < x.order(), "mode out of range");
+    const auto& sparse = x.sparse_modes();
+    const auto slot_it = std::find(sparse.begin(), sparse.end(), mode);
+    PASTA_CHECK_MSG(slot_it != sparse.end(),
+                    "mode " << mode << " is dense in this sCOO tensor");
+    PASTA_CHECK_MSG(sparse.size() >= 2,
+                    "contracting the last sparse mode would leave no "
+                    "sparse part");
+    PASTA_CHECK_MSG(u.rows() == x.dim(mode),
+                    "matrix rows " << u.rows() << " != mode extent "
+                                   << x.dim(mode));
+    const Size rank = u.cols();
+    const Size slot = static_cast<Size>(slot_it - sparse.begin());
+
+    // Output shape: mode extent becomes R and joins the dense set.
+    std::vector<Index> out_dims = x.dims();
+    out_dims[mode] = static_cast<Index>(rank);
+    std::vector<Size> out_dense = x.dense_modes();
+    out_dense.insert(
+        std::lower_bound(out_dense.begin(), out_dense.end(), mode), mode);
+    ScooTensor out(out_dims, out_dense);
+
+    // Stripe offset mapping: output dense modes are input dense modes
+    // with `mode` inserted; in the row-major (ascending-mode) stripe
+    // layout, the input offset o splits at `mode`'s insertion point into
+    // prefix = o / suffix_vol and suffix = o % suffix_vol, and
+    //   out_off = (prefix * R + r) * suffix_vol + suffix.
+    Size suffix_vol = 1;
+    for (Size dm : x.dense_modes())
+        if (dm > mode)
+            suffix_vol *= x.dim(dm);
+    const Size in_vol = x.stripe_volume();
+
+    // Group sparse coordinates into mode-`mode` fibers: sort a
+    // permutation by the other sparse coordinates (then by mode).
+    const Size count = x.num_sparse();
+    std::vector<Size> perm(count);
+    std::iota(perm.begin(), perm.end(), 0);
+    std::sort(perm.begin(), perm.end(), [&](Size a, Size b) {
+        for (Size s = 0; s < sparse.size(); ++s) {
+            if (s == slot)
+                continue;
+            if (x.sparse_index(s, a) != x.sparse_index(s, b))
+                return x.sparse_index(s, a) < x.sparse_index(s, b);
+        }
+        return x.sparse_index(slot, a) < x.sparse_index(slot, b);
+    });
+
+    // Fiber boundaries over the permuted stream + output stripes.
+    std::vector<Size> fptr;
+    std::vector<Index> out_coords(sparse.size() - 1);
+    for (Size i = 0; i < count; ++i) {
+        bool boundary = (i == 0);
+        if (!boundary) {
+            for (Size s = 0; s < sparse.size(); ++s) {
+                if (s == slot)
+                    continue;
+                if (x.sparse_index(s, perm[i]) !=
+                    x.sparse_index(s, perm[i - 1])) {
+                    boundary = true;
+                    break;
+                }
+            }
+        }
+        if (boundary) {
+            fptr.push_back(i);
+            Size t = 0;
+            for (Size s = 0; s < sparse.size(); ++s)
+                if (s != slot)
+                    out_coords[t++] = x.sparse_index(s, perm[i]);
+            out.append_stripe(out_coords.data());
+        }
+    }
+    fptr.push_back(count);
+
+    const Size num_fibers = fptr.size() - 1;
+    parallel_for(
+        0, num_fibers, schedule,
+        [&](Size f) {
+            Value* yb = out.stripe(f);
+            for (Size i = fptr[f]; i < fptr[f + 1]; ++i) {
+                const Size p = perm[i];
+                const Value* urow = u.row(x.sparse_index(slot, p));
+                const Value* xs = x.stripe(p);
+                for (Size o = 0; o < in_vol; ++o) {
+                    const Size prefix = o / suffix_vol;
+                    const Size suffix = o % suffix_vol;
+                    const Value xval = xs[o];
+                    if (xval == 0)
+                        continue;
+                    Value* base =
+                        yb + prefix * rank * suffix_vol + suffix;
+#pragma omp simd
+                    for (Size r = 0; r < rank; ++r)
+                        base[r * suffix_vol] += xval * urow[r];
+                }
+            }
+        },
+        16);
+    return out;
+}
+
+}  // namespace pasta

@@ -1,0 +1,164 @@
+#include "kernels/ttv.hpp"
+
+#include "common/error.hpp"
+#include "core/convert.hpp"
+
+namespace pasta {
+
+CooTtvPlan
+ttv_plan_coo(const CooTensor& x, Size mode)
+{
+    PASTA_CHECK_MSG(mode < x.order(), "mode " << mode << " out of range");
+    PASTA_CHECK_MSG(x.order() >= 2, "TTV needs an order >= 2 tensor");
+
+    CooTtvPlan plan;
+    plan.mode = mode;
+    plan.sorted = x;
+    plan.sorted.sort_fibers_last(mode);
+    plan.fibers = compute_fibers(plan.sorted, mode);
+
+    std::vector<Index> out_dims;
+    for (Size m = 0; m < x.order(); ++m)
+        if (m != mode)
+            out_dims.push_back(x.dim(m));
+    plan.out_pattern = CooTensor(out_dims);
+    plan.out_pattern.reserve(plan.fibers.num_fibers());
+    Coordinate oc(out_dims.size());
+    for (Size f = 0; f < plan.fibers.num_fibers(); ++f) {
+        const Size head = plan.fibers.fptr[f];
+        Size s = 0;
+        for (Size m = 0; m < x.order(); ++m)
+            if (m != mode)
+                oc[s++] = plan.sorted.index(m, head);
+        plan.out_pattern.append(oc, 0);
+    }
+    return plan;
+}
+
+void
+ttv_exec_coo(const CooTtvPlan& plan, const DenseVector& v, CooTensor& out,
+             Schedule schedule)
+{
+    PASTA_CHECK_MSG(v.size() == plan.sorted.dim(plan.mode),
+                    "vector length " << v.size() << " != mode extent "
+                                     << plan.sorted.dim(plan.mode));
+    PASTA_CHECK_MSG(out.nnz() == plan.fibers.num_fibers(),
+                    "output nnz mismatch");
+    const Value* xv = plan.sorted.values().data();
+    const Index* kind = plan.sorted.mode_indices(plan.mode).data();
+    const Value* vv = v.data();
+    Value* yv = out.values().data();
+    const auto& fptr = plan.fibers.fptr;
+    parallel_for(
+        0, plan.fibers.num_fibers(), schedule,
+        [&](Size f) {
+            Value acc = 0;
+            for (Size p = fptr[f]; p < fptr[f + 1]; ++p)
+                acc += xv[p] * vv[kind[p]];
+            yv[f] = acc;
+        },
+        64);
+}
+
+CooTensor
+ttv_coo(const CooTensor& x, const DenseVector& v, Size mode)
+{
+    CooTtvPlan plan = ttv_plan_coo(x, mode);
+    CooTensor out = plan.out_pattern;
+    ttv_exec_coo(plan, v, out);
+    return out;
+}
+
+HicooTtvPlan
+ttv_plan_hicoo(const CooTensor& x, Size mode, unsigned block_bits)
+{
+    PASTA_CHECK_MSG(mode < x.order(), "mode " << mode << " out of range");
+    PASTA_CHECK_MSG(x.order() >= 2, "TTV needs an order >= 2 tensor");
+
+    HicooTtvPlan plan;
+    plan.mode = mode;
+    std::vector<bool> compressed(x.order(), true);
+    compressed[mode] = false;
+    plan.input = coo_to_ghicoo(x, compressed, block_bits);
+    const GHiCooTensor& g = plan.input;
+
+    // Fiber boundaries: a new fiber starts at each block boundary and
+    // whenever any compressed element coordinate changes.
+    plan.fptr.clear();
+    std::vector<Index> out_dims;
+    for (Size m = 0; m < x.order(); ++m)
+        if (m != mode)
+            out_dims.push_back(x.dim(m));
+    plan.out_pattern = HiCooTensor(out_dims, block_bits);
+
+    std::vector<BIndex> out_block(out_dims.size());
+    std::vector<EIndex> out_elem(out_dims.size());
+    for (Size b = 0; b < g.num_blocks(); ++b) {
+        // Output block coordinates mirror the input block's compressed
+        // coordinates.
+        Size s = 0;
+        for (Size m : g.compressed_modes())
+            out_block[s++] = g.block_index(m, b);
+        plan.out_pattern.append_block(out_block.data());
+        Size prev = kNoMode;
+        for (Size p = g.bptr()[b]; p < g.bptr()[b + 1]; ++p) {
+            bool boundary = (p == g.bptr()[b]);
+            if (!boundary) {
+                for (Size m : g.compressed_modes()) {
+                    if (g.element_index(m, p) !=
+                        g.element_index(m, prev)) {
+                        boundary = true;
+                        break;
+                    }
+                }
+            }
+            if (boundary) {
+                plan.fptr.push_back(p);
+                Size t = 0;
+                for (Size m : g.compressed_modes())
+                    out_elem[t++] = g.element_index(m, p);
+                plan.out_pattern.append_entry(out_elem.data(), 0);
+            }
+            prev = p;
+        }
+    }
+    plan.fptr.push_back(g.nnz());
+    return plan;
+}
+
+void
+ttv_exec_hicoo(const HicooTtvPlan& plan, const DenseVector& v,
+               HiCooTensor& out, Schedule schedule)
+{
+    const GHiCooTensor& g = plan.input;
+    PASTA_CHECK_MSG(v.size() == g.dim(plan.mode),
+                    "vector length mismatch");
+    const Size num_fibers = plan.fptr.size() - 1;
+    PASTA_CHECK_MSG(out.nnz() == num_fibers, "output nnz mismatch");
+    const Value* xv = g.values().data();
+    const Value* vv = v.data();
+    Value* yv = out.values().data();
+    const auto& fptr = plan.fptr;
+    const Size mode = plan.mode;
+    parallel_for(
+        0, num_fibers, schedule,
+        [&](Size f) {
+            Value acc = 0;
+            for (Size p = fptr[f]; p < fptr[f + 1]; ++p)
+                acc += xv[p] * vv[g.raw_index(mode, p)];
+            yv[f] = acc;
+        },
+        64);
+}
+
+HiCooTensor
+ttv_hicoo(const CooTensor& x, const DenseVector& v, Size mode,
+          unsigned block_bits)
+{
+    HicooTtvPlan plan = ttv_plan_hicoo(x, mode, block_bits);
+    HiCooTensor out = plan.out_pattern;
+    ttv_exec_hicoo(plan, v, out);
+    return out;
+}
+
+}  // namespace pasta

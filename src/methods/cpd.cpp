@@ -1,0 +1,115 @@
+#include "methods/cpd.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/convert.hpp"
+#include "kernels/mttkrp.hpp"
+#include "methods/linalg.hpp"
+
+namespace pasta {
+
+CpdResult
+cp_als(const CooTensor& x, const CpdOptions& options)
+{
+    PASTA_CHECK_MSG(options.rank > 0, "rank must be positive");
+    PASTA_CHECK_MSG(x.nnz() > 0, "cp_als needs a non-empty tensor");
+    const Size n = x.order();
+    const Size rank = options.rank;
+
+    CpdResult result;
+    Rng rng(options.seed);
+    for (Size m = 0; m < n; ++m)
+        result.factors.push_back(
+            DenseMatrix::random(x.dim(m), rank, rng));
+    result.lambdas.assign(rank, 1.0);
+
+    // Pre-convert once when HiCOO MTTKRP is selected.
+    HiCooTensor hicoo;
+    if (options.mttkrp_format == Format::kHicoo)
+        hicoo = coo_to_hicoo(x, options.block_bits);
+
+    // Cached Grams of every factor (updated after each mode sweep).
+    std::vector<std::vector<double>> grams(n);
+    for (Size m = 0; m < n; ++m)
+        grams[m] = gram_matrix(result.factors[m]);
+
+    const double norm_x_sq = frobenius_norm_squared(x);
+    double prev_fit = 0.0;
+
+    for (Size sweep = 0; sweep < options.max_sweeps; ++sweep) {
+        DenseMatrix mttkrp_out;
+        for (Size mode = 0; mode < n; ++mode) {
+            FactorList factors;
+            for (const auto& f : result.factors)
+                factors.push_back(&f);
+            mttkrp_out = DenseMatrix(x.dim(mode), rank);
+            if (options.mttkrp_format == Format::kHicoo)
+                mttkrp_hicoo(hicoo, factors, mode, mttkrp_out);
+            else
+                mttkrp_coo(x, factors, mode, mttkrp_out);
+
+            // V = Hadamard of the other modes' Grams; U = M V^-1.
+            std::vector<double> v(rank * rank, 1.0);
+            for (Size m = 0; m < n; ++m) {
+                if (m == mode)
+                    continue;
+                hadamard_inplace(v, grams[m]);
+            }
+            matmul_small(mttkrp_out, invert_matrix(std::move(v), rank),
+                         result.factors[mode]);
+            result.lambdas = normalize_columns(result.factors[mode]);
+            grams[mode] = gram_matrix(result.factors[mode]);
+        }
+
+        // Fit via the standard CP identity (no reconstruction):
+        //   <X, X_hat> = sum_{i,r} M(i,r) lambda_r U^(last)(i,r)
+        // where M is the final mode's MTTKRP result computed above
+        // (with the *pre-update* factors for the other modes — after the
+        // sweep, M corresponds to the current factors).
+        const Size last = n - 1;
+        double inner = 0.0;
+        for (Size i = 0; i < x.dim(last); ++i)
+            for (Size r = 0; r < rank; ++r)
+                inner += static_cast<double>(mttkrp_out(i, r)) *
+                         result.lambdas[r] * result.factors[last](i, r);
+        std::vector<double> h(rank * rank, 1.0);
+        for (Size m = 0; m < n; ++m)
+            hadamard_inplace(h, grams[m]);
+        double model_sq = 0.0;
+        for (Size r = 0; r < rank; ++r)
+            for (Size s = 0; s < rank; ++s)
+                model_sq += result.lambdas[r] * result.lambdas[s] *
+                            h[r * rank + s];
+        const double residual_sq =
+            std::max(0.0, norm_x_sq - 2.0 * inner + model_sq);
+        const double fit =
+            1.0 - std::sqrt(residual_sq) / std::sqrt(norm_x_sq);
+        result.fit_history.push_back(fit);
+        result.fit = fit;
+        result.sweeps = sweep + 1;
+        if (sweep > 0 && std::abs(fit - prev_fit) < options.tolerance)
+            break;
+        prev_fit = fit;
+    }
+    return result;
+}
+
+double
+cpd_value_at(const CpdResult& model, const Coordinate& coords)
+{
+    PASTA_CHECK_MSG(coords.size() == model.factors.size(),
+                    "coordinate arity mismatch");
+    const Size rank = model.lambdas.size();
+    double total = 0.0;
+    for (Size r = 0; r < rank; ++r) {
+        double term = model.lambdas[r];
+        for (Size m = 0; m < model.factors.size(); ++m)
+            term *= model.factors[m](coords[m], r);
+        total += term;
+    }
+    return total;
+}
+
+}  // namespace pasta

@@ -1,0 +1,143 @@
+#include "methods/linalg.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pasta {
+
+std::vector<double>
+gram_matrix(const DenseMatrix& a)
+{
+    const Size r = a.cols();
+    std::vector<double> g(r * r, 0.0);
+    for (Size i = 0; i < a.rows(); ++i) {
+        const Value* row = a.row(i);
+        for (Size p = 0; p < r; ++p)
+            for (Size q = 0; q < r; ++q)
+                g[p * r + q] += static_cast<double>(row[p]) * row[q];
+    }
+    return g;
+}
+
+void
+hadamard_inplace(std::vector<double>& target,
+                 const std::vector<double>& source)
+{
+    PASTA_CHECK_MSG(target.size() == source.size(),
+                    "hadamard size mismatch");
+    for (Size i = 0; i < target.size(); ++i)
+        target[i] *= source[i];
+}
+
+std::vector<double>
+invert_matrix(std::vector<double> a, Size r)
+{
+    PASTA_CHECK_MSG(a.size() == r * r, "invert_matrix size mismatch");
+    std::vector<double> inv(r * r, 0.0);
+    for (Size i = 0; i < r; ++i)
+        inv[i * r + i] = 1.0;
+    for (Size col = 0; col < r; ++col) {
+        Size pivot = col;
+        for (Size row = col + 1; row < r; ++row)
+            if (std::abs(a[row * r + col]) > std::abs(a[pivot * r + col]))
+                pivot = row;
+        if (std::abs(a[pivot * r + col]) < 1e-12)
+            a[pivot * r + col] += 1e-6;  // ridge for rank deficiency
+        if (pivot != col) {
+            for (Size k = 0; k < r; ++k) {
+                std::swap(a[pivot * r + k], a[col * r + k]);
+                std::swap(inv[pivot * r + k], inv[col * r + k]);
+            }
+        }
+        const double d = a[col * r + col];
+        for (Size k = 0; k < r; ++k) {
+            a[col * r + k] /= d;
+            inv[col * r + k] /= d;
+        }
+        for (Size row = 0; row < r; ++row) {
+            if (row == col)
+                continue;
+            const double f = a[row * r + col];
+            if (f == 0.0)
+                continue;
+            for (Size k = 0; k < r; ++k) {
+                a[row * r + k] -= f * a[col * r + k];
+                inv[row * r + k] -= f * inv[col * r + k];
+            }
+        }
+    }
+    return inv;
+}
+
+void
+matmul_small(const DenseMatrix& lhs, const std::vector<double>& rhs,
+             DenseMatrix& out)
+{
+    const Size r = lhs.cols();
+    PASTA_CHECK_MSG(rhs.size() == r * r, "matmul_small size mismatch");
+    PASTA_CHECK_MSG(out.rows() == lhs.rows() && out.cols() == r,
+                    "matmul_small output shape mismatch");
+    for (Size i = 0; i < lhs.rows(); ++i) {
+        const Value* in_row = lhs.row(i);
+        Value* out_row = out.row(i);
+        for (Size q = 0; q < r; ++q) {
+            double acc = 0.0;
+            for (Size p = 0; p < r; ++p)
+                acc += static_cast<double>(in_row[p]) * rhs[p * r + q];
+            out_row[q] = static_cast<Value>(acc);
+        }
+    }
+}
+
+void
+orthonormalize_columns(DenseMatrix& a)
+{
+    for (Size c = 0; c < a.cols(); ++c) {
+        for (Size prev = 0; prev < c; ++prev) {
+            double dot = 0.0;
+            for (Size i = 0; i < a.rows(); ++i)
+                dot += static_cast<double>(a(i, c)) * a(i, prev);
+            for (Size i = 0; i < a.rows(); ++i)
+                a(i, c) -= static_cast<Value>(dot) * a(i, prev);
+        }
+        double norm = 0.0;
+        for (Size i = 0; i < a.rows(); ++i)
+            norm += static_cast<double>(a(i, c)) * a(i, c);
+        norm = std::sqrt(norm);
+        if (norm < 1e-12) {
+            a(c % a.rows(), c) = 1.0f;
+            norm = 1.0;
+        }
+        for (Size i = 0; i < a.rows(); ++i)
+            a(i, c) = static_cast<Value>(a(i, c) / norm);
+    }
+}
+
+double
+frobenius_norm_squared(const CooTensor& x)
+{
+    double total = 0.0;
+    for (Size p = 0; p < x.nnz(); ++p)
+        total += static_cast<double>(x.value(p)) * x.value(p);
+    return total;
+}
+
+std::vector<double>
+normalize_columns(DenseMatrix& a)
+{
+    std::vector<double> norms(a.cols(), 0.0);
+    for (Size i = 0; i < a.rows(); ++i)
+        for (Size c = 0; c < a.cols(); ++c)
+            norms[c] += static_cast<double>(a(i, c)) * a(i, c);
+    for (auto& n : norms)
+        n = std::sqrt(n);
+    for (Size i = 0; i < a.rows(); ++i)
+        for (Size c = 0; c < a.cols(); ++c)
+            if (norms[c] > 1e-12)
+                a(i, c) = static_cast<Value>(a(i, c) / norms[c]);
+    return norms;
+}
+
+}  // namespace pasta

@@ -1,0 +1,141 @@
+#include "methods/power_method.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "kernels/ttv.hpp"
+
+namespace pasta {
+
+namespace {
+
+double
+norm2(const DenseVector& v)
+{
+    double n = 0.0;
+    for (Size i = 0; i < v.size(); ++i)
+        n += static_cast<double>(v[i]) * v[i];
+    return std::sqrt(n);
+}
+
+void
+normalize(DenseVector& v)
+{
+    const double n = norm2(v);
+    PASTA_CHECK_MSG(n > 0, "power method hit a zero vector");
+    for (Size i = 0; i < v.size(); ++i)
+        v[i] = static_cast<Value>(v[i] / n);
+}
+
+double
+dot(const DenseVector& a, const DenseVector& b)
+{
+    double d = 0.0;
+    for (Size i = 0; i < a.size(); ++i)
+        d += static_cast<double>(a[i]) * b[i];
+    return d;
+}
+
+/// w = X x_2 v x_3 v as a dense length-n vector (two sparse TTVs).
+DenseVector
+bilinear_contract(const CooTensor& x, const DenseVector& v)
+{
+    CooTensor first = ttv_coo(x, v, 2);
+    CooTensor second = ttv_coo(first, v, 1);
+    DenseVector out(v.size(), 0);
+    for (Size p = 0; p < second.nnz(); ++p)
+        out[second.index(0, p)] = second.value(p);
+    return out;
+}
+
+/// One implicitly deflated power step:
+///   next = (X - sum_c w_c u_c^(o3)) x_2 v x_3 v
+///        = X x_2 v x_3 v - sum_c w_c (u_c . v)^2 u_c.
+DenseVector
+deflated_step(const CooTensor& x,
+              const std::vector<TensorComponent>& found,
+              const DenseVector& v)
+{
+    DenseVector next = bilinear_contract(x, v);
+    for (const auto& comp : found) {
+        const double scale =
+            comp.weight * dot(comp.vector, v) * dot(comp.vector, v);
+        for (Size i = 0; i < next.size(); ++i)
+            next[i] -= static_cast<Value>(scale * comp.vector[i]);
+    }
+    return next;
+}
+
+/// Rayleigh value of the deflated tensor at v.
+double
+deflated_eigenvalue(const CooTensor& x,
+                    const std::vector<TensorComponent>& found,
+                    const DenseVector& v)
+{
+    const DenseVector xv = bilinear_contract(x, v);
+    double value = dot(xv, v);
+    for (const auto& comp : found) {
+        const double uv = dot(comp.vector, v);
+        value -= comp.weight * uv * uv * uv;
+    }
+    return value;
+}
+
+}  // namespace
+
+std::vector<TensorComponent>
+tensor_power_method(const CooTensor& x, const PowerMethodOptions& options)
+{
+    PASTA_CHECK_MSG(x.order() == 3,
+                    "tensor power method needs a third-order tensor");
+    PASTA_CHECK_MSG(x.dim(0) == x.dim(1) && x.dim(1) == x.dim(2),
+                    "tensor power method needs a cubical tensor");
+    PASTA_CHECK_MSG(options.num_components >= 1, "need >= 1 component");
+    const Size n = x.dim(0);
+
+    Rng rng(options.seed);
+    std::vector<TensorComponent> found;
+    for (Size c = 0; c < options.num_components; ++c) {
+        DenseVector best;
+        double best_value = -1e300;
+        for (Size restart = 0; restart < options.restarts; ++restart) {
+            DenseVector v = DenseVector::random(n, rng);
+            normalize(v);
+            for (Size iter = 0; iter < options.iterations; ++iter) {
+                v = deflated_step(x, found, v);
+                const double vn = norm2(v);
+                if (vn < 1e-12)
+                    break;  // deflated tensor vanished along this start
+                for (Size i = 0; i < n; ++i)
+                    v[i] = static_cast<Value>(v[i] / vn);
+            }
+            if (norm2(v) < 0.5)
+                continue;
+            const double value = deflated_eigenvalue(x, found, v);
+            if (value > best_value) {
+                best_value = value;
+                best = v;
+            }
+        }
+        PASTA_CHECK_MSG(best.size() == n,
+                        "power method failed to converge on component "
+                            << c);
+        found.push_back({best, best_value});
+    }
+    return found;
+}
+
+double
+symmetric_model_form(const std::vector<TensorComponent>& model,
+                     const DenseVector& v)
+{
+    double total = 0.0;
+    for (const auto& comp : model) {
+        const double uv = dot(comp.vector, v);
+        total += comp.weight * uv * uv * uv;
+    }
+    return total;
+}
+
+}  // namespace pasta

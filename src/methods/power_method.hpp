@@ -1,0 +1,43 @@
+/// \file
+/// Orthogonal tensor decomposition by the robust tensor power method
+/// (Anandkumar et al. [19]), the TTV-driven method the paper's §II-C
+/// motivates.  Works on symmetric third-order tensors; components are
+/// extracted by repeated TTV power iterations with *implicit* deflation —
+/// the residual X - sum_c w_c u_c^(o3) is never materialized, so the
+/// method scales with nnz(X), not with the dense cube.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/coo_tensor.hpp"
+#include "core/dense.hpp"
+
+namespace pasta {
+
+/// Power method configuration.
+struct PowerMethodOptions {
+    Size num_components = 1;
+    Size iterations = 30;       ///< power iterations per component
+    Size restarts = 3;          ///< random restarts, best kept
+    std::uint64_t seed = 1;
+};
+
+/// One recovered rank-1 symmetric component w * u o u o u.
+struct TensorComponent {
+    DenseVector vector;  ///< unit-norm u
+    double weight = 0;   ///< w
+};
+
+/// Extracts `num_components` components from a symmetric third-order
+/// tensor.  Throws PastaError when `x` is not third-order or not
+/// cubical.
+std::vector<TensorComponent> tensor_power_method(
+    const CooTensor& x, const PowerMethodOptions& options = {});
+
+/// Evaluates sum_c w_c (u_c . v)^3 — the symmetric model's cubic form —
+/// used to compare recovered components against a planted model.
+double symmetric_model_form(const std::vector<TensorComponent>& model,
+                            const DenseVector& v);
+
+}  // namespace pasta

@@ -1,0 +1,49 @@
+/// \file
+/// Truncated Tucker decomposition by higher-order orthogonal iteration
+/// (HOOI), the second complete tensor method from the paper's §VII list,
+/// built on the suite's TTM kernel.  Includes the reusable TTM-chain the
+/// paper names explicitly ("TTM-chain in Tucker decomposition").
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/coo_tensor.hpp"
+#include "core/dense.hpp"
+
+namespace pasta {
+
+/// Tucker/HOOI configuration.
+struct TuckerOptions {
+    std::vector<Size> core_dims;  ///< core extent per mode (empty = rank)
+    Size rank = 4;                ///< uniform core extent when core_dims empty
+    Size max_passes = 8;
+    double tolerance = 1e-5;      ///< stop when core norm stalls
+    Size power_iterations = 8;    ///< subspace iterations per factor
+    std::uint64_t seed = 1;
+};
+
+/// Tucker result: X ~= G x_1 U^(1) ... x_N U^(N) with orthonormal U.
+struct TuckerResult {
+    std::vector<DenseMatrix> factors;  ///< I_m x R_m, orthonormal columns
+    CooTensor core;                    ///< R_1 x ... x R_N core (sparse)
+    double core_norm = 0;              ///< |G|_F (= |X_hat|_F)
+    Size passes = 0;
+    std::vector<double> core_norm_history;
+};
+
+/// Contracts `x` with every matrix in `mats` along its mode index,
+/// skipping `skip_mode` (pass kNoMode to contract all modes).  Each step
+/// is one sparse TTM whose semi-sparse result is re-expanded; the chain
+/// is ordered by increasing intermediate size.
+CooTensor ttm_chain(const CooTensor& x,
+                    const std::vector<DenseMatrix>& mats,
+                    Size skip_mode = kNoMode);
+
+/// Runs HOOI on `x`.  Each pass refreshes every factor from the leading
+/// left subspace of the mode-m matricization of the TTM-chain projection,
+/// via LOBPCG-free subspace power iteration on the implicit Gram.
+TuckerResult tucker_hooi(const CooTensor& x,
+                         const TuckerOptions& options = {});
+
+}  // namespace pasta

@@ -1,0 +1,152 @@
+#include "roofline/ert.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/timer.hpp"
+
+namespace pasta {
+
+namespace {
+
+/// Bytes moved per element for each STREAM kernel.
+struct StreamKernel {
+    const char* name;
+    int bytes_per_elem;
+};
+
+constexpr StreamKernel kKernels[] = {
+    {"copy", 8},   // read a, write b
+    {"scale", 8},  // read a, write b
+    {"add", 12},   // read a+b, write c
+    {"triad", 12}, // read a+b, write c
+};
+
+/// Runs one kernel over n floats until ~`seconds` elapse; returns GB/s.
+double
+measure_kernel(const char* name, float* a, float* b, float* c, Size n,
+               int bytes_per_elem, double seconds)
+{
+    const float s = 1.0001f;
+    auto run_once = [&] {
+        if (name[0] == 'c' && name[1] == 'o') {  // copy
+            parallel_for_ranges(0, n, [&](Size first, Size last) {
+                for (Size i = first; i < last; ++i)
+                    b[i] = a[i];
+            });
+        } else if (name[0] == 's') {  // scale
+            parallel_for_ranges(0, n, [&](Size first, Size last) {
+                for (Size i = first; i < last; ++i)
+                    b[i] = s * a[i];
+            });
+        } else if (name[0] == 'a') {  // add
+            parallel_for_ranges(0, n, [&](Size first, Size last) {
+                for (Size i = first; i < last; ++i)
+                    c[i] = a[i] + b[i];
+            });
+        } else {  // triad
+            parallel_for_ranges(0, n, [&](Size first, Size last) {
+                for (Size i = first; i < last; ++i)
+                    c[i] = a[i] + s * b[i];
+            });
+        }
+    };
+    run_once();  // warm up
+    Timer timer;
+    timer.start();
+    Size reps = 0;
+    do {
+        run_once();
+        ++reps;
+    } while (timer.elapsed_seconds() < seconds);
+    const double elapsed = timer.elapsed_seconds();
+    const double bytes = static_cast<double>(reps) *
+                         static_cast<double>(n) * bytes_per_elem;
+    return bytes / elapsed / 1e9;
+}
+
+/// Register-blocked FMA chain estimating attainable peak FLOPS.
+double
+measure_flops(double seconds)
+{
+    constexpr Size kLanes = 16;
+    volatile float sink = 0;
+    float acc[kLanes];
+    for (Size l = 0; l < kLanes; ++l)
+        acc[l] = 1.0f + 1e-6f * static_cast<float>(l);
+    const float m = 1.000001f;
+    const float addend = 1e-9f;
+    Timer timer;
+    timer.start();
+    Size iters = 0;
+    do {
+        for (int k = 0; k < 1024; ++k) {
+#pragma omp simd
+            for (Size l = 0; l < kLanes; ++l)
+                acc[l] = acc[l] * m + addend;
+        }
+        iters += 1024;
+    } while (timer.elapsed_seconds() < seconds);
+    const double elapsed = timer.elapsed_seconds();
+    for (Size l = 0; l < kLanes; ++l)
+        sink = sink + acc[l];
+    (void)sink;
+    // 2 flops (mul + add) per lane per iteration.
+    return 2.0 * static_cast<double>(kLanes) *
+           static_cast<double>(iters) / elapsed / 1e9;
+}
+
+}  // namespace
+
+ErtResult
+run_ert(const ErtOptions& options)
+{
+    ErtResult result;
+    std::vector<float> a(options.max_bytes / sizeof(float), 1.0f);
+    std::vector<float> b(options.max_bytes / sizeof(float), 2.0f);
+    std::vector<float> c(options.max_bytes / sizeof(float), 0.0f);
+
+    for (std::size_t bytes = options.min_bytes; bytes <= options.max_bytes;
+         bytes *= 4) {
+        const Size n = bytes / sizeof(float);
+        for (const auto& kernel : kKernels) {
+            ErtSample sample;
+            sample.kernel = kernel.name;
+            sample.bytes = bytes;
+            sample.bandwidth_gbs =
+                measure_kernel(kernel.name, a.data(), b.data(), c.data(),
+                               n, kernel.bytes_per_elem,
+                               options.seconds_per_point);
+            result.samples.push_back(sample);
+            if (bytes <= options.llc_boundary_bytes)
+                result.llc_bw_gbs =
+                    std::max(result.llc_bw_gbs, sample.bandwidth_gbs);
+            else
+                result.dram_bw_gbs =
+                    std::max(result.dram_bw_gbs, sample.bandwidth_gbs);
+        }
+    }
+    result.peak_gflops = measure_flops(4 * options.seconds_per_point);
+    // A machine where the "DRAM" sizes still fit in a huge cache can show
+    // dram >= llc; clamp so the roofs stay ordered.
+    result.llc_bw_gbs = std::max(result.llc_bw_gbs, result.dram_bw_gbs);
+    return result;
+}
+
+MachineSpec
+host_machine_spec(const ErtResult& ert)
+{
+    MachineSpec spec;
+    spec.name = "host";
+    spec.microarch = "measured";
+    spec.cores = num_threads();
+    spec.peak_sp_gflops = ert.peak_gflops;
+    spec.mem_bw_gbs = ert.dram_bw_gbs;
+    spec.ert_dram_gbs = ert.dram_bw_gbs;
+    spec.ert_llc_gbs = ert.llc_bw_gbs;
+    spec.is_gpu = false;
+    return spec;
+}
+
+}  // namespace pasta

@@ -1,0 +1,90 @@
+#include "roofline/machine.hpp"
+
+namespace pasta {
+
+// ERT-obtainable bandwidths are modeled as the typical achieved fraction
+// of the theoretical peak (the paper plots ERT-DRAM below the theoretical
+// line in Fig. 3): ~80% for DDR4 CPUs, ~85% for HBM2 GPUs; LLC bandwidth
+// is a few times DRAM bandwidth on all four microarchitectures.
+
+MachineSpec
+bluesky()
+{
+    MachineSpec spec;
+    spec.name = "Bluesky";
+    spec.microarch = "Skylake";
+    spec.freq_ghz = 2.60;
+    spec.cores = 24;
+    spec.peak_sp_gflops = 1000.0;
+    spec.llc_mb = 19.0;
+    spec.mem_gb = 196.0;
+    spec.mem_bw_gbs = 256.0;
+    spec.ert_dram_gbs = 205.0;
+    spec.ert_llc_gbs = 720.0;
+    spec.is_gpu = false;
+    return spec;
+}
+
+MachineSpec
+wingtip()
+{
+    MachineSpec spec;
+    spec.name = "Wingtip";
+    spec.microarch = "Haswell";
+    spec.freq_ghz = 2.20;
+    spec.cores = 56;
+    spec.peak_sp_gflops = 2000.0;
+    spec.llc_mb = 35.0;
+    spec.mem_gb = 2114.0;
+    spec.mem_bw_gbs = 273.0;
+    // Four-socket NUMA: ERT-obtainable bandwidth suffers more than on the
+    // two-socket Bluesky (paper Observation 3).
+    spec.ert_dram_gbs = 190.0;
+    spec.ert_llc_gbs = 900.0;
+    spec.is_gpu = false;
+    return spec;
+}
+
+MachineSpec
+dgx_1p()
+{
+    MachineSpec spec;
+    spec.name = "DGX-1P";
+    spec.microarch = "Pascal";
+    spec.freq_ghz = 1.48;
+    spec.cores = 3584;
+    spec.peak_sp_gflops = 10600.0;
+    spec.llc_mb = 3.0;
+    spec.mem_gb = 16.0;
+    spec.mem_bw_gbs = 732.0;
+    spec.ert_dram_gbs = 550.0;
+    spec.ert_llc_gbs = 2000.0;
+    spec.is_gpu = true;
+    return spec;
+}
+
+MachineSpec
+dgx_1v()
+{
+    MachineSpec spec;
+    spec.name = "DGX-1V";
+    spec.microarch = "Volta";
+    spec.freq_ghz = 1.53;
+    spec.cores = 5120;
+    spec.peak_sp_gflops = 14900.0;
+    spec.llc_mb = 6.0;
+    spec.mem_gb = 16.0;
+    spec.mem_bw_gbs = 900.0;
+    spec.ert_dram_gbs = 790.0;
+    spec.ert_llc_gbs = 2700.0;
+    spec.is_gpu = true;
+    return spec;
+}
+
+std::vector<MachineSpec>
+paper_platforms()
+{
+    return {bluesky(), wingtip(), dgx_1p(), dgx_1v()};
+}
+
+}  // namespace pasta

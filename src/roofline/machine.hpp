@@ -1,0 +1,45 @@
+/// \file
+/// Platform descriptors (paper Table III) for Roofline construction.
+///
+/// The four paper platforms are modeled from their published parameters;
+/// the host this suite actually runs on is characterized at runtime by
+/// the ERT micro-kernels (ert.hpp) and wrapped in the same struct.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pasta {
+
+/// One platform row of Table III plus the ERT-obtainable bandwidths the
+/// paper derives from the Empirical Roofline Tool.
+struct MachineSpec {
+    std::string name;       ///< "Bluesky", "Wingtip", "DGX-1P", "DGX-1V"
+    std::string microarch;  ///< "Skylake", "Haswell", "Pascal", "Volta"
+    double freq_ghz = 0;
+    int cores = 0;
+    double peak_sp_gflops = 0;   ///< peak single-precision GFLOPS
+    double llc_mb = 0;           ///< last-level cache, MB
+    double mem_gb = 0;           ///< main/global memory size, GB
+    double mem_bw_gbs = 0;       ///< theoretical peak bandwidth, GB/s
+    double ert_dram_gbs = 0;     ///< obtainable DRAM/HBM bandwidth (ERT)
+    double ert_llc_gbs = 0;      ///< obtainable LLC bandwidth (ERT)
+    bool is_gpu = false;
+};
+
+/// Intel Xeon Gold 6126 node (Bluesky: 24 cores, 1.0 TFLOPS, 256 GB/s).
+MachineSpec bluesky();
+
+/// Intel Xeon E7-4850v3 node (Wingtip: 56 cores, 2.0 TFLOPS, 273 GB/s).
+MachineSpec wingtip();
+
+/// NVIDIA DGX-1P (Tesla P100: 10.6 TFLOPS, 732 GB/s).
+MachineSpec dgx_1p();
+
+/// NVIDIA DGX-1V (Tesla V100: 14.9 TFLOPS, 900 GB/s).
+MachineSpec dgx_1v();
+
+/// All four platforms in the paper's order.
+std::vector<MachineSpec> paper_platforms();
+
+}  // namespace pasta

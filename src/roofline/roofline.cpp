@@ -1,0 +1,50 @@
+#include "roofline/roofline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pasta {
+
+double
+attainable_gflops(double peak_gflops, double bw_gbs, double oi)
+{
+    PASTA_CHECK_MSG(peak_gflops > 0 && bw_gbs > 0 && oi > 0,
+                    "roofline inputs must be positive");
+    return std::min(peak_gflops, bw_gbs * oi);
+}
+
+double
+roofline_performance_gflops(const MachineSpec& spec, double oi)
+{
+    return attainable_gflops(spec.peak_sp_gflops, spec.ert_dram_gbs, oi);
+}
+
+double
+ridge_point(double peak_gflops, double bw_gbs)
+{
+    PASTA_CHECK_MSG(peak_gflops > 0 && bw_gbs > 0,
+                    "roofline inputs must be positive");
+    return peak_gflops / bw_gbs;
+}
+
+std::vector<RooflinePoint>
+sample_roofline(double peak_gflops, double bw_gbs, double oi_min,
+                double oi_max, std::size_t points)
+{
+    PASTA_CHECK_MSG(oi_min > 0 && oi_max > oi_min, "bad OI range");
+    PASTA_CHECK_MSG(points >= 2, "need at least 2 points");
+    std::vector<RooflinePoint> curve(points);
+    const double log_lo = std::log(oi_min);
+    const double log_hi = std::log(oi_max);
+    for (std::size_t i = 0; i < points; ++i) {
+        const double t =
+            static_cast<double>(i) / static_cast<double>(points - 1);
+        const double oi = std::exp(log_lo + t * (log_hi - log_lo));
+        curve[i] = {oi, attainable_gflops(peak_gflops, bw_gbs, oi)};
+    }
+    return curve;
+}
+
+}  // namespace pasta

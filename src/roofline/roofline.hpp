@@ -1,0 +1,42 @@
+/// \file
+/// Roofline model arithmetic (paper §V-B, Fig. 3).
+///
+/// A roofline caps attainable performance at min(peak, OI x bandwidth).
+/// The paper draws three roofs per platform — theoretical peak/DRAM,
+/// ERT-DRAM, and ERT-LLC — and marks each kernel's operational intensity
+/// on the ERT-DRAM roof; the resulting GFLOPS value is the red "Roofline
+/// performance" line of Figs. 4-7.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "roofline/machine.hpp"
+
+namespace pasta {
+
+/// Attainable GFLOPS at operational intensity `oi` under a `peak_gflops`
+/// compute roof and a `bw_gbs` memory roof.
+double attainable_gflops(double peak_gflops, double bw_gbs, double oi);
+
+/// The paper's "Roofline performance" for a kernel: OI x ERT-DRAM
+/// bandwidth, capped by peak (all kernels in Table I are memory-bound, so
+/// the cap never binds in practice).
+double roofline_performance_gflops(const MachineSpec& spec, double oi);
+
+/// Operational intensity where the memory roof meets the compute roof.
+double ridge_point(double peak_gflops, double bw_gbs);
+
+/// One sampled point of a roofline curve.
+struct RooflinePoint {
+    double oi = 0;
+    double gflops = 0;
+};
+
+/// Samples a roofline curve over a log-spaced OI range [oi_min, oi_max].
+std::vector<RooflinePoint> sample_roofline(double peak_gflops,
+                                           double bw_gbs, double oi_min,
+                                           double oi_max,
+                                           std::size_t points = 32);
+
+}  // namespace pasta

@@ -1,0 +1,136 @@
+// Tests for the bench harness plumbing: option parsing, suite loading,
+// and the CPU/GPU measurement pipelines at tiny scale.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "bench_common.hpp"
+#include "gpusim/timing_model.hpp"
+
+namespace pasta::bench {
+namespace {
+
+TEST(BenchOptions, EnvOverridesAreApplied)
+{
+    ::setenv("PASTA_SCALE", "0.002", 1);
+    ::setenv("PASTA_RUNS", "7", 1);
+    ::setenv("PASTA_CACHE", "/tmp/pasta_cache_test", 1);
+    const BenchOptions options = options_from_env();
+    EXPECT_DOUBLE_EQ(options.scale, 0.002);
+    EXPECT_EQ(options.runs, 7u);
+    EXPECT_EQ(options.cache_dir, "/tmp/pasta_cache_test");
+    ::unsetenv("PASTA_SCALE");
+    ::unsetenv("PASTA_RUNS");
+    ::unsetenv("PASTA_CACHE");
+}
+
+TEST(BenchOptions, DefaultsMatchThePaperProtocol)
+{
+    ::unsetenv("PASTA_SCALE");
+    ::unsetenv("PASTA_RUNS");
+    const BenchOptions options = options_from_env();
+    EXPECT_EQ(options.rank, 16u);           // §V-A2: R = 16
+    EXPECT_EQ(options.block_bits, 7u);      // §V-A2: B = 128
+    EXPECT_GT(options.scale, 0.0);
+}
+
+class SuitePipeline : public ::testing::Test {
+  protected:
+    void SetUp() override
+    {
+        options_.scale = 2e-5;  // tiny for test speed
+        options_.runs = 1;
+        options_.cache_dir.clear();  // no disk caching in tests
+        suite_ = load_suite(options_);
+    }
+
+    BenchOptions options_;
+    std::vector<NamedTensor> suite_;
+};
+
+TEST_F(SuitePipeline, LoadsAllThirtyDatasets)
+{
+    ASSERT_EQ(suite_.size(), 30u);
+    EXPECT_EQ(suite_[0].id, "r1");
+    EXPECT_EQ(suite_[29].id, "s15");
+    for (const auto& entry : suite_)
+        EXPECT_GT(entry.tensor.nnz(), 0u) << entry.id;
+}
+
+TEST_F(SuitePipeline, CpuSuiteProducesTenRunsPerTensor)
+{
+    // Use only the first two tensors to keep the test quick.
+    std::vector<NamedTensor> small(suite_.begin(), suite_.begin() + 2);
+    const auto runs = run_cpu_suite(small, options_);
+    // 5 kernels x 2 formats x 2 tensors.
+    EXPECT_EQ(runs.size(), 20u);
+    for (const auto& run : runs) {
+        EXPECT_GT(run.seconds, 0.0);
+        EXPECT_GT(run.cost.flops, 0.0);
+        EXPECT_GT(run.cost.bytes, 0.0);
+    }
+}
+
+TEST_F(SuitePipeline, GpuSuiteProducesTenRunsPerTensor)
+{
+    std::vector<NamedTensor> small(suite_.begin() + 15,
+                                   suite_.begin() + 17);
+    const auto runs =
+        run_gpu_suite(small, gpusim::tesla_v100(), options_);
+    EXPECT_EQ(runs.size(), 20u);
+    for (const auto& run : runs)
+        EXPECT_GT(run.seconds, 0.0);
+}
+
+TEST_F(SuitePipeline, PrintHelpersDoNotCrash)
+{
+    std::vector<NamedTensor> small(suite_.begin(), suite_.begin() + 1);
+    const auto runs = run_cpu_suite(small, options_);
+    print_figure("test figure", runs, bluesky());
+    print_averages(runs, bluesky());
+}
+
+TEST_F(SuitePipeline, CsvExportRoundTrips)
+{
+    namespace fs = std::filesystem;
+    std::vector<NamedTensor> small(suite_.begin(), suite_.begin() + 1);
+    const auto runs = run_cpu_suite(small, options_);
+    const fs::path dir = fs::temp_directory_path() / "pasta_csv_test";
+    fs::create_directories(dir);
+    const std::string path = (dir / "series.csv").string();
+    export_csv(path, runs, bluesky());
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string header;
+    std::getline(in, header);
+    EXPECT_EQ(header,
+              "tensor,kernel,format,seconds,gflops,roofline_gflops,"
+              "efficiency");
+    Size lines = 0;
+    std::string line;
+    while (std::getline(in, line))
+        if (!line.empty())
+            ++lines;
+    EXPECT_EQ(lines, runs.size());
+    fs::remove_all(dir);
+}
+
+TEST(CsvEnv, MaybeExportRespectsEnvVar)
+{
+    ::unsetenv("PASTA_CSV_DIR");
+    // No env: must be a silent no-op.
+    maybe_export_csv("noop", {}, bluesky());
+    namespace fs = std::filesystem;
+    const fs::path dir = fs::temp_directory_path() / "pasta_csv_env";
+    fs::create_directories(dir);
+    ::setenv("PASTA_CSV_DIR", dir.c_str(), 1);
+    maybe_export_csv("series", {}, bluesky());
+    EXPECT_TRUE(fs::exists(dir / "series.csv"));
+    ::unsetenv("PASTA_CSV_DIR");
+    fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace pasta::bench

@@ -1,0 +1,261 @@
+// Unit tests for the common substrate: rng, timer, parallel, morton,
+// error handling, logging.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "common/morton.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+
+namespace pasta {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.next_u64() == b.next_u64());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowIsInRange)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 1000000ULL}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.next_below(bound), bound);
+    }
+}
+
+TEST(Rng, NextBelowCoversSmallRangeUniformly)
+{
+    Rng rng(11);
+    std::vector<int> counts(8, 0);
+    const int samples = 80000;
+    for (int i = 0; i < samples; ++i)
+        ++counts[rng.next_below(8)];
+    for (int c : counts) {
+        EXPECT_GT(c, samples / 8 * 0.9);
+        EXPECT_LT(c, samples / 8 * 1.1);
+    }
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(3);
+    double lo = 1.0;
+    double hi = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double d = rng.next_double();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+        lo = std::min(lo, d);
+        hi = std::max(hi, d);
+    }
+    EXPECT_LT(lo, 0.01);
+    EXPECT_GT(hi, 0.99);
+}
+
+TEST(Rng, BernoulliMatchesProbability)
+{
+    Rng rng(5);
+    const int samples = 100000;
+    int hits = 0;
+    for (int i = 0; i < samples; ++i)
+        hits += rng.next_bernoulli(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / samples, 0.3, 0.01);
+}
+
+TEST(Rng, SplitStreamsAreDecorrelated)
+{
+    Rng a(9);
+    Rng b = a.split();
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.next_u64() == b.next_u64());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Timer, MeasuresElapsedTime)
+{
+    Timer t;
+    t.start();
+    volatile double x = 0;
+    for (int i = 0; i < 1000000; ++i)
+        x = x + std::sqrt(static_cast<double>(i));
+    EXPECT_GE(t.elapsed_seconds(), 0.0);
+}
+
+TEST(Timer, TimedRunsReportsStats)
+{
+    int calls = 0;
+    RunStats stats = timed_runs([&] { ++calls; }, 5, 2);
+    EXPECT_EQ(calls, 7);  // 2 warm-ups + 5 timed
+    EXPECT_EQ(stats.runs, 5u);
+    EXPECT_LE(stats.min_seconds, stats.mean_seconds);
+    EXPECT_LE(stats.mean_seconds, stats.max_seconds);
+}
+
+TEST(Parallel, ForCoversRangeExactlyOnce)
+{
+    const Size n = 10000;
+    std::vector<std::atomic<int>> hits(n);
+    for (auto sched :
+         {Schedule::kStatic, Schedule::kDynamic, Schedule::kGuided}) {
+        for (auto& h : hits)
+            h = 0;
+        parallel_for(0, n, sched, [&](Size i) { ++hits[i]; });
+        for (Size i = 0; i < n; ++i)
+            EXPECT_EQ(hits[i].load(), 1) << "schedule mismatch at " << i;
+    }
+}
+
+TEST(Parallel, ForEmptyRangeIsNoop)
+{
+    bool called = false;
+    parallel_for(5, 5, Schedule::kStatic, [&](Size) { called = true; });
+    parallel_for(7, 3, Schedule::kStatic, [&](Size) { called = true; });
+    EXPECT_FALSE(called);
+}
+
+TEST(Parallel, RangesPartitionIsDisjointAndComplete)
+{
+    const Size n = 12345;
+    std::vector<std::atomic<int>> hits(n);
+    for (auto& h : hits)
+        h = 0;
+    parallel_for_ranges(0, n, [&](Size first, Size last) {
+        EXPECT_LT(first, last);
+        for (Size i = first; i < last; ++i)
+            ++hits[i];
+    });
+    for (Size i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(Parallel, AtomicAddAccumulates)
+{
+    Value total = 0;
+    parallel_for(0, 10000, Schedule::kStatic,
+                 [&](Size) { atomic_add(&total, 1.0f); });
+    EXPECT_FLOAT_EQ(total, 10000.0f);
+}
+
+TEST(Parallel, SumReduction)
+{
+    const double s =
+        parallel_sum(1, 101, [](Size i) { return static_cast<double>(i); });
+    EXPECT_DOUBLE_EQ(s, 5050.0);
+}
+
+TEST(Parallel, ThreadOverrideRoundTrips)
+{
+    const int before = num_threads();
+    set_num_threads(1);
+    EXPECT_EQ(num_threads(), 1);
+    set_num_threads(0);
+    EXPECT_EQ(num_threads(), before);
+}
+
+TEST(Morton, OrderOneIsIdentity)
+{
+    for (Index i : {0u, 1u, 5u, 255u, 1u << 20}) {
+        const MortonKey key = morton_encode(&i, 1);
+        EXPECT_EQ(key.lo, i);
+        EXPECT_EQ(key.hi, 0u);
+    }
+}
+
+TEST(Morton, InterleavesTwoModes)
+{
+    // (1, 0) -> bit 0 set; (0, 1) -> bit 1 set; (1, 1) -> bits 0 and 1.
+    Index a[2] = {1, 0};
+    EXPECT_EQ(morton_encode(a, 2).lo, 0b01u);
+    Index b[2] = {0, 1};
+    EXPECT_EQ(morton_encode(b, 2).lo, 0b10u);
+    Index c[2] = {1, 1};
+    EXPECT_EQ(morton_encode(c, 2).lo, 0b11u);
+    Index d[2] = {2, 0};
+    EXPECT_EQ(morton_encode(d, 2).lo, 0b100u);
+}
+
+TEST(Morton, PreservesLocalityOrdering)
+{
+    // Adjacent coordinates must be closer in Morton order than far ones.
+    Index near1[2] = {3, 3};
+    Index near2[2] = {3, 4};
+    Index far[2] = {1000, 1000};
+    const MortonKey k1 = morton_encode(near1, 2);
+    const MortonKey k2 = morton_encode(near2, 2);
+    const MortonKey kf = morton_encode(far, 2);
+    EXPECT_TRUE(k1 < kf);
+    EXPECT_TRUE(k2 < kf);
+}
+
+TEST(Morton, KeysAreUniquePerCoordinate)
+{
+    std::set<std::pair<std::uint64_t, std::uint64_t>> seen;
+    for (Index i = 0; i < 16; ++i) {
+        for (Index j = 0; j < 16; ++j) {
+            for (Index k = 0; k < 16; ++k) {
+                Index c[3] = {i, j, k};
+                const MortonKey key = morton_encode(c, 3);
+                EXPECT_TRUE(seen.insert({key.hi, key.lo}).second);
+            }
+        }
+    }
+}
+
+TEST(Morton, HighBitsSpillIntoHiWord)
+{
+    Index c[4] = {kMaxIndex, kMaxIndex, kMaxIndex, kMaxIndex};
+    const MortonKey key = morton_encode(c, 4);
+    EXPECT_EQ(key.lo, ~0ULL);
+    EXPECT_EQ(key.hi, ~0ULL);
+}
+
+TEST(Error, PastaCheckThrows)
+{
+    EXPECT_THROW([] { PASTA_CHECK(1 == 2); }(), PastaError);
+    EXPECT_NO_THROW([] { PASTA_CHECK(1 == 1); }());
+}
+
+TEST(Error, PastaCheckMsgIncludesMessage)
+{
+    try {
+        PASTA_CHECK_MSG(false, "mode " << 7 << " bad");
+        FAIL() << "expected throw";
+    } catch (const PastaError& e) {
+        EXPECT_NE(std::string(e.what()).find("mode 7 bad"),
+                  std::string::npos);
+    }
+}
+
+TEST(Log, ThresholdFilters)
+{
+    const LogLevel old = log_threshold();
+    set_log_threshold(LogLevel::kError);
+    EXPECT_EQ(log_threshold(), LogLevel::kError);
+    PASTA_LOG_INFO << "should be suppressed";
+    set_log_threshold(old);
+}
+
+}  // namespace
+}  // namespace pasta

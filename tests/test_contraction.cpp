@@ -1,0 +1,157 @@
+// Tests for general sparse tensor-tensor contraction.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/convert.hpp"
+#include "kernels/contraction.hpp"
+#include "kernels/reference.hpp"
+
+namespace pasta {
+namespace {
+
+TEST(Contract, MatrixProductAsContraction)
+{
+    // A (2x3) * B (3x2): contract A mode 1 with B mode 0.
+    CooTensor a({2, 3});
+    a.append({0, 0}, 1.0f);
+    a.append({0, 2}, 2.0f);
+    a.append({1, 1}, 3.0f);
+    CooTensor b({3, 2});
+    b.append({0, 1}, 4.0f);
+    b.append({1, 0}, 5.0f);
+    b.append({2, 1}, 6.0f);
+    CooTensor c = contract(a, {1}, b, {0});
+    EXPECT_EQ(c.dims(), (std::vector<Index>{2, 2}));
+    // c(0,1) = 1*4 + 2*6 = 16; c(1,0) = 3*5 = 15.
+    EXPECT_FLOAT_EQ(c.at({0, 1}), 16.0f);
+    EXPECT_FLOAT_EQ(c.at({1, 0}), 15.0f);
+    EXPECT_EQ(c.nnz(), 2u);
+}
+
+TEST(Contract, OutputModesAreFreeAThenFreeB)
+{
+    Rng rng(1);
+    CooTensor a = CooTensor::random({4, 6, 8}, 30, rng);
+    CooTensor b = CooTensor::random({8, 10}, 20, rng);
+    CooTensor c = contract(a, {2}, b, {0});
+    EXPECT_EQ(c.dims(), (std::vector<Index>{4, 6, 10}));
+}
+
+TEST(Contract, MatchesDenseReference)
+{
+    Rng rng(2);
+    CooTensor a = CooTensor::random({6, 7, 8}, 80, rng);
+    CooTensor b = CooTensor::random({8, 7, 5}, 70, rng);
+    // Contract a's modes {1,2} with b's modes {1,0}.
+    CooTensor c = contract(a, {1, 2}, b, {1, 0});
+    EXPECT_EQ(c.dims(), (std::vector<Index>{6, 5}));
+
+    // Dense check.
+    DenseTensor da = DenseTensor::from_coo(a);
+    DenseTensor db = DenseTensor::from_coo(b);
+    DenseTensor expected({6, 5});
+    for (Index i = 0; i < 6; ++i)
+        for (Index u = 0; u < 5; ++u) {
+            double acc = 0;
+            for (Index j = 0; j < 7; ++j)
+                for (Index k = 0; k < 8; ++k)
+                    acc += da.at({i, j, k}) * db.at({k, j, u});
+            expected.at({i, u}) = acc;
+        }
+    EXPECT_TRUE(tensors_almost_equal(c, expected.to_coo(), 1e-3));
+}
+
+TEST(Contract, FullContractionYieldsScalar)
+{
+    CooTensor a({3, 3});
+    a.append({0, 0}, 2.0f);
+    a.append({1, 2}, 3.0f);
+    CooTensor b({3, 3});
+    b.append({0, 0}, 5.0f);
+    b.append({1, 2}, 7.0f);
+    b.append({2, 2}, 11.0f);
+    CooTensor c = contract(a, {0, 1}, b, {0, 1});
+    EXPECT_EQ(c.order(), 1u);
+    EXPECT_EQ(c.dims(), (std::vector<Index>{1}));
+    EXPECT_FLOAT_EQ(c.at({0}), 2 * 5 + 3 * 7.0f);
+}
+
+TEST(Contract, InnerProductHelper)
+{
+    Rng rng(3);
+    CooTensor a = CooTensor::random({10, 10, 10}, 100, rng);
+    // <a, a> = sum of squares.
+    double expected = 0;
+    for (Size p = 0; p < a.nnz(); ++p)
+        expected += static_cast<double>(a.value(p)) * a.value(p);
+    EXPECT_NEAR(inner_product(a, a), expected, 1e-3 * expected);
+    // Disjoint patterns: zero.
+    CooTensor b({10, 10, 10});
+    b.append({9, 9, 9}, 1.0f);
+    CooTensor lone({10, 10, 10});
+    lone.append({0, 0, 0}, 1.0f);
+    EXPECT_DOUBLE_EQ(inner_product(b, lone), 0.0);
+}
+
+TEST(Contract, EmptyOperandsGiveEmptyOutput)
+{
+    CooTensor a({4, 4});
+    CooTensor b({4, 4});
+    b.append({1, 1}, 1.0f);
+    EXPECT_EQ(contract(a, {1}, b, {0}).nnz(), 0u);
+    EXPECT_EQ(contract(b, {1}, a, {0}).nnz(), 0u);
+}
+
+TEST(Contract, DisjointContractionIndicesGiveEmptyOutput)
+{
+    CooTensor a({4, 4});
+    a.append({0, 0}, 1.0f);
+    CooTensor b({4, 4});
+    b.append({1, 1}, 1.0f);
+    EXPECT_EQ(contract(a, {1}, b, {0}).nnz(), 0u);
+}
+
+TEST(Contract, RejectsBadArguments)
+{
+    CooTensor a({4, 5});
+    CooTensor b({5, 4});
+    EXPECT_THROW(contract(a, {0, 1}, b, {0}), PastaError);  // arity
+    EXPECT_THROW(contract(a, {}, b, {}), PastaError);       // empty
+    EXPECT_THROW(contract(a, {0}, b, {0}), PastaError);     // extents 4v5
+    EXPECT_THROW(contract(a, {2}, b, {0}), PastaError);     // range
+    EXPECT_THROW(contract(a, {1, 1}, b, {0, 1}), PastaError);  // dup
+}
+
+TEST(Contract, TtvAgreementWithSparseVector)
+{
+    // Contracting with an order-1 dense-as-sparse vector must equal TTV.
+    Rng rng(4);
+    CooTensor x = CooTensor::random({8, 9, 10}, 90, rng);
+    DenseVector v = DenseVector::random(10, rng);
+    CooTensor vs({10});
+    for (Index k = 0; k < 10; ++k)
+        vs.append({k}, v[k]);
+    CooTensor got = contract(x, {2}, vs, {0});
+    DenseTensor expected =
+        ref_ttv(DenseTensor::from_coo(x), v, 2);
+    EXPECT_TRUE(tensors_almost_equal(got, expected.to_coo(), 1e-3));
+}
+
+TEST(Contract, AccumulatesDuplicateOutputCoordinates)
+{
+    // Two different contraction paths landing on the same output cell.
+    CooTensor a({2, 3});
+    a.append({0, 0}, 1.0f);
+    a.append({0, 1}, 2.0f);
+    CooTensor b({3, 2});
+    b.append({0, 0}, 3.0f);
+    b.append({1, 0}, 4.0f);
+    CooTensor c = contract(a, {1}, b, {0});
+    // c(0,0) = 1*3 + 2*4 = 11 accumulated into one non-zero.
+    EXPECT_EQ(c.nnz(), 1u);
+    EXPECT_FLOAT_EQ(c.at({0, 0}), 11.0f);
+}
+
+}  // namespace
+}  // namespace pasta

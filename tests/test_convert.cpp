@@ -1,0 +1,204 @@
+// Conversion round-trip tests, including parameterized property sweeps
+// over tensor orders and block sizes.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "core/convert.hpp"
+
+namespace pasta {
+namespace {
+
+CooTensor
+random_tensor(Size order, Index dim, Size nnz, std::uint64_t seed)
+{
+    Rng rng(seed);
+    return CooTensor::random(std::vector<Index>(order, dim), nnz, rng);
+}
+
+TEST(Convert, CooHicooRoundTripSmall)
+{
+    CooTensor x = random_tensor(3, 64, 400, 11);
+    HiCooTensor h = coo_to_hicoo(x, 3);
+    h.validate();
+    EXPECT_EQ(h.nnz(), x.nnz());
+    CooTensor back = hicoo_to_coo(h);
+    EXPECT_TRUE(tensors_almost_equal(x, back));
+}
+
+TEST(Convert, HicooBlocksAreMortonSortedAndNonEmpty)
+{
+    CooTensor x = random_tensor(3, 128, 800, 13);
+    HiCooTensor h = coo_to_hicoo(x, 4);
+    EXPECT_GT(h.num_blocks(), 0u);
+    for (Size b = 0; b < h.num_blocks(); ++b)
+        EXPECT_GT(h.bptr()[b + 1], h.bptr()[b]);
+    // Every block's coordinates must be distinct from its successor's.
+    for (Size b = 1; b < h.num_blocks(); ++b) {
+        bool same = true;
+        for (Size m = 0; m < h.order(); ++m)
+            same &= (h.block_index(m, b) == h.block_index(m, b - 1));
+        EXPECT_FALSE(same) << "duplicate adjacent block " << b;
+    }
+}
+
+TEST(Convert, HicooCompressesDenseClusters)
+{
+    // A tensor clustered into one block compresses far below COO size.
+    CooTensor x({256, 256, 256});
+    for (Index i = 0; i < 8; ++i)
+        for (Index j = 0; j < 8; ++j)
+            for (Index k = 0; k < 8; ++k)
+                x.append({i, j, k}, 1.0f);
+    HiCooTensor h = coo_to_hicoo(x, 3);
+    EXPECT_EQ(h.num_blocks(), 1u);
+    EXPECT_LT(h.storage_bytes(), x.storage_bytes());
+}
+
+TEST(Convert, HicooOnHyperSparseLosesToCoo)
+{
+    // Hyper-sparse: every non-zero in its own block; the block metadata
+    // makes HiCOO larger than COO (the gHiCOO motivation, §III-C).
+    CooTensor x({1 << 16, 1 << 16, 1 << 16});
+    Rng rng(3);
+    for (int p = 0; p < 200; ++p)
+        x.append({rng.next_index(1 << 16), rng.next_index(1 << 16),
+                  rng.next_index(1 << 16)},
+                 1.0f);
+    x.sort_lexicographic();
+    x.coalesce();
+    HiCooTensor h = coo_to_hicoo(x, 3);
+    EXPECT_EQ(h.num_blocks(), h.nnz());
+    EXPECT_GT(h.storage_bytes(), x.storage_bytes());
+}
+
+TEST(Convert, GhicooRoundTrip)
+{
+    CooTensor x = random_tensor(3, 64, 300, 17);
+    GHiCooTensor g = coo_to_ghicoo(x, {true, true, false}, 3);
+    g.validate();
+    EXPECT_EQ(g.nnz(), x.nnz());
+    CooTensor back = ghicoo_to_coo(g);
+    EXPECT_TRUE(tensors_almost_equal(x, back));
+}
+
+TEST(Convert, GhicooAllCompressedMatchesHicooBlockCount)
+{
+    CooTensor x = random_tensor(3, 64, 300, 19);
+    GHiCooTensor g = coo_to_ghicoo(x, {true, true, true}, 3);
+    HiCooTensor h = coo_to_hicoo(x, 3);
+    EXPECT_EQ(g.num_blocks(), h.num_blocks());
+}
+
+TEST(Convert, GhicooUncompressedModeSavesBlocks)
+{
+    // Leaving a mode out of the blocking can only reduce (or keep) the
+    // number of distinct blocks.
+    CooTensor x = random_tensor(3, 64, 500, 23);
+    GHiCooTensor all = coo_to_ghicoo(x, {true, true, true}, 3);
+    GHiCooTensor partial = coo_to_ghicoo(x, {true, true, false}, 3);
+    EXPECT_LE(partial.num_blocks(), all.num_blocks());
+}
+
+TEST(Convert, ScooRoundTripViaCoo)
+{
+    CooTensor x = random_tensor(3, 16, 120, 29);
+    ScooTensor s = coo_to_scoo(x, 1);
+    s.validate();
+    CooTensor back = s.to_coo();
+    EXPECT_TRUE(tensors_almost_equal(x, back));
+}
+
+TEST(Convert, ScooStripesMatchFiberCount)
+{
+    CooTensor x({4, 8, 4});
+    x.append({1, 0, 1}, 1.0f);
+    x.append({1, 3, 1}, 2.0f);  // same (i,k) fiber
+    x.append({2, 5, 0}, 3.0f);
+    ScooTensor s = coo_to_scoo(x, 1);
+    EXPECT_EQ(s.num_sparse(), 2u);
+    EXPECT_EQ(s.stripe_volume(), 8u);
+}
+
+TEST(Convert, ShicooRoundTripViaScoo)
+{
+    CooTensor x = random_tensor(3, 32, 200, 31);
+    ScooTensor s = coo_to_scoo(x, 2);
+    SHiCooTensor sh = scoo_to_shicoo(s, 3);
+    sh.validate();
+    EXPECT_EQ(sh.num_sparse(), s.num_sparse());
+    CooTensor back = sh.to_scoo().to_coo();
+    EXPECT_TRUE(tensors_almost_equal(x, back));
+}
+
+TEST(Convert, EmptyTensorsConvertCleanly)
+{
+    CooTensor x({16, 16, 16});
+    HiCooTensor h = coo_to_hicoo(x, 3);
+    EXPECT_EQ(h.nnz(), 0u);
+    EXPECT_EQ(h.num_blocks(), 0u);
+    EXPECT_EQ(hicoo_to_coo(h).nnz(), 0u);
+    GHiCooTensor g = coo_to_ghicoo(x, {true, false, true}, 3);
+    EXPECT_EQ(g.nnz(), 0u);
+    EXPECT_EQ(ghicoo_to_coo(g).nnz(), 0u);
+}
+
+TEST(Convert, TensorsAlmostEqualToleratesReordering)
+{
+    CooTensor a({8, 8});
+    a.append({1, 1}, 1.0f);
+    a.append({2, 2}, 2.0f);
+    CooTensor b({8, 8});
+    b.append({2, 2}, 2.0f);
+    b.append({1, 1}, 1.0f);
+    EXPECT_TRUE(tensors_almost_equal(a, b));
+    b.values()[0] = 2.1f;
+    EXPECT_FALSE(tensors_almost_equal(a, b, 1e-3));
+    EXPECT_TRUE(tensors_almost_equal(a, b, 0.2));
+}
+
+// Property sweep: round trips must hold for every order x block-bits x
+// density combination.
+class ConvertRoundTrip
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(ConvertRoundTrip, CooHicooCooIsLossless)
+{
+    const auto [order, block_bits, nnz] = GetParam();
+    const Index dim = order == 1 ? 4096 : (order <= 3 ? 64 : 16);
+    CooTensor x = random_tensor(order, dim, nnz,
+                                1000 + order * 37 + block_bits);
+    HiCooTensor h = coo_to_hicoo(x, block_bits);
+    h.validate();
+    EXPECT_TRUE(tensors_almost_equal(x, hicoo_to_coo(h)));
+    // Conservation: block populations sum to nnz.
+    EXPECT_EQ(h.bptr().back(), x.nnz());
+}
+
+TEST_P(ConvertRoundTrip, GhicooEveryLastModeUncompressed)
+{
+    const auto [order, block_bits, nnz] = GetParam();
+    const Index dim = order == 1 ? 4096 : (order <= 3 ? 64 : 16);
+    CooTensor x = random_tensor(order, dim, nnz,
+                                2000 + order * 37 + block_bits);
+    for (Size uncmp = 0; uncmp < static_cast<Size>(order); ++uncmp) {
+        std::vector<bool> mask(order, true);
+        mask[uncmp] = false;
+        if (order == 1)
+            break;  // needs at least one compressed mode
+        GHiCooTensor g = coo_to_ghicoo(x, mask, block_bits);
+        g.validate();
+        EXPECT_TRUE(tensors_almost_equal(x, ghicoo_to_coo(g)))
+            << "order " << order << " uncompressed mode " << uncmp;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OrdersAndBlocks, ConvertRoundTrip,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5),
+                       ::testing::Values(2, 4, 7),
+                       ::testing::Values(50, 400)));
+
+}  // namespace
+}  // namespace pasta

@@ -1,0 +1,211 @@
+// Tests for the CSF format and its kernels (MTTKRP, TTV).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/convert.hpp"
+#include "core/csf_tensor.hpp"
+#include "kernels/csf_kernels.hpp"
+#include "kernels/mttkrp.hpp"
+#include "kernels/reference.hpp"
+#include "kernels/ttv.hpp"
+
+namespace pasta {
+namespace {
+
+CooTensor
+small_example()
+{
+    // Two root fibers sharing prefixes: (0,0,0),(0,0,2),(0,1,1),(2,1,1).
+    CooTensor t({3, 2, 3});
+    t.append({0, 0, 0}, 1.0f);
+    t.append({0, 0, 2}, 2.0f);
+    t.append({0, 1, 1}, 3.0f);
+    t.append({2, 1, 1}, 4.0f);
+    return t;
+}
+
+TEST(Csf, StructureOfHandExample)
+{
+    CsfTensor c = CsfTensor::from_coo(small_example());
+    c.validate();
+    EXPECT_EQ(c.nnz(), 4u);
+    // Roots: i = {0, 2}.
+    ASSERT_EQ(c.level_size(0), 2u);
+    EXPECT_EQ(c.level(0).idx[0], 0u);
+    EXPECT_EQ(c.level(0).idx[1], 2u);
+    // Level 1: under i=0 -> j={0,1}; under i=2 -> j={1}.
+    ASSERT_EQ(c.level_size(1), 3u);
+    EXPECT_EQ(c.level(0).ptr[0], 0u);
+    EXPECT_EQ(c.level(0).ptr[1], 2u);
+    EXPECT_EQ(c.level(0).ptr[2], 3u);
+    // Leaves: 4.
+    ASSERT_EQ(c.level_size(2), 4u);
+    EXPECT_EQ(c.level(1).ptr[0], 0u);
+    EXPECT_EQ(c.level(1).ptr[1], 2u);
+    EXPECT_EQ(c.level(1).ptr[2], 3u);
+    EXPECT_EQ(c.level(1).ptr[3], 4u);
+}
+
+TEST(Csf, RoundTripsToCoo)
+{
+    Rng rng(1);
+    CooTensor x = CooTensor::random({24, 24, 24}, 300, rng);
+    CsfTensor c = CsfTensor::from_coo(x);
+    c.validate();
+    EXPECT_TRUE(tensors_almost_equal(c.to_coo(), x));
+}
+
+TEST(Csf, RoundTripsUnderEveryRootMode)
+{
+    Rng rng(2);
+    CooTensor x = CooTensor::random({12, 16, 20}, 200, rng);
+    for (Size root = 0; root < 3; ++root) {
+        std::vector<Size> order;
+        order.push_back(root);
+        for (Size m = 0; m < 3; ++m)
+            if (m != root)
+                order.push_back(m);
+        CsfTensor c = CsfTensor::from_coo(x, order);
+        c.validate();
+        EXPECT_EQ(c.mode_order()[0], root);
+        EXPECT_TRUE(tensors_almost_equal(c.to_coo(), x))
+            << "root " << root;
+    }
+}
+
+TEST(Csf, PrefixCompressionShrinksUpperLevels)
+{
+    // Many leaves under few roots: level sizes must be strictly
+    // decreasing toward the root.
+    CooTensor x({4, 8, 64});
+    Rng rng(3);
+    for (Index i = 0; i < 4; ++i)
+        for (Index j = 0; j < 8; ++j)
+            for (int k = 0; k < 12; ++k)
+                x.append({i, j, rng.next_index(64)}, 1.0f);
+    x.sort_lexicographic();
+    x.coalesce();
+    CsfTensor c = CsfTensor::from_coo(x);
+    EXPECT_EQ(c.level_size(0), 4u);
+    EXPECT_EQ(c.level_size(1), 32u);
+    EXPECT_GT(c.level_size(2), 300u);
+    EXPECT_LT(c.storage_bytes(), x.storage_bytes());
+}
+
+TEST(Csf, EmptyTensor)
+{
+    CooTensor x({8, 8});
+    CsfTensor c = CsfTensor::from_coo(x);
+    EXPECT_EQ(c.nnz(), 0u);
+    EXPECT_EQ(c.to_coo().nnz(), 0u);
+}
+
+TEST(Csf, RejectsBadModeOrder)
+{
+    CooTensor x = small_example();
+    EXPECT_THROW(CsfTensor::from_coo(x, {0, 1}), PastaError);
+    EXPECT_THROW(CsfTensor::from_coo(x, {0, 1, 1}), PastaError);
+    EXPECT_THROW(CsfTensor::from_coo(x, {0, 1, 5}), PastaError);
+}
+
+TEST(CsfMttkrp, MatchesCooOnAllRootModes)
+{
+    Rng rng(4);
+    CooTensor x = CooTensor::random({16, 20, 12}, 250, rng);
+    std::vector<DenseMatrix> mats;
+    for (Size m = 0; m < 3; ++m)
+        mats.push_back(DenseMatrix::random(x.dim(m), 8, rng));
+    FactorList factors = {&mats[0], &mats[1], &mats[2]};
+    for (Size mode = 0; mode < 3; ++mode) {
+        std::vector<Size> order;
+        order.push_back(mode);
+        for (Size m = 0; m < 3; ++m)
+            if (m != mode)
+                order.push_back(m);
+        CsfTensor c = CsfTensor::from_coo(x, order);
+        DenseMatrix out(x.dim(mode), 8);
+        mttkrp_csf(c, factors, mode, out);
+        DenseMatrix expected(x.dim(mode), 8);
+        mttkrp_coo_seq(x, factors, mode, expected);
+        EXPECT_LT(max_abs_diff(out, expected), 1e-3) << "mode " << mode;
+    }
+}
+
+TEST(CsfMttkrp, RejectsNonRootMode)
+{
+    Rng rng(5);
+    CooTensor x = CooTensor::random({8, 8, 8}, 60, rng);
+    CsfTensor c = CsfTensor::from_coo(x);  // rooted at mode 0
+    std::vector<DenseMatrix> mats;
+    for (Size m = 0; m < 3; ++m)
+        mats.push_back(DenseMatrix::random(8, 4, rng));
+    FactorList factors = {&mats[0], &mats[1], &mats[2]};
+    DenseMatrix out(8, 4);
+    EXPECT_THROW(mttkrp_csf(c, factors, 1, out), PastaError);
+}
+
+TEST(CsfTtv, MatchesCooTtvOnLeafMode)
+{
+    Rng rng(6);
+    CooTensor x = CooTensor::random({14, 18, 22}, 220, rng);
+    for (Size mode = 0; mode < 3; ++mode) {
+        std::vector<Size> order;
+        for (Size m = 0; m < 3; ++m)
+            if (m != mode)
+                order.push_back(m);
+        order.push_back(mode);  // product mode at the leaves
+        CsfTensor c = CsfTensor::from_coo(x, order);
+        DenseVector v = DenseVector::random(x.dim(mode), rng);
+        CooTensor got = ttv_csf(c, v, mode);
+        CooTensor expected = ttv_coo(x, v, mode);
+        EXPECT_TRUE(tensors_almost_equal(got, expected, 1e-3))
+            << "mode " << mode;
+    }
+}
+
+TEST(CsfTtv, RejectsNonLeafMode)
+{
+    Rng rng(7);
+    CooTensor x = CooTensor::random({8, 8, 8}, 50, rng);
+    CsfTensor c = CsfTensor::from_coo(x);  // leaves hold mode 2
+    DenseVector v(8, 1.0f);
+    EXPECT_THROW(ttv_csf(c, v, 0), PastaError);
+}
+
+// Property sweep: round trips and kernels across orders.
+class CsfSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CsfSweep, RoundTripAndRootMttkrp)
+{
+    const auto [order, nnz] = GetParam();
+    const Index dim = order == 1 ? 1024 : (order <= 3 ? 16 : 8);
+    Rng rng(900 + order);
+    CooTensor x =
+        CooTensor::random(std::vector<Index>(order, dim), nnz, rng);
+    CsfTensor c = CsfTensor::from_coo(x);
+    c.validate();
+    EXPECT_TRUE(tensors_almost_equal(c.to_coo(), x));
+
+    std::vector<DenseMatrix> mats;
+    for (Size m = 0; m < static_cast<Size>(order); ++m)
+        mats.push_back(DenseMatrix::random(dim, 4, rng));
+    FactorList factors;
+    for (const auto& m : mats)
+        factors.push_back(&m);
+    DenseMatrix out(dim, 4);
+    mttkrp_csf(c, factors, 0, out);
+    DenseMatrix expected(dim, 4);
+    mttkrp_coo_seq(x, factors, 0, expected);
+    EXPECT_LT(max_abs_diff(out, expected), 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Orders, CsfSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5),
+                       ::testing::Values(20, 150)));
+
+}  // namespace
+}  // namespace pasta

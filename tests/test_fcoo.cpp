@@ -1,0 +1,141 @@
+// Tests for the F-COO format and its TTV kernels (CPU + simulated GPU).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/convert.hpp"
+#include "core/fcoo_tensor.hpp"
+#include "gpusim/gpu_kernels.hpp"
+#include "gpusim/timing_model.hpp"
+#include "kernels/fcoo_kernels.hpp"
+#include "kernels/ttv.hpp"
+
+namespace pasta {
+namespace {
+
+TEST(Fcoo, BuildStructureOnHandExample)
+{
+    // Fibers along mode 2: (0,0,*) holds 2 nnz; (1,1,*) holds 1.
+    CooTensor x({2, 2, 4});
+    x.append({0, 0, 1}, 1.0f);
+    x.append({0, 0, 3}, 2.0f);
+    x.append({1, 1, 0}, 3.0f);
+    const FcooTensor f = FcooTensor::build(x, 2);
+    f.validate();
+    EXPECT_EQ(f.nnz(), 3u);
+    EXPECT_EQ(f.num_fibers(), 2u);
+    EXPECT_TRUE(f.start_flag(0));
+    EXPECT_FALSE(f.start_flag(1));
+    EXPECT_TRUE(f.start_flag(2));
+    EXPECT_EQ(f.fiber_of(0), 0u);
+    EXPECT_EQ(f.fiber_of(1), 0u);
+    EXPECT_EQ(f.fiber_of(2), 1u);
+    EXPECT_EQ(f.product_index(0), 1u);
+    EXPECT_EQ(f.product_index(1), 3u);
+}
+
+TEST(Fcoo, StorageSmallerThanCooForHighOrder)
+{
+    // F-COO keeps one index per non-zero vs N for COO; per-fiber output
+    // coordinates are the only extra.
+    Rng rng(1);
+    CooTensor x = CooTensor::random({16, 16, 16, 16}, 400, rng);
+    const FcooTensor f = FcooTensor::build(x, 3);
+    EXPECT_LT(f.storage_bytes(), x.storage_bytes());
+}
+
+TEST(Fcoo, TtvCpuMatchesCooTtvOnAllModes)
+{
+    Rng rng(2);
+    CooTensor x = CooTensor::random({14, 18, 22}, 250, rng);
+    for (Size mode = 0; mode < 3; ++mode) {
+        const FcooTensor f = FcooTensor::build(x, mode);
+        f.validate();
+        DenseVector v = DenseVector::random(x.dim(mode), rng);
+        CooTensor got = ttv_fcoo(f, v);
+        CooTensor expected = ttv_coo(x, v, mode);
+        EXPECT_TRUE(tensors_almost_equal(got, expected, 1e-3))
+            << "mode " << mode;
+    }
+}
+
+TEST(Fcoo, TtvGpuMatchesCpu)
+{
+    Rng rng(3);
+    CooTensor x = CooTensor::random({32, 32, 32}, 600, rng);
+    const FcooTensor f = FcooTensor::build(x, 1);
+    DenseVector v = DenseVector::random(32, rng);
+    CooTensor out = f.out_pattern();
+    const gpusim::LaunchProfile prof = gpusim::ttv_gpu_fcoo(f, v, out);
+    CooTensor expected = ttv_fcoo(f, v);
+    EXPECT_TRUE(tensors_almost_equal(out, expected, 1e-3));
+    EXPECT_EQ(prof.atomics, x.nnz());
+    EXPECT_EQ(prof.flops, 2 * x.nnz());
+}
+
+TEST(Fcoo, GpuBlockTrafficIsUniformUnderSkew)
+{
+    // One giant fiber + many singletons: Algorithm 2's fiber-per-thread
+    // profile is skewed, the F-COO profile is flat.
+    CooTensor x({64, 64, 4096});
+    Rng rng(4);
+    for (Index k = 0; k < 3000; ++k)
+        x.append({0, 0, k}, 1.0f);  // one huge fiber
+    for (int p = 0; p < 600; ++p)
+        x.append({1 + rng.next_index(63), rng.next_index(64),
+                  rng.next_index(4096)},
+                 1.0f);
+    x.sort_lexicographic();
+    x.coalesce();
+    DenseVector v = DenseVector::random(4096, rng);
+
+    CooTtvPlan coo_plan = ttv_plan_coo(x, 2);
+    CooTensor coo_out = coo_plan.out_pattern;
+    const gpusim::LaunchProfile coo_prof =
+        gpusim::ttv_gpu_coo(coo_plan, v, coo_out);
+
+    const FcooTensor f = FcooTensor::build(x, 2);
+    CooTensor fcoo_out = f.out_pattern();
+    const gpusim::LaunchProfile fcoo_prof =
+        gpusim::ttv_gpu_fcoo(f, v, fcoo_out);
+
+    EXPECT_TRUE(tensors_almost_equal(coo_out, fcoo_out, 1e-2));
+
+    auto spread = [](const std::vector<double>& bytes) {
+        double lo = 1e300;
+        double hi = 0;
+        for (double b : bytes) {
+            lo = std::min(lo, b);
+            hi = std::max(hi, b);
+        }
+        return bytes.empty() || lo == 0 ? 0.0 : hi / lo;
+    };
+    EXPECT_GT(spread(coo_prof.block_bytes), 5.0);
+    EXPECT_NEAR(spread(fcoo_prof.block_bytes), 1.0, 1e-9);
+}
+
+TEST(Fcoo, RejectsBadInputs)
+{
+    CooTensor x({8, 8});
+    x.append({0, 0}, 1.0f);
+    EXPECT_THROW(FcooTensor::build(x, 2), PastaError);
+    CooTensor vec({8});
+    vec.append({0}, 1.0f);
+    EXPECT_THROW(FcooTensor::build(vec, 0), PastaError);
+    const FcooTensor f = FcooTensor::build(x, 1);
+    DenseVector wrong(7);
+    EXPECT_THROW(ttv_fcoo(f, wrong), PastaError);
+}
+
+TEST(Fcoo, EmptyTensor)
+{
+    CooTensor x({8, 8, 8});
+    const FcooTensor f = FcooTensor::build(x, 0);
+    f.validate();
+    EXPECT_EQ(f.nnz(), 0u);
+    DenseVector v(8, 1.0f);
+    EXPECT_EQ(ttv_fcoo(f, v).nnz(), 0u);
+}
+
+}  // namespace
+}  // namespace pasta

@@ -1,0 +1,119 @@
+// Tests for tensor feature extraction and stand-in fidelity checking.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/features.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "gen/datasets.hpp"
+#include "gen/powerlaw.hpp"
+
+namespace pasta {
+namespace {
+
+TEST(Features, HandComputedSmallTensor)
+{
+    CooTensor x({4, 8});
+    x.append({0, 0}, 1.0f);
+    x.append({0, 1}, 3.0f);
+    x.append({2, 5}, 5.0f);
+    const TensorFeatures f = extract_features(x, 2);
+    EXPECT_EQ(f.order, 2u);
+    EXPECT_EQ(f.nnz, 3u);
+    EXPECT_NEAR(f.density, 3.0 / 32.0, 1e-12);
+    // Mode 0 fibers: rows {0 (2 nnz), 2 (1 nnz)} -> wait: mode-0 fibers
+    // fix all coords except mode 0, i.e. one fiber per distinct column.
+    EXPECT_EQ(f.modes[0].num_fibers, 3u);  // columns 0, 1, 5
+    EXPECT_EQ(f.modes[0].used_indices, 2u);  // rows 0 and 2
+    EXPECT_EQ(f.modes[1].num_fibers, 2u);  // rows 0 and 2
+    EXPECT_EQ(f.modes[1].max_fiber_nnz, 2u);
+    EXPECT_NEAR(f.value_mean, 3.0, 1e-6);
+}
+
+TEST(Features, EmptyTensorIsAllZero)
+{
+    CooTensor x({8, 8});
+    const TensorFeatures f = extract_features(x);
+    EXPECT_EQ(f.nnz, 0u);
+    EXPECT_EQ(f.hicoo_blocks, 0u);
+    EXPECT_DOUBLE_EQ(f.value_mean, 0.0);
+}
+
+TEST(Features, ReportMentionsKeyNumbers)
+{
+    Rng rng(1);
+    CooTensor x = CooTensor::random({16, 16}, 40, rng);
+    const std::string report = features_report(extract_features(x));
+    EXPECT_NE(report.find("nnz 40"), std::string::npos);
+    EXPECT_NE(report.find("mode 0"), std::string::npos);
+    EXPECT_NE(report.find("hicoo"), std::string::npos);
+}
+
+TEST(Features, DistanceIsZeroForIdenticalTensors)
+{
+    Rng rng(2);
+    CooTensor x = CooTensor::random({32, 32, 32}, 300, rng);
+    const TensorFeatures f = extract_features(x);
+    EXPECT_NEAR(features_distance(f, f), 0.0, 1e-12);
+}
+
+TEST(Features, DistanceSeparatesRegimes)
+{
+    // A clustered tensor vs a scattered one must be farther apart than
+    // two draws of the same generator.
+    Rng rng(3);
+    PowerLawConfig config;
+    config.dims = {4096, 4096, 64};
+    config.nnz = 3000;
+    config.uniform_mode = {false, false, true};
+    config.seed = 1;
+    CooTensor a = generate_powerlaw(config);
+    config.seed = 2;
+    CooTensor b = generate_powerlaw(config);
+    CooTensor scattered({4096, 4096, 64});
+    while (scattered.nnz() < 3000)
+        scattered.append({rng.next_index(4096), rng.next_index(4096),
+                          rng.next_index(64)},
+                         1.0f);
+    scattered.sort_lexicographic();
+    scattered.coalesce();
+    const TensorFeatures fa = extract_features(a);
+    const TensorFeatures fb = extract_features(b);
+    const TensorFeatures fs = extract_features(scattered);
+    EXPECT_LT(features_distance(fa, fb), features_distance(fa, fs));
+}
+
+TEST(Features, DistanceRejectsOrderMismatch)
+{
+    CooTensor a({4, 4});
+    a.append({0, 0}, 1.0f);
+    CooTensor b({4, 4, 4});
+    b.append({0, 0, 0}, 1.0f);
+    EXPECT_THROW(
+        features_distance(extract_features(a), extract_features(b)),
+        PastaError);
+}
+
+TEST(Features, StandInsPreserveDensityRegime)
+{
+    // Generated stand-ins must land within one order of magnitude of the
+    // paper's density for every catalog entry (checked at small scale).
+    for (const char* id : {"nell2", "darpa", "irrS", "regS", "nips4d"}) {
+        const DatasetSpec& spec = find_dataset(id);
+        const CooTensor t = synthesize_dataset(spec, 1e-4);
+        double cap = 1.0;
+        for (Index d : t.dims())
+            cap *= static_cast<double>(d);
+        const double density = static_cast<double>(t.nnz()) / cap;
+        double paper_cap = 1.0;
+        for (Index d : spec.paper_dims)
+            paper_cap *= static_cast<double>(d);
+        const double paper_density = spec.paper_nnz / paper_cap;
+        EXPECT_LT(std::abs(std::log10(density / paper_density)), 1.5)
+            << id;
+    }
+}
+
+}  // namespace
+}  // namespace pasta

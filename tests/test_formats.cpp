@@ -1,0 +1,241 @@
+// Unit tests for the sCOO, HiCOO, gHiCOO, and sHiCOO formats.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/convert.hpp"
+#include "core/dense.hpp"
+#include "core/ghicoo_tensor.hpp"
+#include "core/hicoo_tensor.hpp"
+#include "core/scoo_tensor.hpp"
+#include "core/shicoo_tensor.hpp"
+
+namespace pasta {
+namespace {
+
+TEST(ScooTensor, ConstructionSplitsModes)
+{
+    ScooTensor t({8, 3, 8}, {1});
+    EXPECT_EQ(t.order(), 3u);
+    EXPECT_EQ(t.sparse_modes(), (std::vector<Size>{0, 2}));
+    EXPECT_EQ(t.dense_modes(), (std::vector<Size>{1}));
+    EXPECT_EQ(t.stripe_volume(), 3u);
+    EXPECT_EQ(t.num_sparse(), 0u);
+}
+
+TEST(ScooTensor, RejectsBadModeLists)
+{
+    EXPECT_THROW(ScooTensor({4, 4}, {}), PastaError);       // no dense mode
+    EXPECT_THROW(ScooTensor({4, 4}, {0, 1}), PastaError);   // no sparse mode
+    EXPECT_THROW(ScooTensor({4, 4}, {5}), PastaError);      // out of range
+    EXPECT_THROW(ScooTensor({4, 4, 4}, {1, 0}), PastaError);  // not sorted
+}
+
+TEST(ScooTensor, AppendStripeAndElementAccess)
+{
+    ScooTensor t({4, 3, 4}, {1});
+    Index coords[2] = {2, 1};  // sparse modes 0 and 2
+    const Size pos = t.append_stripe(coords);
+    EXPECT_EQ(t.num_sparse(), 1u);
+    t.stripe(pos)[0] = 10.0f;
+    t.stripe(pos)[2] = 30.0f;
+    EXPECT_FLOAT_EQ(t.at({2, 0, 1}), 10.0f);
+    EXPECT_FLOAT_EQ(t.at({2, 1, 1}), 0.0f);
+    EXPECT_FLOAT_EQ(t.at({2, 2, 1}), 30.0f);
+    EXPECT_FLOAT_EQ(t.at({0, 0, 0}), 0.0f);
+    t.validate();
+}
+
+TEST(ScooTensor, ToCooDropsZerosInsideStripes)
+{
+    ScooTensor t({4, 3, 4}, {1});
+    Index coords[2] = {1, 2};
+    const Size pos = t.append_stripe(coords);
+    t.stripe(pos)[1] = 7.0f;
+    CooTensor coo = t.to_coo();
+    EXPECT_EQ(coo.nnz(), 1u);
+    EXPECT_FLOAT_EQ(coo.at({1, 1, 2}), 7.0f);
+}
+
+TEST(ScooTensor, StorageCountsIndicesAndStripes)
+{
+    ScooTensor t({4, 3, 4}, {1});
+    Index coords[2] = {0, 0};
+    t.append_stripe(coords);
+    t.append_stripe(coords);
+    // 2 sparse coords x 2 sparse modes x 4B + 2 stripes x 3 x 4B.
+    EXPECT_EQ(t.storage_bytes(), 2u * 2 * 4 + 2u * 3 * 4);
+}
+
+TEST(HiCooTensor, ConstructionValidatesBlockBits)
+{
+    EXPECT_NO_THROW(HiCooTensor({16, 16}, 3));
+    EXPECT_THROW(HiCooTensor({16, 16}, 0), PastaError);
+    EXPECT_THROW(HiCooTensor({16, 16}, 9), PastaError);
+}
+
+TEST(HiCooTensor, AppendBlockAndEntries)
+{
+    HiCooTensor t({16, 16}, 2);  // 4x4 blocks
+    BIndex block[2] = {1, 2};
+    t.append_block(block);
+    EIndex e1[2] = {0, 3};
+    EIndex e2[2] = {2, 1};
+    t.append_entry(e1, 5.0f);
+    t.append_entry(e2, 6.0f);
+    EXPECT_EQ(t.num_blocks(), 1u);
+    EXPECT_EQ(t.nnz(), 2u);
+    EXPECT_EQ(t.coordinate(0, 0, 0), 4u);   // 1*4 + 0
+    EXPECT_EQ(t.coordinate(1, 0, 0), 11u);  // 2*4 + 3
+    EXPECT_EQ(t.coordinate(0, 0, 1), 6u);
+    EXPECT_EQ(t.coordinate(1, 0, 1), 9u);
+    t.validate();
+}
+
+TEST(HiCooTensor, StorageMatchesPaperFormula)
+{
+    // n_b(4N+8) + M(N+4) bytes.
+    HiCooTensor t({16, 16, 16}, 2);
+    BIndex block[3] = {0, 0, 0};
+    t.append_block(block);
+    EIndex e[3] = {1, 1, 1};
+    t.append_entry(e, 1.0f);
+    t.append_entry(e, 2.0f);
+    EXPECT_EQ(t.storage_bytes(), 1u * (4 * 3 + 8) + 2u * (3 + 4));
+}
+
+TEST(HiCooTensor, BlockPopulationStats)
+{
+    HiCooTensor t({16, 16}, 2);
+    BIndex b0[2] = {0, 0};
+    BIndex b1[2] = {1, 1};
+    EIndex e[2] = {0, 0};
+    t.append_block(b0);
+    t.append_entry(e, 1.0f);
+    t.append_entry(e, 1.0f);
+    t.append_entry(e, 1.0f);
+    t.append_block(b1);
+    t.append_entry(e, 1.0f);
+    EXPECT_EQ(t.max_block_nnz(), 3u);
+    EXPECT_DOUBLE_EQ(t.mean_block_nnz(), 2.0);
+}
+
+TEST(HiCooTensor, ValidateCatchesEmptyBlock)
+{
+    HiCooTensor t({16, 16}, 2);
+    BIndex b[2] = {0, 0};
+    t.append_block(b);
+    t.append_block(b);  // first block left empty
+    EIndex e[2] = {0, 0};
+    t.append_entry(e, 1.0f);
+    EXPECT_THROW(t.validate(), PastaError);
+}
+
+TEST(GHiCooTensor, ConstructionSplitsModes)
+{
+    GHiCooTensor t({16, 16, 16}, 2, {true, true, false});
+    EXPECT_EQ(t.compressed_modes(), (std::vector<Size>{0, 1}));
+    EXPECT_EQ(t.uncompressed_modes(), (std::vector<Size>{2}));
+    EXPECT_TRUE(t.is_compressed(0));
+    EXPECT_FALSE(t.is_compressed(2));
+}
+
+TEST(GHiCooTensor, RequiresACompressedMode)
+{
+    EXPECT_THROW(GHiCooTensor({16, 16}, 2, {false, false}), PastaError);
+    EXPECT_THROW(GHiCooTensor({16, 16}, 2, {true}), PastaError);
+}
+
+TEST(GHiCooTensor, MixedCoordinateReconstruction)
+{
+    GHiCooTensor t({16, 16, 16}, 2, {true, false, true});
+    BIndex block[3] = {2, 0, 1};  // mode 1 slot ignored
+    t.append_block(block);
+    EIndex elems[3] = {3, 0, 2};
+    Index raw[3] = {0, 13, 0};
+    t.append_entry(elems, raw, 9.0f);
+    EXPECT_EQ(t.coordinate(0, 0, 0), 11u);  // 2*4+3
+    EXPECT_EQ(t.coordinate(1, 0, 0), 13u);  // raw
+    EXPECT_EQ(t.coordinate(2, 0, 0), 6u);   // 1*4+2
+    t.validate();
+}
+
+TEST(GHiCooTensor, StorageReflectsPerModeChoice)
+{
+    GHiCooTensor t({16, 16, 16}, 2, {true, false, true});
+    BIndex block[3] = {0, 0, 0};
+    t.append_block(block);
+    EIndex elems[3] = {0, 0, 0};
+    Index raw[3] = {0, 5, 0};
+    t.append_entry(elems, raw, 1.0f);
+    // 1 block x (2 compressed x 4B + 8B bptr) + 1 nnz x (2x1B + 1x4B + 4B).
+    EXPECT_EQ(t.storage_bytes(), (2u * 4 + 8) + (2u + 4 + 4));
+}
+
+TEST(SHiCooTensor, AppendAndReconstruct)
+{
+    SHiCooTensor t({16, 3, 16}, {1}, 2);
+    EXPECT_EQ(t.sparse_modes(), (std::vector<Size>{0, 2}));
+    EXPECT_EQ(t.stripe_volume(), 3u);
+    BIndex block[2] = {1, 2};
+    t.append_block(block);
+    EIndex elems[2] = {3, 1};
+    const Size pos = t.append_entry(elems);
+    t.stripe(pos)[2] = 4.0f;
+    EXPECT_EQ(t.sparse_coordinate(0, 0, pos), 7u);  // 1*4+3
+    EXPECT_EQ(t.sparse_coordinate(1, 0, pos), 9u);  // 2*4+1
+    t.validate();
+}
+
+TEST(SHiCooTensor, ToScooRoundTripsValues)
+{
+    SHiCooTensor t({16, 3, 16}, {1}, 2);
+    BIndex block[2] = {0, 0};
+    t.append_block(block);
+    EIndex elems[2] = {1, 2};
+    const Size pos = t.append_entry(elems);
+    t.stripe(pos)[0] = 1.0f;
+    t.stripe(pos)[2] = 3.0f;
+    ScooTensor s = t.to_scoo();
+    EXPECT_EQ(s.num_sparse(), 1u);
+    EXPECT_FLOAT_EQ(s.at({1, 0, 2}), 1.0f);
+    EXPECT_FLOAT_EQ(s.at({1, 2, 2}), 3.0f);
+}
+
+TEST(DenseMatrix, AccessAndRandomize)
+{
+    Rng rng(4);
+    DenseMatrix m = DenseMatrix::random(5, 7, rng);
+    EXPECT_EQ(m.rows(), 5u);
+    EXPECT_EQ(m.cols(), 7u);
+    bool nonzero = false;
+    for (Size r = 0; r < m.rows(); ++r)
+        for (Size c = 0; c < m.cols(); ++c)
+            nonzero |= (m(r, c) != 0.0f);
+    EXPECT_TRUE(nonzero);
+    EXPECT_EQ(m.row(2), m.data() + 2 * 7);
+    EXPECT_EQ(m.storage_bytes(), 5u * 7 * 4);
+}
+
+TEST(DenseMatrix, MaxAbsDiff)
+{
+    DenseMatrix a(2, 2, 1.0f);
+    DenseMatrix b(2, 2, 1.0f);
+    EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 0.0);
+    b(1, 1) = 3.0f;
+    EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 2.0);
+    DenseMatrix c(3, 2, 0.0f);
+    EXPECT_THROW(max_abs_diff(a, c), PastaError);
+}
+
+TEST(DenseVector, FillAndRandomize)
+{
+    DenseVector v(10, 2.5f);
+    EXPECT_EQ(v.size(), 10u);
+    EXPECT_FLOAT_EQ(v[9], 2.5f);
+    Rng rng(8);
+    v.randomize(rng);
+    EXPECT_NE(v[0], v[1]);
+}
+
+}  // namespace
+}  // namespace pasta

@@ -1,0 +1,245 @@
+// Cross-module integration tests: full pipelines from generation through
+// format conversion, kernels on every format, IO, and tensor-method-style
+// iteration (CP-ALS / tensor power method building blocks).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "analysis/cost_model.hpp"
+#include "analysis/efficiency.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "core/convert.hpp"
+#include "gen/datasets.hpp"
+#include "gpusim/gpu_kernels.hpp"
+#include "io/tns_io.hpp"
+#include "kernels/mttkrp.hpp"
+#include "kernels/reference.hpp"
+#include "kernels/tew.hpp"
+#include "kernels/ts.hpp"
+#include "kernels/ttm.hpp"
+#include "kernels/ttv.hpp"
+#include "roofline/roofline.hpp"
+
+namespace pasta {
+namespace {
+
+TEST(Integration, GeneratedDatasetThroughAllKernelsAndFormats)
+{
+    // Generate a small catalog tensor and run every kernel in every
+    // format, cross-checking results between formats.
+    const CooTensor x = synthesize_dataset(find_dataset("irrS"), 2e-4);
+    ASSERT_GT(x.nnz(), 100u);
+    Rng rng(1);
+
+    // TEW / TS.
+    CooTensor y = x;
+    for (auto& v : y.values())
+        v = rng.next_float() + 0.5f;
+    const CooTensor tew_c = tew_coo(x, y, EwOp::kAdd);
+    const HiCooTensor tew_h =
+        tew_hicoo(coo_to_hicoo(x, 7), coo_to_hicoo(y, 7), EwOp::kAdd);
+    EXPECT_TRUE(tensors_almost_equal(hicoo_to_coo(tew_h), tew_c, 1e-3));
+    const CooTensor ts_c = ts_coo(x, TsOp::kMul, 1.5f);
+    EXPECT_EQ(ts_c.nnz(), x.nnz());
+
+    // TTV / TTM / MTTKRP across all modes and both formats.
+    std::vector<DenseMatrix> mats;
+    for (Size m = 0; m < x.order(); ++m)
+        mats.push_back(DenseMatrix::random(x.dim(m), 16, rng));
+    FactorList factors;
+    for (const auto& m : mats)
+        factors.push_back(&m);
+    for (Size mode = 0; mode < x.order(); ++mode) {
+        DenseVector v = DenseVector::random(x.dim(mode), rng);
+        const CooTensor ttv_c = ttv_coo(x, v, mode);
+        const HiCooTensor ttv_h = ttv_hicoo(x, v, mode);
+        EXPECT_TRUE(
+            tensors_almost_equal(hicoo_to_coo(ttv_h), ttv_c, 1e-2))
+            << "TTV mode " << mode;
+
+        DenseMatrix u = DenseMatrix::random(x.dim(mode), 16, rng);
+        const ScooTensor ttm_c = ttm_coo(x, u, mode);
+        const SHiCooTensor ttm_h = ttm_hicoo(x, u, mode);
+        EXPECT_TRUE(tensors_almost_equal(ttm_h.to_scoo().to_coo(),
+                                         ttm_c.to_coo(), 1e-2))
+            << "TTM mode " << mode;
+
+        DenseMatrix out_c(x.dim(mode), 16);
+        DenseMatrix out_h(x.dim(mode), 16);
+        mttkrp_coo(x, factors, mode, out_c);
+        mttkrp_hicoo(coo_to_hicoo(x, 7), factors, mode, out_h);
+        EXPECT_LT(max_abs_diff(out_c, out_h), 1e-1)
+            << "MTTKRP mode " << mode;
+    }
+}
+
+TEST(Integration, CpuAndGpuPathsAgreeOnCatalogTensor)
+{
+    const CooTensor x = synthesize_dataset(find_dataset("nips4d"), 1e-4);
+    Rng rng(2);
+    const Size mode = 1;
+    DenseVector v = DenseVector::random(x.dim(mode), rng);
+
+    CooTtvPlan plan = ttv_plan_coo(x, mode);
+    CooTensor cpu_out = plan.out_pattern;
+    ttv_exec_coo(plan, v, cpu_out);
+    CooTensor gpu_out = plan.out_pattern;
+    gpusim::ttv_gpu_coo(plan, v, gpu_out);
+    EXPECT_TRUE(tensors_almost_equal(cpu_out, gpu_out, 1e-3));
+}
+
+TEST(Integration, TnsRoundTripPreservesKernelResults)
+{
+    // A tensor written to .tns and re-read must give identical MTTKRP.
+    Rng rng(3);
+    CooTensor x = CooTensor::random({20, 24, 28}, 300, rng);
+    std::ostringstream buffer;
+    write_tns(buffer, x);
+    std::istringstream in(buffer.str());
+    CooTensor back = read_tns(in);
+
+    std::vector<DenseMatrix> mats;
+    for (Size m = 0; m < 3; ++m)
+        mats.push_back(DenseMatrix::random(x.dim(m), 8, rng));
+    FactorList factors = {&mats[0], &mats[1], &mats[2]};
+    DenseMatrix out1(x.dim(0), 8);
+    DenseMatrix out2(x.dim(0), 8);
+    mttkrp_coo_seq(x, factors, 0, out1);
+    mttkrp_coo_seq(back, factors, 0, out2);
+    EXPECT_LT(max_abs_diff(out1, out2), 1e-2);
+}
+
+TEST(Integration, TensorPowerMethodIterationConverges)
+{
+    // TTV-based tensor power method building block (paper §II-C): for a
+    // rank-1 symmetric tensor w * (u o u o u), iterating
+    //   v <- normalize( X x_1 v x_2 v )  recovers u.
+    const Size n = 12;
+    DenseVector u(n);
+    Rng rng(4);
+    double norm = 0;
+    for (Size i = 0; i < n; ++i) {
+        u[i] = rng.next_float() + 0.1f;
+        norm += static_cast<double>(u[i]) * u[i];
+    }
+    norm = std::sqrt(norm);
+    for (Size i = 0; i < n; ++i)
+        u[i] = static_cast<Value>(u[i] / norm);
+
+    CooTensor x({static_cast<Index>(n), static_cast<Index>(n),
+                 static_cast<Index>(n)});
+    for (Index i = 0; i < n; ++i)
+        for (Index j = 0; j < n; ++j)
+            for (Index k = 0; k < n; ++k)
+                x.append({i, j, k}, 2.0f * u[i] * u[j] * u[k]);
+
+    DenseVector v = DenseVector::random(n, rng);
+    for (int iter = 0; iter < 8; ++iter) {
+        CooTensor first = ttv_coo(x, v, 2);   // contract mode 2
+        CooTensor second = ttv_coo(first, v, 1);  // then mode 1
+        DenseVector next(n, 0);
+        for (Size p = 0; p < second.nnz(); ++p)
+            next[second.index(0, p)] = second.value(p);
+        double next_norm = 0;
+        for (Size i = 0; i < n; ++i)
+            next_norm += static_cast<double>(next[i]) * next[i];
+        next_norm = std::sqrt(next_norm);
+        ASSERT_GT(next_norm, 0.0);
+        for (Size i = 0; i < n; ++i)
+            v[i] = static_cast<Value>(next[i] / next_norm);
+    }
+    // v must align with u (up to sign).
+    double dot = 0;
+    for (Size i = 0; i < n; ++i)
+        dot += static_cast<double>(v[i]) * u[i];
+    EXPECT_NEAR(std::abs(dot), 1.0, 1e-3);
+}
+
+TEST(Integration, CpAlsStyleSweepReducesFit)
+{
+    // One CP-ALS-flavored sweep: MTTKRP per mode followed by a crude
+    // normalization must not blow up and must keep matrices finite.
+    const CooTensor x = synthesize_dataset(find_dataset("irrS"), 1e-4);
+    Rng rng(5);
+    const Size rank = 4;
+    std::vector<DenseMatrix> mats;
+    for (Size m = 0; m < x.order(); ++m)
+        mats.push_back(DenseMatrix::random(x.dim(m), rank, rng));
+    for (int sweep = 0; sweep < 2; ++sweep) {
+        for (Size mode = 0; mode < x.order(); ++mode) {
+            FactorList factors;
+            for (const auto& m : mats)
+                factors.push_back(&m);
+            DenseMatrix update(x.dim(mode), rank);
+            mttkrp_coo(x, factors, mode, update);
+            // Normalize columns to unit max to keep the sweep stable.
+            for (Size r = 0; r < rank; ++r) {
+                Value peak = 1e-9f;
+                for (Size i = 0; i < update.rows(); ++i)
+                    peak = std::max(peak, std::abs(update(i, r)));
+                for (Size i = 0; i < update.rows(); ++i)
+                    update(i, r) /= peak;
+            }
+            mats[mode] = update;
+        }
+    }
+    for (const auto& m : mats)
+        for (Size i = 0; i < m.rows() * m.cols(); ++i)
+            EXPECT_TRUE(std::isfinite(m.data()[i]));
+}
+
+TEST(Integration, MeasuredRunFeedsEfficiencyPipeline)
+{
+    // End-to-end of the bench harness math: time a kernel, build the
+    // Table I cost, compute efficiency against a platform.
+    const CooTensor x = synthesize_dataset(find_dataset("irrS"), 1e-4);
+    const Size mode = 0;
+    CooTtvPlan plan = ttv_plan_coo(x, mode);
+    CooTensor out = plan.out_pattern;
+    DenseVector v(x.dim(mode), 1.0f);
+    const RunStats stats =
+        timed_runs([&] { ttv_exec_coo(plan, v, out); }, 3, 1);
+
+    TensorStats tstats;
+    tstats.order = x.order();
+    tstats.nnz = x.nnz();
+    tstats.num_fibers = plan.fibers.num_fibers();
+    MeasuredRun run;
+    run.kernel = Kernel::kTtv;
+    run.format = Format::kCoo;
+    run.seconds = stats.mean_seconds;
+    run.cost = kernel_cost(Kernel::kTtv, Format::kCoo, tstats);
+    EXPECT_GT(run_gflops(run), 0.0);
+    EXPECT_GT(run_efficiency(run, bluesky()), 0.0);
+}
+
+TEST(Integration, StorageOrderingAcrossFormats)
+{
+    // On a block-clustered tensor: HiCOO < COO storage; on hyper-sparse:
+    // the reverse; gHiCOO with the scattered mode uncompressed sits
+    // between (the paper's format-choice guidance).
+    CooTensor clustered({512, 512, 512});
+    for (Index i = 0; i < 10; ++i)
+        for (Index j = 0; j < 10; ++j)
+            for (Index k = 0; k < 10; ++k)
+                clustered.append({i, j, k}, 1.0f);
+    EXPECT_LT(coo_to_hicoo(clustered, 7).storage_bytes(),
+              clustered.storage_bytes());
+
+    Rng rng(6);
+    CooTensor scattered({1u << 20, 1u << 20, 64});
+    for (int p = 0; p < 400; ++p)
+        scattered.append({rng.next_index(1u << 20),
+                          rng.next_index(1u << 20), rng.next_index(64)},
+                         1.0f);
+    scattered.sort_lexicographic();
+    scattered.coalesce();
+    const Size coo_b = scattered.storage_bytes();
+    const Size hicoo_b = coo_to_hicoo(scattered, 7).storage_bytes();
+    EXPECT_GT(hicoo_b, coo_b);
+}
+
+}  // namespace
+}  // namespace pasta

@@ -1,0 +1,331 @@
+// Tests for the complete tensor methods: CP-ALS, Tucker-HOOI, and the
+// tensor power method, plus the small linear algebra they rest on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/convert.hpp"
+#include "kernels/ttm.hpp"
+#include "methods/cpd.hpp"
+#include "methods/linalg.hpp"
+#include "methods/power_method.hpp"
+#include "methods/tucker.hpp"
+
+namespace pasta {
+namespace {
+
+TEST(Linalg, GramMatrixMatchesHandComputation)
+{
+    DenseMatrix a(3, 2);
+    a(0, 0) = 1;
+    a(1, 0) = 2;
+    a(2, 0) = 3;
+    a(0, 1) = 4;
+    a(1, 1) = 5;
+    a(2, 1) = 6;
+    const auto g = gram_matrix(a);
+    EXPECT_DOUBLE_EQ(g[0], 14.0);   // 1+4+9
+    EXPECT_DOUBLE_EQ(g[1], 32.0);   // 4+10+18
+    EXPECT_DOUBLE_EQ(g[2], 32.0);
+    EXPECT_DOUBLE_EQ(g[3], 77.0);   // 16+25+36
+}
+
+TEST(Linalg, InvertRecoversIdentity)
+{
+    std::vector<double> a = {4, 7, 2, 6};
+    const auto inv = invert_matrix(a, 2);
+    // a * inv = I.
+    for (Size i = 0; i < 2; ++i) {
+        for (Size j = 0; j < 2; ++j) {
+            double acc = 0;
+            for (Size k = 0; k < 2; ++k)
+                acc += a[i * 2 + k] * inv[k * 2 + j];
+            EXPECT_NEAR(acc, i == j ? 1.0 : 0.0, 1e-9);
+        }
+    }
+}
+
+TEST(Linalg, InvertSurvivesNearSingularViaRidge)
+{
+    std::vector<double> singular = {1, 1, 1, 1};
+    EXPECT_NO_THROW(invert_matrix(singular, 2));
+}
+
+TEST(Linalg, OrthonormalizeProducesOrthonormalColumns)
+{
+    Rng rng(1);
+    DenseMatrix a = DenseMatrix::random(20, 5, rng);
+    orthonormalize_columns(a);
+    for (Size c1 = 0; c1 < 5; ++c1) {
+        for (Size c2 = 0; c2 <= c1; ++c2) {
+            double dot = 0;
+            for (Size i = 0; i < 20; ++i)
+                dot += static_cast<double>(a(i, c1)) * a(i, c2);
+            EXPECT_NEAR(dot, c1 == c2 ? 1.0 : 0.0, 1e-4);
+        }
+    }
+}
+
+TEST(Linalg, NormalizeColumnsReturnsNorms)
+{
+    DenseMatrix a(2, 2);
+    a(0, 0) = 3;
+    a(1, 0) = 4;
+    a(0, 1) = 0;
+    a(1, 1) = 2;
+    const auto norms = normalize_columns(a);
+    EXPECT_NEAR(norms[0], 5.0, 1e-6);
+    EXPECT_NEAR(norms[1], 2.0, 1e-6);
+    EXPECT_NEAR(a(0, 0), 0.6, 1e-6);
+    EXPECT_NEAR(a(1, 1), 1.0, 1e-6);
+}
+
+/// Builds a random rank-r CP tensor (sparse representation of a dense
+/// low-rank object restricted to sampled coordinates is NOT low rank, so
+/// we materialize all coordinates of a small cube).
+CooTensor
+planted_cp_tensor(Size n, Size rank, Rng& rng,
+                  std::vector<DenseMatrix>* planted = nullptr)
+{
+    std::vector<DenseMatrix> mats;
+    for (int m = 0; m < 3; ++m)
+        mats.push_back(
+            DenseMatrix::random(n, rank, rng));
+    CooTensor x({static_cast<Index>(n), static_cast<Index>(n),
+                 static_cast<Index>(n)});
+    for (Index i = 0; i < n; ++i)
+        for (Index j = 0; j < n; ++j)
+            for (Index k = 0; k < n; ++k) {
+                double v = 0;
+                for (Size r = 0; r < rank; ++r)
+                    v += static_cast<double>(mats[0](i, r)) *
+                         mats[1](j, r) * mats[2](k, r);
+                x.append({i, j, k}, static_cast<Value>(v));
+            }
+    if (planted)
+        *planted = std::move(mats);
+    return x;
+}
+
+TEST(CpAls, RecoversPlantedLowRankTensor)
+{
+    Rng rng(2);
+    CooTensor x = planted_cp_tensor(10, 3, rng);
+    CpdOptions options;
+    options.rank = 3;
+    options.max_sweeps = 60;
+    options.tolerance = 1e-9;
+    const CpdResult result = cp_als(x, options);
+    EXPECT_GT(result.fit, 0.98) << "sweeps " << result.sweeps;
+}
+
+TEST(CpAls, FitImprovesAndStaysStable)
+{
+    Rng rng(3);
+    CooTensor x = planted_cp_tensor(8, 2, rng);
+    CpdOptions options;
+    options.rank = 4;
+    options.max_sweeps = 15;
+    options.tolerance = 0;  // run all sweeps
+    const CpdResult result = cp_als(x, options);
+    ASSERT_GE(result.fit_history.size(), 3u);
+    // ALS is monotone in exact arithmetic; in single precision the fit
+    // may jitter at the 1e-3 level once converged, but must never take a
+    // real step backwards and must end at least as good as it started.
+    for (Size s = 2; s < result.fit_history.size(); ++s)
+        EXPECT_GE(result.fit_history[s], result.fit_history[s - 1] - 1e-3)
+            << "sweep " << s;
+    EXPECT_GE(result.fit_history.back(), result.fit_history.front() - 1e-3);
+}
+
+TEST(CpAls, HicooBackendMatchesCoo)
+{
+    Rng rng(4);
+    CooTensor x = planted_cp_tensor(8, 2, rng);
+    CpdOptions coo_options;
+    coo_options.rank = 2;
+    coo_options.max_sweeps = 10;
+    coo_options.seed = 9;
+    CpdOptions hicoo_options = coo_options;
+    hicoo_options.mttkrp_format = Format::kHicoo;
+    const CpdResult a = cp_als(x, coo_options);
+    const CpdResult b = cp_als(x, hicoo_options);
+    EXPECT_NEAR(a.fit, b.fit, 1e-3);
+}
+
+TEST(CpAls, ModelEvaluatesCloseToData)
+{
+    Rng rng(5);
+    CooTensor x = planted_cp_tensor(6, 2, rng);
+    CpdOptions options;
+    options.rank = 2;
+    options.max_sweeps = 60;
+    options.tolerance = 1e-10;
+    const CpdResult model = cp_als(x, options);
+    ASSERT_GT(model.fit, 0.95);
+    double worst = 0;
+    for (Size p = 0; p < x.nnz(); ++p)
+        worst = std::max(worst,
+                         std::abs(cpd_value_at(model, x.coordinate(p)) -
+                                  static_cast<double>(x.value(p))));
+    EXPECT_LT(worst, 0.25);
+}
+
+TEST(CpAls, RejectsBadInputs)
+{
+    CooTensor empty({4, 4});
+    EXPECT_THROW(cp_als(empty), PastaError);
+    CooTensor x({4, 4});
+    x.append({0, 0}, 1.0f);
+    CpdOptions options;
+    options.rank = 0;
+    EXPECT_THROW(cp_als(x, options), PastaError);
+}
+
+TEST(TtmChain, ProjectsEveryModeExceptSkipped)
+{
+    Rng rng(6);
+    CooTensor x = CooTensor::random({8, 10, 12}, 120, rng);
+    std::vector<DenseMatrix> mats;
+    for (Size m = 0; m < 3; ++m)
+        mats.push_back(DenseMatrix::random(x.dim(m), 3, rng));
+    CooTensor all = ttm_chain(x, mats);
+    EXPECT_EQ(all.dims(), (std::vector<Index>{3, 3, 3}));
+    CooTensor skip1 = ttm_chain(x, mats, 1);
+    EXPECT_EQ(skip1.dims(), (std::vector<Index>{3, 10, 3}));
+}
+
+TEST(TtmChain, OrderOfContractionsDoesNotChangeResult)
+{
+    // ttm_chain orders by ascending rank internally; compare against a
+    // manual fixed-order chain.
+    Rng rng(7);
+    CooTensor x = CooTensor::random({6, 7, 8}, 80, rng);
+    std::vector<DenseMatrix> mats;
+    mats.push_back(DenseMatrix::random(6, 5, rng));
+    mats.push_back(DenseMatrix::random(7, 2, rng));
+    mats.push_back(DenseMatrix::random(8, 3, rng));
+    CooTensor chained = ttm_chain(x, mats);
+    CooTensor manual = x;
+    for (Size m = 0; m < 3; ++m)
+        manual = ttm_coo(manual, mats[m], m).to_coo();
+    EXPECT_TRUE(tensors_almost_equal(chained, manual, 1e-2));
+}
+
+TEST(TuckerHooi, CoreNormNonDecreasingAndBounded)
+{
+    Rng rng(8);
+    CooTensor x = CooTensor::random({12, 12, 12}, 200, rng);
+    TuckerOptions options;
+    options.rank = 3;
+    options.max_passes = 4;
+    options.tolerance = 0;
+    const TuckerResult result = tucker_hooi(x, options);
+    const double norm_x = std::sqrt(frobenius_norm_squared(x));
+    for (Size p = 1; p < result.core_norm_history.size(); ++p)
+        EXPECT_GE(result.core_norm_history[p],
+                  result.core_norm_history[p - 1] - 1e-3);
+    // Orthonormal projections cannot increase the norm.
+    EXPECT_LE(result.core_norm, norm_x + 1e-3);
+}
+
+TEST(TuckerHooi, ExactlyRecoversLowMultirankTensor)
+{
+    // A tensor that *is* rank (2,2,2) must be captured exactly:
+    // |core| = |X|.
+    Rng rng(9);
+    std::vector<DenseMatrix> mats;
+    for (int m = 0; m < 3; ++m) {
+        mats.push_back(DenseMatrix::random(9, 2, rng));
+        orthonormalize_columns(mats.back());
+    }
+    // X = G x1 U1 x2 U2 x3 U3 with a random 2x2x2 core.
+    CooTensor core({2, 2, 2});
+    for (Index a = 0; a < 2; ++a)
+        for (Index b = 0; b < 2; ++b)
+            for (Index c = 0; c < 2; ++c)
+                core.append({a, b, c}, rng.next_float() + 0.5f);
+    CooTensor x({9, 9, 9});
+    for (Index i = 0; i < 9; ++i)
+        for (Index j = 0; j < 9; ++j)
+            for (Index k = 0; k < 9; ++k) {
+                double v = 0;
+                for (Size p = 0; p < core.nnz(); ++p)
+                    v += static_cast<double>(core.value(p)) *
+                         mats[0](i, core.index(0, p)) *
+                         mats[1](j, core.index(1, p)) *
+                         mats[2](k, core.index(2, p));
+                if (std::abs(v) > 1e-8)
+                    x.append({i, j, k}, static_cast<Value>(v));
+            }
+    TuckerOptions options;
+    options.rank = 2;
+    options.max_passes = 6;
+    options.power_iterations = 20;
+    const TuckerResult result = tucker_hooi(x, options);
+    const double norm_x = std::sqrt(frobenius_norm_squared(x));
+    EXPECT_NEAR(result.core_norm, norm_x, 0.02 * norm_x);
+}
+
+TEST(PowerMethod, RecoversOrthogonalComponents)
+{
+    const Size n = 16;
+    Rng rng(10);
+    std::vector<DenseVector> comps;
+    for (int c = 0; c < 2; ++c) {
+        DenseVector u = DenseVector::random(n, rng);
+        for (const auto& prev : comps) {
+            double dot = 0;
+            for (Size i = 0; i < n; ++i)
+                dot += static_cast<double>(u[i]) * prev[i];
+            for (Size i = 0; i < n; ++i)
+                u[i] -= static_cast<Value>(dot) * prev[i];
+        }
+        double norm = 0;
+        for (Size i = 0; i < n; ++i)
+            norm += static_cast<double>(u[i]) * u[i];
+        norm = std::sqrt(norm);
+        for (Size i = 0; i < n; ++i)
+            u[i] = static_cast<Value>(u[i] / norm);
+        comps.push_back(u);
+    }
+    const double weights[2] = {3.0, 1.5};
+    CooTensor x({n, n, n});
+    for (Index i = 0; i < n; ++i)
+        for (Index j = 0; j < n; ++j)
+            for (Index k = 0; k < n; ++k) {
+                double v = 0;
+                for (int c = 0; c < 2; ++c)
+                    v += weights[c] * comps[c][i] * comps[c][j] *
+                         comps[c][k];
+                if (std::abs(v) > 1e-8)
+                    x.append({i, j, k}, static_cast<Value>(v));
+            }
+    PowerMethodOptions options;
+    options.num_components = 2;
+    options.iterations = 40;
+    const auto found = tensor_power_method(x, options);
+    ASSERT_EQ(found.size(), 2u);
+    EXPECT_NEAR(found[0].weight, 3.0, 0.05);
+    EXPECT_NEAR(found[1].weight, 1.5, 0.05);
+    // Recovered directions align with planted ones (up to sign).
+    double dot0 = 0;
+    for (Size i = 0; i < n; ++i)
+        dot0 += static_cast<double>(found[0].vector[i]) * comps[0][i];
+    EXPECT_NEAR(std::abs(dot0), 1.0, 1e-2);
+}
+
+TEST(PowerMethod, RejectsNonCubicalOrWrongOrder)
+{
+    CooTensor rect({4, 5, 4});
+    rect.append({0, 0, 0}, 1.0f);
+    EXPECT_THROW(tensor_power_method(rect), PastaError);
+    CooTensor order4({4, 4, 4, 4});
+    order4.append({0, 0, 0, 0}, 1.0f);
+    EXPECT_THROW(tensor_power_method(order4), PastaError);
+}
+
+}  // namespace
+}  // namespace pasta

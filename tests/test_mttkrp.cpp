@@ -1,0 +1,219 @@
+// Tests for MTTKRP (COO parallel/sequential and HiCOO) against the dense
+// reference.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "core/convert.hpp"
+#include "kernels/mttkrp.hpp"
+#include "kernels/reference.hpp"
+
+namespace pasta {
+namespace {
+
+struct Problem {
+    CooTensor x;
+    std::vector<DenseMatrix> mats;
+
+    FactorList factors() const
+    {
+        FactorList list;
+        for (const auto& m : mats)
+            list.push_back(&m);
+        return list;
+    }
+};
+
+Problem
+make_problem(const std::vector<Index>& dims, Size nnz, Size rank,
+             std::uint64_t seed)
+{
+    Rng rng(seed);
+    Problem prob;
+    prob.x = CooTensor::random(dims, nnz, rng);
+    for (Index d : dims)
+        prob.mats.push_back(DenseMatrix::random(d, rank, rng));
+    return prob;
+}
+
+TEST(MttkrpCoo, HandComputedThirdOrderExample)
+{
+    // Single non-zero x(1,0,1)=2 with rank-1 factors of all ones except
+    // B(0,0)=3, C(1,0)=5: out(1,0) = 2*3*5 = 30.
+    CooTensor x({2, 2, 2});
+    x.append({1, 0, 1}, 2.0f);
+    DenseMatrix a(2, 1, 1.0f);
+    DenseMatrix b(2, 1, 1.0f);
+    DenseMatrix c(2, 1, 1.0f);
+    b(0, 0) = 3.0f;
+    c(1, 0) = 5.0f;
+    DenseMatrix out(2, 1);
+    mttkrp_coo(x, {&a, &b, &c}, 0, out);
+    EXPECT_FLOAT_EQ(out(1, 0), 30.0f);
+    EXPECT_FLOAT_EQ(out(0, 0), 0.0f);
+}
+
+TEST(MttkrpCoo, MatchesDenseReferenceOnAllModes)
+{
+    Problem prob = make_problem({10, 12, 8}, 200, 5, 1);
+    DenseTensor dx = DenseTensor::from_coo(prob.x);
+    for (Size mode = 0; mode < 3; ++mode) {
+        DenseMatrix out(prob.x.dim(mode), 5);
+        mttkrp_coo(prob.x, prob.factors(), mode, out);
+        DenseMatrix expected = ref_mttkrp(dx, prob.factors(), mode);
+        EXPECT_LT(max_abs_diff(out, expected), 1e-3) << "mode " << mode;
+    }
+}
+
+TEST(MttkrpCoo, SequentialMatchesParallel)
+{
+    Problem prob = make_problem({16, 16, 16}, 400, 8, 2);
+    DenseMatrix par(16, 8);
+    DenseMatrix seq(16, 8);
+    mttkrp_coo(prob.x, prob.factors(), 1, par);
+    mttkrp_coo_seq(prob.x, prob.factors(), 1, seq);
+    EXPECT_LT(max_abs_diff(par, seq), 1e-3);
+}
+
+TEST(MttkrpHicoo, MatchesCooOnAllModes)
+{
+    Problem prob = make_problem({32, 32, 32}, 600, 6, 3);
+    HiCooTensor hx = coo_to_hicoo(prob.x, 3);
+    for (Size mode = 0; mode < 3; ++mode) {
+        DenseMatrix coo_out(32, 6);
+        DenseMatrix hicoo_out(32, 6);
+        mttkrp_coo(prob.x, prob.factors(), mode, coo_out);
+        mttkrp_hicoo(hx, prob.factors(), mode, hicoo_out);
+        EXPECT_LT(max_abs_diff(coo_out, hicoo_out), 1e-3)
+            << "mode " << mode;
+    }
+}
+
+TEST(MttkrpCoo, RejectsBadInputs)
+{
+    Problem prob = make_problem({8, 8, 8}, 50, 4, 4);
+    DenseMatrix out(8, 4);
+    EXPECT_THROW(mttkrp_coo(prob.x, prob.factors(), 3, out), PastaError);
+    DenseMatrix bad_out(7, 4);
+    EXPECT_THROW(mttkrp_coo(prob.x, prob.factors(), 0, bad_out),
+                 PastaError);
+    FactorList too_few = {&prob.mats[0], &prob.mats[1]};
+    EXPECT_THROW(mttkrp_coo(prob.x, too_few, 0, out), PastaError);
+    DenseMatrix wrong_rank(8, 3);
+    FactorList mixed = {&prob.mats[0], &wrong_rank, &prob.mats[2]};
+    EXPECT_THROW(mttkrp_coo(prob.x, mixed, 0, out), PastaError);
+}
+
+TEST(MttkrpCoo, AccumulatesDuplicateOutputRows)
+{
+    // Many non-zeros mapping to the same output row stress the atomic
+    // update path.
+    CooTensor x({2, 64, 64});
+    Rng rng(5);
+    for (int i = 0; i < 500; ++i)
+        x.append({0, rng.next_index(64), rng.next_index(64)}, 1.0f);
+    x.sort_lexicographic();
+    x.coalesce();
+    DenseMatrix b(64, 4, 1.0f);
+    DenseMatrix c(64, 4, 1.0f);
+    DenseMatrix a(2, 4, 1.0f);
+    DenseMatrix out(2, 4);
+    mttkrp_coo(x, {&a, &b, &c}, 0, out);
+    // All 500 appended values are 1 and the factors are all-ones, so
+    // out(0,r) = 500 (coalesce merges duplicates but preserves the sum).
+    for (Size r = 0; r < 4; ++r)
+        EXPECT_FLOAT_EQ(out(0, r), 500.0f);
+}
+
+TEST(MttkrpCoo, OutputZeroedBetweenRuns)
+{
+    Problem prob = make_problem({12, 12, 12}, 150, 4, 6);
+    DenseMatrix out(12, 4, 123.0f);  // dirty buffer
+    mttkrp_coo(prob.x, prob.factors(), 2, out);
+    DenseMatrix out2(12, 4);
+    mttkrp_coo(prob.x, prob.factors(), 2, out2);
+    EXPECT_LT(max_abs_diff(out, out2), 1e-4);
+}
+
+TEST(MttkrpCoo, PrivatizedMatchesAtomicVariant)
+{
+    Problem prob = make_problem({24, 24, 24}, 500, 8, 11);
+    DenseMatrix atomic_out(24, 8);
+    DenseMatrix priv_out(24, 8);
+    for (Size mode = 0; mode < 3; ++mode) {
+        mttkrp_coo(prob.x, prob.factors(), mode, atomic_out);
+        mttkrp_coo_privatized(prob.x, prob.factors(), mode, priv_out);
+        EXPECT_LT(max_abs_diff(atomic_out, priv_out), 1e-3)
+            << "mode " << mode;
+    }
+}
+
+TEST(MttkrpCoo, PrivatizedHandlesSkewedOutputRows)
+{
+    // All non-zeros hit one output row: the worst case for atomics, the
+    // easy case for privatization; results must still agree.
+    CooTensor x({2, 32, 32});
+    Rng rng(12);
+    for (int p = 0; p < 300; ++p)
+        x.append({0, rng.next_index(32), rng.next_index(32)}, 0.5f);
+    x.sort_lexicographic();
+    x.coalesce();
+    std::vector<DenseMatrix> mats;
+    mats.push_back(DenseMatrix::random(2, 4, rng));
+    mats.push_back(DenseMatrix::random(32, 4, rng));
+    mats.push_back(DenseMatrix::random(32, 4, rng));
+    FactorList factors = {&mats[0], &mats[1], &mats[2]};
+    DenseMatrix a(2, 4);
+    DenseMatrix b(2, 4);
+    mttkrp_coo_seq(x, factors, 0, a);
+    mttkrp_coo_privatized(x, factors, 0, b);
+    EXPECT_LT(max_abs_diff(a, b), 1e-3);
+}
+
+TEST(MttkrpHicoo, SmallBlockSizesStillCorrect)
+{
+    Problem prob = make_problem({16, 16, 16}, 300, 4, 7);
+    for (unsigned bits : {1u, 2u, 4u, 8u}) {
+        HiCooTensor hx = coo_to_hicoo(prob.x, bits);
+        DenseMatrix out(16, 4);
+        mttkrp_hicoo(hx, prob.factors(), 0, out);
+        DenseMatrix expected(16, 4);
+        mttkrp_coo_seq(prob.x, prob.factors(), 0, expected);
+        EXPECT_LT(max_abs_diff(out, expected), 1e-3)
+            << "block bits " << bits;
+    }
+}
+
+// Property sweep across orders, ranks, and modes.
+class MttkrpSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(MttkrpSweep, AllImplementationsMatchReference)
+{
+    const auto [order, rank] = GetParam();
+    const Index dim = order <= 3 ? 12 : 7;
+    Problem prob = make_problem(std::vector<Index>(order, dim), 100, rank,
+                                700 + order * 13 + rank);
+    DenseTensor dx = DenseTensor::from_coo(prob.x);
+    HiCooTensor hx = coo_to_hicoo(prob.x, 2);
+    for (Size mode = 0; mode < static_cast<Size>(order); ++mode) {
+        DenseMatrix expected = ref_mttkrp(dx, prob.factors(), mode);
+        DenseMatrix coo_out(dim, rank);
+        mttkrp_coo(prob.x, prob.factors(), mode, coo_out);
+        EXPECT_LT(max_abs_diff(coo_out, expected), 1e-3)
+            << "COO order " << order << " mode " << mode;
+        DenseMatrix h_out(dim, rank);
+        mttkrp_hicoo(hx, prob.factors(), mode, h_out);
+        EXPECT_LT(max_abs_diff(h_out, expected), 1e-3)
+            << "HiCOO order " << order << " mode " << mode;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OrdersAndRanks, MttkrpSweep,
+    ::testing::Combine(::testing::Values(2, 3, 4, 5),
+                       ::testing::Values(1, 4, 16)));
+
+}  // namespace
+}  // namespace pasta

@@ -1,0 +1,184 @@
+// Tests for the semi-sparse TTM (sCOO input) and broadcast TEW kernels.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/convert.hpp"
+#include "kernels/reference.hpp"
+#include "kernels/tew.hpp"
+#include "kernels/tew_broadcast.hpp"
+#include "kernels/ttm.hpp"
+#include "kernels/ttm_scoo.hpp"
+#include "methods/tucker.hpp"
+
+namespace pasta {
+namespace {
+
+TEST(TtmScoo, MatchesExpandThenTtm)
+{
+    Rng rng(1);
+    CooTensor x = CooTensor::random({8, 10, 12}, 150, rng);
+    DenseMatrix u1 = DenseMatrix::random(10, 4, rng);
+    DenseMatrix u2 = DenseMatrix::random(12, 3, rng);
+
+    // Chain via semi-sparse: (x x_1 u1) x_2 u2 without COO expansion.
+    ScooTensor step1 = ttm_coo(x, u1, 1);
+    ScooTensor chained = ttm_scoo(step1, u2, 2);
+
+    // Reference: expand the intermediate and TTM again.
+    CooTensor expanded = step1.to_coo();
+    ScooTensor expected = ttm_coo(expanded, u2, 2);
+
+    EXPECT_TRUE(tensors_almost_equal(chained.to_coo(),
+                                     expected.to_coo(), 1e-3));
+    EXPECT_EQ(chained.dense_modes(), (std::vector<Size>{1, 2}));
+    EXPECT_EQ(chained.dims(), (std::vector<Index>{8, 4, 3}));
+}
+
+TEST(TtmScoo, ChainMatchesDenseReference)
+{
+    Rng rng(2);
+    CooTensor x = CooTensor::random({6, 7, 8, 5}, 120, rng);
+    DenseMatrix u3 = DenseMatrix::random(5, 2, rng);
+    DenseMatrix u1 = DenseMatrix::random(7, 3, rng);
+
+    ScooTensor step1 = ttm_coo(x, u3, 3);
+    ScooTensor step2 = ttm_scoo(step1, u1, 1);
+
+    DenseTensor dx = DenseTensor::from_coo(x);
+    DenseTensor expected = ref_ttm(ref_ttm(dx, u3, 3), u1, 1);
+    EXPECT_TRUE(tensors_almost_equal(step2.to_coo(),
+                                     expected.to_coo(), 1e-3));
+}
+
+TEST(TtmScoo, RejectsDenseOrLastSparseMode)
+{
+    Rng rng(3);
+    CooTensor x = CooTensor::random({8, 8, 8}, 60, rng);
+    DenseMatrix u = DenseMatrix::random(8, 2, rng);
+    ScooTensor semi = ttm_coo(x, u, 1);  // mode 1 now dense
+    EXPECT_THROW(ttm_scoo(semi, u, 1), PastaError);  // dense mode
+    ScooTensor semi2 = ttm_scoo(semi, u, 0);         // modes {0} -> dense
+    // Now only mode 2 is sparse: contracting it must throw.
+    EXPECT_THROW(ttm_scoo(semi2, u, 2), PastaError);
+    DenseMatrix wrong = DenseMatrix::random(9, 2, rng);
+    EXPECT_THROW(ttm_scoo(semi, wrong, 0), PastaError);
+}
+
+TEST(TtmScoo, TuckerChainViaSemiSparseMatchesCooChain)
+{
+    Rng rng(4);
+    CooTensor x = CooTensor::random({9, 10, 11}, 200, rng);
+    std::vector<DenseMatrix> mats;
+    for (Size m = 0; m < 3; ++m)
+        mats.push_back(DenseMatrix::random(x.dim(m), 2, rng));
+
+    // COO-expansion chain (ttm_chain) vs semi-sparse chain.
+    CooTensor via_coo = ttm_chain(x, mats, 2);
+    ScooTensor step = ttm_coo(x, mats[0], 0);
+    ScooTensor done = ttm_scoo(step, mats[1], 1);
+    EXPECT_TRUE(
+        tensors_almost_equal(done.to_coo(), via_coo, 1e-3));
+}
+
+TEST(TewBroadcast, SliceScalingByVector)
+{
+    // Scale each k-slice of a third-order tensor by a weight w[k]:
+    // y order-1 aligned to x's mode 2.
+    CooTensor x({4, 4, 3});
+    x.append({0, 0, 0}, 1.0f);
+    x.append({1, 1, 1}, 2.0f);
+    x.append({2, 2, 2}, 3.0f);
+    CooTensor w({3});
+    w.append({0}, 10.0f);
+    w.append({1}, 20.0f);
+    w.append({2}, 30.0f);
+    CooTensor z = tew_coo_broadcast(x, w, {2}, EwOp::kMul);
+    EXPECT_TRUE(z.same_pattern(x));
+    EXPECT_FLOAT_EQ(z.at({0, 0, 0}), 10.0f);
+    EXPECT_FLOAT_EQ(z.at({1, 1, 1}), 40.0f);
+    EXPECT_FLOAT_EQ(z.at({2, 2, 2}), 90.0f);
+}
+
+TEST(TewBroadcast, MatrixBroadcastOverThirdOrder)
+{
+    Rng rng(5);
+    CooTensor x = CooTensor::random({6, 7, 8}, 80, rng);
+    CooTensor y({6, 8});
+    for (Index i = 0; i < 6; ++i)
+        for (Index k = 0; k < 8; ++k)
+            y.append({i, k}, rng.next_float() + 0.5f);
+    CooTensor z = tew_coo_broadcast(x, y, {0, 2}, EwOp::kMul);
+    for (Size p = 0; p < z.nnz(); ++p) {
+        const Value expected =
+            x.value(p) * y.at({x.index(0, p), x.index(2, p)});
+        EXPECT_FLOAT_EQ(z.value(p), expected) << "nnz " << p;
+    }
+}
+
+TEST(TewBroadcast, MissingEntriesMultiplyToZero)
+{
+    CooTensor x({4, 4});
+    x.append({0, 0}, 5.0f);
+    x.append({3, 3}, 7.0f);
+    CooTensor y({4});
+    y.append({0}, 2.0f);  // index 3 missing -> zero
+    CooTensor z = tew_coo_broadcast(x, y, {0}, EwOp::kMul);
+    EXPECT_FLOAT_EQ(z.at({0, 0}), 10.0f);
+    EXPECT_FLOAT_EQ(z.at({3, 3}), 0.0f);
+}
+
+TEST(TewBroadcast, DivisionByMissingEntryThrows)
+{
+    CooTensor x({4, 4});
+    x.append({3, 3}, 7.0f);
+    CooTensor y({4});
+    y.append({0}, 2.0f);
+    EXPECT_THROW(tew_coo_broadcast(x, y, {0}, EwOp::kDiv), PastaError);
+}
+
+TEST(TewBroadcast, DivisionByPresentEntries)
+{
+    CooTensor x({4, 4});
+    x.append({1, 2}, 8.0f);
+    CooTensor y({4});
+    y.append({2}, 2.0f);
+    CooTensor z = tew_coo_broadcast(x, y, {1}, EwOp::kDiv);
+    EXPECT_FLOAT_EQ(z.at({1, 2}), 4.0f);
+}
+
+TEST(TewBroadcast, RejectsBadArguments)
+{
+    CooTensor x({4, 4, 4});
+    x.append({0, 0, 0}, 1.0f);
+    CooTensor y({4});
+    y.append({0}, 1.0f);
+    EXPECT_THROW(tew_coo_broadcast(x, y, {0}, EwOp::kAdd), PastaError);
+    EXPECT_THROW(tew_coo_broadcast(x, y, {0, 1}, EwOp::kMul), PastaError);
+    EXPECT_THROW(tew_coo_broadcast(x, y, {5}, EwOp::kMul), PastaError);
+    CooTensor y2({4, 4});
+    y2.append({0, 0}, 1.0f);
+    EXPECT_THROW(tew_coo_broadcast(x, y2, {1, 0}, EwOp::kMul),
+                 PastaError);  // not increasing
+    CooTensor y3({5});
+    y3.append({0}, 1.0f);
+    EXPECT_THROW(tew_coo_broadcast(x, y3, {0}, EwOp::kMul),
+                 PastaError);  // extent mismatch
+}
+
+TEST(TewBroadcast, SameOrderBroadcastEqualsSamePatternTew)
+{
+    // Full-order broadcast with matching pattern reduces to plain TEW
+    // multiplication on the intersection (x's pattern).
+    Rng rng(6);
+    CooTensor x = CooTensor::random({8, 8}, 20, rng);
+    CooTensor y = x;
+    for (auto& v : y.values())
+        v = rng.next_float() + 0.5f;
+    CooTensor via_broadcast = tew_coo_broadcast(x, y, {0, 1}, EwOp::kMul);
+    CooTensor via_tew = tew_coo(x, y, EwOp::kMul);
+    EXPECT_TRUE(tensors_almost_equal(via_broadcast, via_tew));
+}
+
+}  // namespace
+}  // namespace pasta

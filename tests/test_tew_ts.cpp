@@ -1,0 +1,228 @@
+// Tests for the TEW and TS kernels (COO and HiCOO) against the dense
+// reference implementations.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "core/convert.hpp"
+#include "kernels/reference.hpp"
+#include "kernels/tew.hpp"
+#include "kernels/ts.hpp"
+
+namespace pasta {
+namespace {
+
+/// Two tensors with identical pattern and different values.
+std::pair<CooTensor, CooTensor>
+same_pattern_pair(const std::vector<Index>& dims, Size nnz,
+                  std::uint64_t seed)
+{
+    Rng rng(seed);
+    CooTensor x = CooTensor::random(dims, nnz, rng);
+    CooTensor y = x;
+    for (auto& v : y.values())
+        v = rng.next_float() + 0.5f;
+    return {x, y};
+}
+
+TEST(Tew, SamePatternAddMatchesReference)
+{
+    auto [x, y] = same_pattern_pair({16, 16, 16}, 200, 1);
+    CooTensor z = tew_coo(x, y, EwOp::kAdd);
+    DenseTensor expected =
+        ref_tew(DenseTensor::from_coo(x), DenseTensor::from_coo(y),
+                EwOp::kAdd);
+    EXPECT_TRUE(tensors_almost_equal(z, expected.to_coo()));
+}
+
+TEST(Tew, AllOpsMatchScalarSemantics)
+{
+    auto [x, y] = same_pattern_pair({8, 8}, 30, 2);
+    for (EwOp op :
+         {EwOp::kAdd, EwOp::kSub, EwOp::kMul, EwOp::kDiv}) {
+        CooTensor z = tew_coo(x, y, op);
+        ASSERT_EQ(z.nnz(), x.nnz());
+        for (Size p = 0; p < z.nnz(); ++p)
+            EXPECT_FLOAT_EQ(z.value(p),
+                            apply_ew(op, x.value(p), y.value(p)))
+                << ew_op_name(op) << " at " << p;
+    }
+}
+
+TEST(Tew, OutputSharesInputPattern)
+{
+    auto [x, y] = same_pattern_pair({16, 16}, 50, 3);
+    CooTensor z = tew_coo(x, y, EwOp::kMul);
+    EXPECT_TRUE(z.same_pattern(x));
+}
+
+TEST(Tew, RejectsMismatchedPatterns)
+{
+    Rng rng(4);
+    CooTensor x = CooTensor::random({8, 8}, 20, rng);
+    CooTensor y = CooTensor::random({8, 8}, 21, rng);
+    EXPECT_THROW(tew_coo(x, y, EwOp::kAdd), PastaError);
+}
+
+TEST(TewGeneral, UnionSemanticsForAdd)
+{
+    CooTensor x({4, 4});
+    x.append({0, 0}, 1.0f);
+    x.append({1, 1}, 2.0f);
+    CooTensor y({4, 4});
+    y.append({1, 1}, 10.0f);
+    y.append({2, 2}, 20.0f);
+    CooTensor z = tew_coo_general(x, y, EwOp::kAdd);
+    EXPECT_EQ(z.nnz(), 3u);
+    EXPECT_FLOAT_EQ(z.at({0, 0}), 1.0f);
+    EXPECT_FLOAT_EQ(z.at({1, 1}), 12.0f);
+    EXPECT_FLOAT_EQ(z.at({2, 2}), 20.0f);
+}
+
+TEST(TewGeneral, SubtractionNegatesUnmatchedRhs)
+{
+    CooTensor x({4, 4});
+    x.append({0, 0}, 5.0f);
+    CooTensor y({4, 4});
+    y.append({0, 0}, 2.0f);
+    y.append({3, 3}, 7.0f);
+    CooTensor z = tew_coo_general(x, y, EwOp::kSub);
+    EXPECT_FLOAT_EQ(z.at({0, 0}), 3.0f);
+    EXPECT_FLOAT_EQ(z.at({3, 3}), -7.0f);
+}
+
+TEST(TewGeneral, IntersectionSemanticsForMul)
+{
+    CooTensor x({4, 4});
+    x.append({0, 0}, 3.0f);
+    x.append({1, 1}, 4.0f);
+    CooTensor y({4, 4});
+    y.append({1, 1}, 5.0f);
+    y.append({2, 2}, 6.0f);
+    CooTensor z = tew_coo_general(x, y, EwOp::kMul);
+    EXPECT_EQ(z.nnz(), 1u);
+    EXPECT_FLOAT_EQ(z.at({1, 1}), 20.0f);
+}
+
+TEST(TewGeneral, DifferentShapesTakeMaxDims)
+{
+    CooTensor x({4, 8});
+    x.append({3, 7}, 1.0f);
+    CooTensor y({8, 4});
+    y.append({7, 3}, 2.0f);
+    CooTensor z = tew_coo_general(x, y, EwOp::kAdd);
+    EXPECT_EQ(z.dims(), (std::vector<Index>{8, 8}));
+    EXPECT_EQ(z.nnz(), 2u);
+}
+
+TEST(TewGeneral, MatchesDenseReferenceOnRandomInputs)
+{
+    Rng rng(5);
+    CooTensor x = CooTensor::random({12, 12, 12}, 150, rng);
+    CooTensor y = CooTensor::random({12, 12, 12}, 170, rng);
+    for (EwOp op : {EwOp::kAdd, EwOp::kSub, EwOp::kMul}) {
+        CooTensor z = tew_coo_general(x, y, op);
+        DenseTensor expected =
+            ref_tew(DenseTensor::from_coo(x), DenseTensor::from_coo(y), op);
+        EXPECT_TRUE(tensors_almost_equal(z, expected.to_coo()))
+            << ew_op_name(op);
+    }
+}
+
+TEST(TewGeneral, RejectsDifferentOrders)
+{
+    CooTensor x({4, 4});
+    CooTensor y({4, 4, 4});
+    EXPECT_THROW(tew_coo_general(x, y, EwOp::kAdd), PastaError);
+}
+
+TEST(TewHicoo, MatchesCooResult)
+{
+    auto [x, y] = same_pattern_pair({32, 32, 32}, 300, 6);
+    HiCooTensor hx = coo_to_hicoo(x, 3);
+    HiCooTensor hy = coo_to_hicoo(y, 3);
+    HiCooTensor hz = tew_hicoo(hx, hy, EwOp::kAdd);
+    CooTensor expected = tew_coo(x, y, EwOp::kAdd);
+    EXPECT_TRUE(tensors_almost_equal(hicoo_to_coo(hz), expected));
+}
+
+TEST(TewHicoo, RejectsStructureMismatch)
+{
+    auto [x, y] = same_pattern_pair({32, 32, 32}, 100, 7);
+    HiCooTensor hx = coo_to_hicoo(x, 3);
+    HiCooTensor hy = coo_to_hicoo(y, 4);  // different block size
+    EXPECT_THROW(tew_hicoo(hx, hy, EwOp::kAdd), PastaError);
+}
+
+TEST(Ts, AddAndMulMatchReference)
+{
+    Rng rng(8);
+    CooTensor x = CooTensor::random({16, 16}, 64, rng);
+    for (TsOp op : {TsOp::kAdd, TsOp::kMul}) {
+        CooTensor y = ts_coo(x, op, 2.5f);
+        CooTensor expected = ref_ts(x, op, 2.5f);
+        EXPECT_TRUE(y.same_pattern(expected));
+        for (Size p = 0; p < y.nnz(); ++p)
+            EXPECT_FLOAT_EQ(y.value(p), expected.value(p));
+    }
+}
+
+TEST(Ts, SubtractAndDivideViaAddMul)
+{
+    // The suite implements TSA/TSM only; TSS/TSD derive from them
+    // (paper §II-B).
+    Rng rng(9);
+    CooTensor x = CooTensor::random({16, 16}, 64, rng);
+    const Value s = 4.0f;
+    CooTensor sub = ts_coo(x, TsOp::kAdd, -s);
+    CooTensor div = ts_coo(x, TsOp::kMul, 1.0f / s);
+    for (Size p = 0; p < x.nnz(); ++p) {
+        EXPECT_FLOAT_EQ(sub.value(p), x.value(p) - s);
+        EXPECT_FLOAT_EQ(div.value(p), x.value(p) / s);
+    }
+}
+
+TEST(Ts, HicooMatchesCoo)
+{
+    Rng rng(10);
+    CooTensor x = CooTensor::random({32, 32, 32}, 256, rng);
+    HiCooTensor hx = coo_to_hicoo(x, 3);
+    HiCooTensor hy = ts_hicoo(hx, TsOp::kMul, 3.0f);
+    CooTensor expected = ts_coo(x, TsOp::kMul, 3.0f);
+    EXPECT_TRUE(tensors_almost_equal(hicoo_to_coo(hy), expected));
+}
+
+TEST(Ts, EmptyTensorIsFine)
+{
+    CooTensor x({8, 8});
+    CooTensor y = ts_coo(x, TsOp::kAdd, 1.0f);
+    EXPECT_EQ(y.nnz(), 0u);
+}
+
+// Property sweep: TEW/TS correct across orders and ops.
+class TewTsSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(TewTsSweep, TewAndTsMatchReference)
+{
+    const auto [order, nnz] = GetParam();
+    const Index dim = order == 1 ? 1024 : (order <= 3 ? 24 : 10);
+    auto [x, y] =
+        same_pattern_pair(std::vector<Index>(order, dim), nnz,
+                          100 + order);
+    CooTensor z = tew_coo(x, y, EwOp::kMul);
+    for (Size p = 0; p < z.nnz(); ++p)
+        EXPECT_FLOAT_EQ(z.value(p), x.value(p) * y.value(p));
+    CooTensor t = ts_coo(x, TsOp::kAdd, 1.5f);
+    for (Size p = 0; p < t.nnz(); ++p)
+        EXPECT_FLOAT_EQ(t.value(p), x.value(p) + 1.5f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Orders, TewTsSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5),
+                       ::testing::Values(10, 200)));
+
+}  // namespace
+}  // namespace pasta
