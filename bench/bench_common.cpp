@@ -1,13 +1,19 @@
 #include "bench_common.hpp"
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <memory>
 
 #include "common/log.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "core/convert.hpp"
 #include "gpusim/gpu_kernels.hpp"
+#include "harness/fault.hpp"
+#include "harness/journal.hpp"
 #include "io/registry.hpp"
 #include "kernels/mttkrp.hpp"
 #include "kernels/tew.hpp"
@@ -18,16 +24,60 @@
 
 namespace pasta::bench {
 
+namespace {
+
+double
+parse_env_double(const char* name, const char* value, double lo, double hi)
+{
+    char* end = nullptr;
+    const double v = std::strtod(value, &end);
+    PASTA_CHECK_MSG(*value && *end == '\0' && v > lo && v <= hi,
+                    name << "='" << value << "' must be a number in ("
+                         << lo << ", " << hi << "]");
+    return v;
+}
+
+std::size_t
+parse_env_size(const char* name, const char* value, std::size_t lo,
+               std::size_t hi)
+{
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(value, &end, 10);
+    PASTA_CHECK_MSG(*value && *end == '\0' && v >= lo && v <= hi,
+                    name << "='" << value << "' must be an integer in ["
+                         << lo << ", " << hi << "]");
+    return static_cast<std::size_t>(v);
+}
+
+}  // namespace
+
 BenchOptions
 options_from_env()
 {
+    set_log_threshold_from_env();
+    // Arm fault injection before anything the guards protect can run.
+    harness::FaultInjector::instance().configure_from_env();
+
     BenchOptions options;
     if (const char* s = std::getenv("PASTA_SCALE"))
-        options.scale = std::atof(s);
+        options.scale = parse_env_double("PASTA_SCALE", s, 0.0, 1.0);
     if (const char* s = std::getenv("PASTA_RUNS"))
-        options.runs = std::strtoul(s, nullptr, 10);
+        options.runs = parse_env_size("PASTA_RUNS", s, 1, 1000000);
     if (const char* s = std::getenv("PASTA_CACHE"))
         options.cache_dir = s;
+    options.trial_policy = harness::TrialPolicy::from_env();
+    const char* fault = std::getenv("PASTA_FAULT");
+    if (!std::getenv("PASTA_TRIAL_TIMEOUT") && fault &&
+        std::strstr(fault, "hang")) {
+        // An armed hang with no explicit watchdog would stall the suite
+        // forever; arm a generous default instead.
+        options.trial_policy.timeout_seconds = 60.0;
+        PASTA_LOG_WARN << "PASTA_FAULT has a hang rule and "
+                          "PASTA_TRIAL_TIMEOUT is unset; defaulting the "
+                          "watchdog to 60 s";
+    }
+    if (const char* s = std::getenv("PASTA_JOURNAL"))
+        options.journal_enabled = std::strcmp(s, "0") != 0;
     return options;
 }
 
@@ -36,10 +86,34 @@ load_suite(const BenchOptions& options)
 {
     TensorRegistry registry(options.cache_dir, options.scale);
     std::vector<NamedTensor> suite;
+    const int max_attempts =
+        options.trial_policy.max_attempts < 1
+            ? 1
+            : options.trial_policy.max_attempts;
     for (const auto* table :
          {&real_dataset_table(), &synthetic_dataset_table()}) {
-        for (const auto& spec : *table)
-            suite.push_back({spec.id, spec.name, registry.load(spec.id)});
+        for (const auto& spec : *table) {
+            bool loaded = false;
+            std::string last_error;
+            for (int attempt = 1; attempt <= max_attempts && !loaded;
+                 ++attempt) {
+                try {
+                    suite.push_back(
+                        {spec.id, spec.name, registry.load(spec.id)});
+                    loaded = true;
+                } catch (const PastaError& e) {
+                    last_error = e.what();
+                } catch (const std::bad_alloc&) {
+                    last_error = "out of memory (std::bad_alloc)";
+                }
+            }
+            if (!loaded) {
+                PASTA_LOG_ERROR << "cannot load dataset " << spec.id
+                                << " after " << max_attempts
+                                << " attempts (" << last_error
+                                << "); skipping it";
+            }
+        }
     }
     return suite;
 }
@@ -58,6 +132,8 @@ sibling(const CooTensor& x, std::uint64_t seed)
 }
 
 /// Per-tensor measurement context shared by the CPU and GPU paths.
+/// Heap-allocated (shared_ptr) because trial bodies may outlive a timed-
+/// out attempt: an abandoned watchdog worker still holds its captures.
 struct TensorContext {
     const NamedTensor* entry = nullptr;
     CooTensor y;                  ///< TEW sibling
@@ -75,36 +151,24 @@ struct TensorContext {
     }
 };
 
-TensorContext
-make_context(const NamedTensor& entry, const BenchOptions& options)
+void
+fill_context(TensorContext& ctx, const NamedTensor& entry,
+             const BenchOptions& options)
 {
-    TensorContext ctx;
+    harness::fault_point("alloc");
     ctx.entry = &entry;
     ctx.y = sibling(entry.tensor, 17);
     ctx.hx = coo_to_hicoo(entry.tensor, options.block_bits);
     ctx.hy = coo_to_hicoo(ctx.y, options.block_bits);
     Rng rng(23);
     Index widest = 0;
+    ctx.mats.clear();
     for (Size m = 0; m < entry.tensor.order(); ++m) {
         ctx.mats.push_back(
             DenseMatrix::random(entry.tensor.dim(m), options.rank, rng));
         widest = std::max(widest, entry.tensor.dim(m));
     }
     ctx.mttkrp_out = DenseMatrix(widest, options.rank);
-    return ctx;
-}
-
-MeasuredRun
-make_run(const NamedTensor& entry, Kernel kernel, Format format,
-         double seconds, const KernelCost& cost)
-{
-    MeasuredRun run;
-    run.tensor_id = entry.id;
-    run.kernel = kernel;
-    run.format = format;
-    run.seconds = seconds;
-    run.cost = cost;
-    return run;
 }
 
 /// Mode-independent stats (TEW/TS/MTTKRP).
@@ -119,297 +183,658 @@ base_stats(const CooTensor& x, const HiCooTensor& hx)
     return stats;
 }
 
+std::string
+sanitize_tag(const std::string& name)
+{
+    std::string tag;
+    for (char c : name)
+        tag += (std::isalnum(static_cast<unsigned char>(c)) ? c : '_');
+    return tag;
+}
+
+/// Drives one suite: journal lookup, guarded execution, and partial-
+/// result bookkeeping for every (tensor, kernel, format) trial.
+class SuiteRunner {
+  public:
+    SuiteRunner(const BenchOptions& options, const std::string& platform)
+        : options_(options), policy_(options.trial_policy)
+    {
+        if (options.journal_enabled && !options.journal_stem.empty() &&
+            !options.cache_dir.empty())
+            journal_ = harness::RunJournal(
+                options.cache_dir + "/" + options.journal_stem + "." +
+                sanitize_tag(platform) + ".journal.jsonl");
+    }
+
+    SuiteResult take_result() { return std::move(result_); }
+
+    /// Journal, then guarded execution.  `body` returns mean seconds and
+    /// fills `*cost` before returning; both live behind shared_ptr so an
+    /// abandoned (timed-out) attempt cannot touch freed memory.
+    void run_trial(const NamedTensor& entry, Kernel kernel, Format format,
+                   const std::shared_ptr<KernelCost>& cost,
+                   std::function<double()> body)
+    {
+        const char* kname = kernel_name(kernel);
+        const char* fname = format_name(format);
+        if (journal_.enabled()) {
+            const harness::JournalEntry* done =
+                journal_.find(entry.id, kname, fname);
+            if (done && done->ok) {
+                MeasuredRun run;
+                run.tensor_id = entry.id;
+                run.kernel = kernel;
+                run.format = format;
+                run.seconds = done->seconds;
+                run.cost.flops = done->flops;
+                run.cost.bytes = done->bytes;
+                result_.runs.push_back(run);
+                ++result_.resumed;
+                return;
+            }
+        }
+
+        const std::string label =
+            std::string(kname) + "/" + fname + " on " + entry.id;
+        auto guarded = [body = std::move(body)] {
+            harness::fault_point("kernel.run");
+            return body();
+        };
+        const harness::TrialResult trial =
+            harness::run_guarded_trial(label, guarded, policy_);
+
+        harness::JournalEntry record;
+        record.tensor_id = entry.id;
+        record.kernel = kname;
+        record.format = fname;
+        record.ok = trial.ok;
+        record.seconds = trial.seconds;
+        record.attempts = trial.attempts;
+        record.error = trial.error;
+        if (trial.ok) {
+            MeasuredRun run;
+            run.tensor_id = entry.id;
+            run.kernel = kernel;
+            run.format = format;
+            run.seconds = trial.seconds;
+            run.cost = *cost;
+            record.flops = cost->flops;
+            record.bytes = cost->bytes;
+            result_.runs.push_back(run);
+        } else {
+            result_.failures.push_back({entry.id, kname, fname, trial.error,
+                                        trial.timed_out, trial.attempts});
+        }
+        journal_.append(record);
+    }
+
+    /// True when every (kernel, format) trial of `entry` is already in
+    /// the journal, so context construction can be skipped entirely.
+    bool fully_journaled(const NamedTensor& entry) const
+    {
+        if (!journal_.enabled())
+            return false;
+        for (Kernel k : {Kernel::kTew, Kernel::kTs, Kernel::kTtv,
+                         Kernel::kTtm, Kernel::kMttkrp})
+            for (Format f : {Format::kCoo, Format::kHicoo})
+                if (!journal_.has_ok(entry.id, kernel_name(k),
+                                     format_name(f)))
+                    return false;
+        return true;
+    }
+
+    /// Replays all ten journaled trials of a fully-journaled tensor.
+    void resume_tensor(const NamedTensor& entry)
+    {
+        auto unused = std::make_shared<KernelCost>();
+        for (Kernel k : {Kernel::kTew, Kernel::kTs, Kernel::kTtv,
+                         Kernel::kTtm, Kernel::kMttkrp})
+            for (Format f : {Format::kCoo, Format::kHicoo})
+                run_trial(entry, k, f, unused, [] { return 0.0; });
+    }
+
+    /// Builds the per-tensor context under the same guard as trials.
+    /// Returns nullptr (and records a whole-tensor failure) on failure.
+    std::shared_ptr<TensorContext>
+    make_context(const NamedTensor& entry)
+    {
+        auto ctx = std::make_shared<TensorContext>();
+        const BenchOptions& options = options_;
+        const NamedTensor* entry_ptr = &entry;
+        const harness::TrialResult trial = harness::run_guarded_trial(
+            "context on " + entry.id,
+            [ctx, entry_ptr, options] {
+                fill_context(*ctx, *entry_ptr, options);
+                return 0.0;
+            },
+            policy_);
+        if (trial.ok)
+            return ctx;
+        result_.failures.push_back({entry.id, "*", "*",
+                                    "context setup failed: " + trial.error,
+                                    trial.timed_out, trial.attempts});
+        return nullptr;
+    }
+
+    const harness::TrialPolicy& policy() const { return policy_; }
+
+  private:
+    const BenchOptions& options_;
+    harness::TrialPolicy policy_;
+    harness::RunJournal journal_;
+    SuiteResult result_;
+};
+
 }  // namespace
 
-std::vector<MeasuredRun>
+SuiteResult
 run_cpu_suite(const std::vector<NamedTensor>& suite,
               const BenchOptions& options)
 {
-    std::vector<MeasuredRun> runs;
+    SuiteRunner runner(options, "cpu");
     for (const auto& entry : suite) {
+        if (runner.fully_journaled(entry)) {
+            PASTA_LOG_INFO << "cpu suite: " << entry.id
+                           << " fully journaled; resuming";
+            runner.resume_tensor(entry);
+            continue;
+        }
         PASTA_LOG_INFO << "cpu suite: " << entry.id << " ("
                        << entry.tensor.describe() << ")";
-        TensorContext ctx = make_context(entry, options);
-        const CooTensor& x = entry.tensor;
-        const TensorStats stats0 = base_stats(x, ctx.hx);
+        std::shared_ptr<TensorContext> ctx = runner.make_context(entry);
+        if (!ctx)
+            continue;
+        const TensorStats stats0 = base_stats(entry.tensor, ctx->hx);
+        const std::size_t runs = options.runs;
+        const unsigned block_bits = options.block_bits;
+        const Size rank = options.rank;
 
         // ---- TEW (addition as representative, §V-A2) ----
         {
-            CooTensor z = x;
-            const RunStats t = timed_runs(
-                [&] {
-                    tew_values(EwOp::kAdd, x.values().data(),
-                               ctx.y.values().data(), z.values().data(),
-                               x.nnz());
-                },
-                options.runs);
-            runs.push_back(make_run(
-                entry, Kernel::kTew, Format::kCoo, t.mean_seconds,
-                kernel_cost(Kernel::kTew, Format::kCoo, stats0)));
-            HiCooTensor hz = ctx.hx;
-            const RunStats th = timed_runs(
-                [&] {
-                    tew_values(EwOp::kAdd, ctx.hx.values().data(),
-                               ctx.hy.values().data(),
-                               hz.values().data(), ctx.hx.nnz());
-                },
-                options.runs);
-            runs.push_back(make_run(
-                entry, Kernel::kTew, Format::kHicoo, th.mean_seconds,
-                kernel_cost(Kernel::kTew, Format::kHicoo, stats0)));
+            auto cost = std::make_shared<KernelCost>(
+                kernel_cost(Kernel::kTew, Format::kCoo, stats0));
+            runner.run_trial(entry, Kernel::kTew, Format::kCoo, cost,
+                             [ctx, runs] {
+                                 const CooTensor& x = ctx->entry->tensor;
+                                 CooTensor z = x;
+                                 return timed_runs(
+                                            [&] {
+                                                tew_values(
+                                                    EwOp::kAdd,
+                                                    x.values().data(),
+                                                    ctx->y.values().data(),
+                                                    z.values().data(),
+                                                    x.nnz());
+                                            },
+                                            runs)
+                                     .mean_seconds;
+                             });
+        }
+        {
+            auto cost = std::make_shared<KernelCost>(
+                kernel_cost(Kernel::kTew, Format::kHicoo, stats0));
+            runner.run_trial(entry, Kernel::kTew, Format::kHicoo, cost,
+                             [ctx, runs] {
+                                 HiCooTensor hz = ctx->hx;
+                                 return timed_runs(
+                                            [&] {
+                                                tew_values(
+                                                    EwOp::kAdd,
+                                                    ctx->hx.values().data(),
+                                                    ctx->hy.values().data(),
+                                                    hz.values().data(),
+                                                    ctx->hx.nnz());
+                                            },
+                                            runs)
+                                     .mean_seconds;
+                             });
         }
 
         // ---- TS (multiplication as representative) ----
         {
-            CooTensor out = x;
-            const RunStats t = timed_runs(
-                [&] {
-                    ts_values(TsOp::kMul, x.values().data(),
-                              out.values().data(), x.nnz(), 1.0009f);
-                },
-                options.runs);
-            runs.push_back(make_run(
-                entry, Kernel::kTs, Format::kCoo, t.mean_seconds,
-                kernel_cost(Kernel::kTs, Format::kCoo, stats0)));
-            HiCooTensor hout = ctx.hx;
-            const RunStats th = timed_runs(
-                [&] {
-                    ts_values(TsOp::kMul, ctx.hx.values().data(),
-                              hout.values().data(), ctx.hx.nnz(),
-                              1.0009f);
-                },
-                options.runs);
-            runs.push_back(make_run(
-                entry, Kernel::kTs, Format::kHicoo, th.mean_seconds,
-                kernel_cost(Kernel::kTs, Format::kHicoo, stats0)));
+            auto cost = std::make_shared<KernelCost>(
+                kernel_cost(Kernel::kTs, Format::kCoo, stats0));
+            runner.run_trial(entry, Kernel::kTs, Format::kCoo, cost,
+                             [ctx, runs] {
+                                 const CooTensor& x = ctx->entry->tensor;
+                                 CooTensor out = x;
+                                 return timed_runs(
+                                            [&] {
+                                                ts_values(
+                                                    TsOp::kMul,
+                                                    x.values().data(),
+                                                    out.values().data(),
+                                                    x.nnz(), 1.0009f);
+                                            },
+                                            runs)
+                                     .mean_seconds;
+                             });
+        }
+        {
+            auto cost = std::make_shared<KernelCost>(
+                kernel_cost(Kernel::kTs, Format::kHicoo, stats0));
+            runner.run_trial(entry, Kernel::kTs, Format::kHicoo, cost,
+                             [ctx, runs] {
+                                 HiCooTensor hout = ctx->hx;
+                                 return timed_runs(
+                                            [&] {
+                                                ts_values(
+                                                    TsOp::kMul,
+                                                    ctx->hx.values().data(),
+                                                    hout.values().data(),
+                                                    ctx->hx.nnz(), 1.0009f);
+                                            },
+                                            runs)
+                                     .mean_seconds;
+                             });
         }
 
-        // ---- TTV / TTM / MTTKRP: averaged over all modes ----
-        double ttv_coo_s = 0;
-        double ttv_hicoo_s = 0;
-        double ttm_coo_s = 0;
-        double ttm_hicoo_s = 0;
-        double mttkrp_coo_s = 0;
-        double mttkrp_hicoo_s = 0;
-        KernelCost ttv_coo_c;
-        KernelCost ttv_hicoo_c;
-        KernelCost ttm_coo_c;
-        KernelCost ttm_hicoo_c;
-        const Size order = x.order();
-        for (Size mode = 0; mode < order; ++mode) {
-            Rng rng(31 + mode);
-            DenseVector v = DenseVector::random(x.dim(mode), rng);
-            const DenseMatrix& u = ctx.mats[mode];
-
-            CooTtvPlan tvp = ttv_plan_coo(x, mode);
-            TensorStats stats = stats0;
-            stats.num_fibers = tvp.fibers.num_fibers();
-            {
-                CooTensor out = tvp.out_pattern;
-                const RunStats t = timed_runs(
-                    [&] { ttv_exec_coo(tvp, v, out); }, options.runs);
-                ttv_coo_s += t.mean_seconds;
-                const KernelCost c =
-                    kernel_cost(Kernel::kTtv, Format::kCoo, stats);
-                ttv_coo_c.flops += c.flops / order;
-                ttv_coo_c.bytes += c.bytes / order;
-            }
-            {
-                HicooTtvPlan plan =
-                    ttv_plan_hicoo(x, mode, options.block_bits);
-                HiCooTensor out = plan.out_pattern;
-                const RunStats t = timed_runs(
-                    [&] { ttv_exec_hicoo(plan, v, out); }, options.runs);
-                ttv_hicoo_s += t.mean_seconds;
-                const KernelCost c =
-                    kernel_cost(Kernel::kTtv, Format::kHicoo, stats);
-                ttv_hicoo_c.flops += c.flops / order;
-                ttv_hicoo_c.bytes += c.bytes / order;
-            }
-            {
-                CooTtmPlan plan = ttm_plan_coo(x, mode, options.rank);
-                ScooTensor out = plan.out_pattern;
-                const RunStats t = timed_runs(
-                    [&] { ttm_exec_coo(plan, u, out); }, options.runs);
-                ttm_coo_s += t.mean_seconds;
-                const KernelCost c = kernel_cost(Kernel::kTtm,
-                                                 Format::kCoo, stats,
-                                                 options.rank);
-                ttm_coo_c.flops += c.flops / order;
-                ttm_coo_c.bytes += c.bytes / order;
-            }
-            {
-                HicooTtmPlan plan = ttm_plan_hicoo(x, mode, options.rank,
-                                                   options.block_bits);
-                SHiCooTensor out = plan.out_pattern;
-                const RunStats t = timed_runs(
-                    [&] { ttm_exec_hicoo(plan, u, out); }, options.runs);
-                ttm_hicoo_s += t.mean_seconds;
-                const KernelCost c = kernel_cost(Kernel::kTtm,
-                                                 Format::kHicoo, stats,
-                                                 options.rank);
-                ttm_hicoo_c.flops += c.flops / order;
-                ttm_hicoo_c.bytes += c.bytes / order;
-            }
-            {
-                FactorList factors = ctx.factors();
-                DenseMatrix out(x.dim(mode), options.rank);
-                const RunStats t = timed_runs(
-                    [&] { mttkrp_coo(x, factors, mode, out); },
-                    options.runs);
-                mttkrp_coo_s += t.mean_seconds;
-                const RunStats th = timed_runs(
-                    [&] { mttkrp_hicoo(ctx.hx, factors, mode, out); },
-                    options.runs);
-                mttkrp_hicoo_s += th.mean_seconds;
-            }
+        // ---- TTV / TTM / MTTKRP: averaged over all modes, one guarded
+        // trial per (kernel, format) so a hang in one leaves the rest.
+        {
+            auto cost = std::make_shared<KernelCost>();
+            runner.run_trial(
+                entry, Kernel::kTtv, Format::kCoo, cost,
+                [ctx, cost, runs, stats0] {
+                    const CooTensor& x = ctx->entry->tensor;
+                    const Size order = x.order();
+                    double total = 0;
+                    KernelCost acc;
+                    for (Size mode = 0; mode < order; ++mode) {
+                        Rng rng(31 + mode);
+                        DenseVector v =
+                            DenseVector::random(x.dim(mode), rng);
+                        CooTtvPlan plan = ttv_plan_coo(x, mode);
+                        TensorStats stats = stats0;
+                        stats.num_fibers = plan.fibers.num_fibers();
+                        CooTensor out = plan.out_pattern;
+                        total += timed_runs(
+                                     [&] { ttv_exec_coo(plan, v, out); },
+                                     runs)
+                                     .mean_seconds;
+                        const KernelCost c = kernel_cost(
+                            Kernel::kTtv, Format::kCoo, stats);
+                        acc.flops += c.flops / order;
+                        acc.bytes += c.bytes / order;
+                    }
+                    *cost = acc;
+                    return total / static_cast<double>(order);
+                });
         }
-        const double n = static_cast<double>(order);
-        runs.push_back(make_run(entry, Kernel::kTtv, Format::kCoo,
-                                ttv_coo_s / n, ttv_coo_c));
-        runs.push_back(make_run(entry, Kernel::kTtv, Format::kHicoo,
-                                ttv_hicoo_s / n, ttv_hicoo_c));
-        runs.push_back(make_run(entry, Kernel::kTtm, Format::kCoo,
-                                ttm_coo_s / n, ttm_coo_c));
-        runs.push_back(make_run(entry, Kernel::kTtm, Format::kHicoo,
-                                ttm_hicoo_s / n, ttm_hicoo_c));
-        runs.push_back(make_run(
-            entry, Kernel::kMttkrp, Format::kCoo, mttkrp_coo_s / n,
-            kernel_cost(Kernel::kMttkrp, Format::kCoo, stats0,
-                        options.rank)));
-        runs.push_back(make_run(
-            entry, Kernel::kMttkrp, Format::kHicoo, mttkrp_hicoo_s / n,
-            kernel_cost(Kernel::kMttkrp, Format::kHicoo, stats0,
-                        options.rank)));
+        {
+            auto cost = std::make_shared<KernelCost>();
+            runner.run_trial(
+                entry, Kernel::kTtv, Format::kHicoo, cost,
+                [ctx, cost, runs, stats0, block_bits] {
+                    const CooTensor& x = ctx->entry->tensor;
+                    const Size order = x.order();
+                    double total = 0;
+                    KernelCost acc;
+                    for (Size mode = 0; mode < order; ++mode) {
+                        Rng rng(31 + mode);
+                        DenseVector v =
+                            DenseVector::random(x.dim(mode), rng);
+                        // Fiber stats come from the COO plan, as before.
+                        CooTtvPlan coo_plan = ttv_plan_coo(x, mode);
+                        TensorStats stats = stats0;
+                        stats.num_fibers = coo_plan.fibers.num_fibers();
+                        HicooTtvPlan plan =
+                            ttv_plan_hicoo(x, mode, block_bits);
+                        HiCooTensor out = plan.out_pattern;
+                        total += timed_runs(
+                                     [&] { ttv_exec_hicoo(plan, v, out); },
+                                     runs)
+                                     .mean_seconds;
+                        const KernelCost c = kernel_cost(
+                            Kernel::kTtv, Format::kHicoo, stats);
+                        acc.flops += c.flops / order;
+                        acc.bytes += c.bytes / order;
+                    }
+                    *cost = acc;
+                    return total / static_cast<double>(order);
+                });
+        }
+        {
+            auto cost = std::make_shared<KernelCost>();
+            runner.run_trial(
+                entry, Kernel::kTtm, Format::kCoo, cost,
+                [ctx, cost, runs, stats0, rank] {
+                    const CooTensor& x = ctx->entry->tensor;
+                    const Size order = x.order();
+                    double total = 0;
+                    KernelCost acc;
+                    for (Size mode = 0; mode < order; ++mode) {
+                        CooTtvPlan fib = ttv_plan_coo(x, mode);
+                        TensorStats stats = stats0;
+                        stats.num_fibers = fib.fibers.num_fibers();
+                        CooTtmPlan plan = ttm_plan_coo(x, mode, rank);
+                        ScooTensor out = plan.out_pattern;
+                        const DenseMatrix& u = ctx->mats[mode];
+                        total +=
+                            timed_runs(
+                                [&] { ttm_exec_coo(plan, u, out); }, runs)
+                                .mean_seconds;
+                        const KernelCost c = kernel_cost(
+                            Kernel::kTtm, Format::kCoo, stats, rank);
+                        acc.flops += c.flops / order;
+                        acc.bytes += c.bytes / order;
+                    }
+                    *cost = acc;
+                    return total / static_cast<double>(order);
+                });
+        }
+        {
+            auto cost = std::make_shared<KernelCost>();
+            runner.run_trial(
+                entry, Kernel::kTtm, Format::kHicoo, cost,
+                [ctx, cost, runs, stats0, rank, block_bits] {
+                    const CooTensor& x = ctx->entry->tensor;
+                    const Size order = x.order();
+                    double total = 0;
+                    KernelCost acc;
+                    for (Size mode = 0; mode < order; ++mode) {
+                        CooTtvPlan fib = ttv_plan_coo(x, mode);
+                        TensorStats stats = stats0;
+                        stats.num_fibers = fib.fibers.num_fibers();
+                        HicooTtmPlan plan =
+                            ttm_plan_hicoo(x, mode, rank, block_bits);
+                        SHiCooTensor out = plan.out_pattern;
+                        const DenseMatrix& u = ctx->mats[mode];
+                        total += timed_runs(
+                                     [&] { ttm_exec_hicoo(plan, u, out); },
+                                     runs)
+                                     .mean_seconds;
+                        const KernelCost c = kernel_cost(
+                            Kernel::kTtm, Format::kHicoo, stats, rank);
+                        acc.flops += c.flops / order;
+                        acc.bytes += c.bytes / order;
+                    }
+                    *cost = acc;
+                    return total / static_cast<double>(order);
+                });
+        }
+        {
+            auto cost = std::make_shared<KernelCost>(kernel_cost(
+                Kernel::kMttkrp, Format::kCoo, stats0, options.rank));
+            runner.run_trial(entry, Kernel::kMttkrp, Format::kCoo, cost,
+                             [ctx, runs, rank] {
+                                 const CooTensor& x = ctx->entry->tensor;
+                                 const Size order = x.order();
+                                 double total = 0;
+                                 for (Size mode = 0; mode < order;
+                                      ++mode) {
+                                     FactorList factors = ctx->factors();
+                                     DenseMatrix out(x.dim(mode), rank);
+                                     total +=
+                                         timed_runs(
+                                             [&] {
+                                                 mttkrp_coo(x, factors,
+                                                            mode, out);
+                                             },
+                                             runs)
+                                             .mean_seconds;
+                                 }
+                                 return total /
+                                        static_cast<double>(order);
+                             });
+        }
+        {
+            auto cost = std::make_shared<KernelCost>(kernel_cost(
+                Kernel::kMttkrp, Format::kHicoo, stats0, options.rank));
+            runner.run_trial(entry, Kernel::kMttkrp, Format::kHicoo, cost,
+                             [ctx, runs, rank] {
+                                 const CooTensor& x = ctx->entry->tensor;
+                                 const Size order = x.order();
+                                 double total = 0;
+                                 for (Size mode = 0; mode < order;
+                                      ++mode) {
+                                     FactorList factors = ctx->factors();
+                                     DenseMatrix out(x.dim(mode), rank);
+                                     total += timed_runs(
+                                                  [&] {
+                                                      mttkrp_hicoo(
+                                                          ctx->hx, factors,
+                                                          mode, out);
+                                                  },
+                                                  runs)
+                                                  .mean_seconds;
+                                 }
+                                 return total /
+                                        static_cast<double>(order);
+                             });
+        }
     }
-    return runs;
+    return runner.take_result();
 }
 
-std::vector<MeasuredRun>
+SuiteResult
 run_gpu_suite(const std::vector<NamedTensor>& suite,
               const gpusim::DeviceSpec& device, const BenchOptions& options)
 {
     using namespace gpusim;
-    std::vector<MeasuredRun> runs;
+    SuiteRunner runner(options, std::string("gpu_") + device.name);
     for (const auto& entry : suite) {
+        if (runner.fully_journaled(entry)) {
+            PASTA_LOG_INFO << "gpu suite (" << device.name
+                           << "): " << entry.id
+                           << " fully journaled; resuming";
+            runner.resume_tensor(entry);
+            continue;
+        }
         PASTA_LOG_INFO << "gpu suite (" << device.name
                        << "): " << entry.id;
-        TensorContext ctx = make_context(entry, options);
-        const CooTensor& x = entry.tensor;
-        const TensorStats stats0 = base_stats(x, ctx.hx);
+        std::shared_ptr<TensorContext> ctx = runner.make_context(entry);
+        if (!ctx)
+            continue;
+        const TensorStats stats0 = base_stats(entry.tensor, ctx->hx);
+        const unsigned block_bits = options.block_bits;
+        const Size rank = options.rank;
+        const DeviceSpec dev = device;
 
         // TEW / TS: one launch each per format.
         {
-            CooTensor z = x;
-            LaunchProfile p = tew_gpu_coo(x, ctx.y, EwOp::kAdd, z);
-            runs.push_back(make_run(
-                entry, Kernel::kTew, Format::kCoo,
-                estimate_seconds(device, p),
-                kernel_cost(Kernel::kTew, Format::kCoo, stats0)));
-            HiCooTensor hz = ctx.hx;
-            LaunchProfile ph =
-                tew_gpu_hicoo(ctx.hx, ctx.hy, EwOp::kAdd, hz);
-            runs.push_back(make_run(
-                entry, Kernel::kTew, Format::kHicoo,
-                estimate_seconds(device, ph),
-                kernel_cost(Kernel::kTew, Format::kHicoo, stats0)));
+            auto cost = std::make_shared<KernelCost>(
+                kernel_cost(Kernel::kTew, Format::kCoo, stats0));
+            runner.run_trial(entry, Kernel::kTew, Format::kCoo, cost,
+                             [ctx, dev] {
+                                 const CooTensor& x = ctx->entry->tensor;
+                                 CooTensor z = x;
+                                 LaunchProfile p = tew_gpu_coo(
+                                     x, ctx->y, EwOp::kAdd, z);
+                                 return estimate_seconds(dev, p);
+                             });
         }
         {
-            CooTensor out = x;
-            LaunchProfile p = ts_gpu_coo(x, TsOp::kMul, 1.0009f, out);
-            runs.push_back(make_run(
-                entry, Kernel::kTs, Format::kCoo,
-                estimate_seconds(device, p),
-                kernel_cost(Kernel::kTs, Format::kCoo, stats0)));
-            HiCooTensor hout = ctx.hx;
-            LaunchProfile ph =
-                ts_gpu_hicoo(ctx.hx, TsOp::kMul, 1.0009f, hout);
-            runs.push_back(make_run(
-                entry, Kernel::kTs, Format::kHicoo,
-                estimate_seconds(device, ph),
-                kernel_cost(Kernel::kTs, Format::kHicoo, stats0)));
+            auto cost = std::make_shared<KernelCost>(
+                kernel_cost(Kernel::kTew, Format::kHicoo, stats0));
+            runner.run_trial(entry, Kernel::kTew, Format::kHicoo, cost,
+                             [ctx, dev] {
+                                 HiCooTensor hz = ctx->hx;
+                                 LaunchProfile p = tew_gpu_hicoo(
+                                     ctx->hx, ctx->hy, EwOp::kAdd, hz);
+                                 return estimate_seconds(dev, p);
+                             });
+        }
+        {
+            auto cost = std::make_shared<KernelCost>(
+                kernel_cost(Kernel::kTs, Format::kCoo, stats0));
+            runner.run_trial(entry, Kernel::kTs, Format::kCoo, cost,
+                             [ctx, dev] {
+                                 const CooTensor& x = ctx->entry->tensor;
+                                 CooTensor out = x;
+                                 LaunchProfile p = ts_gpu_coo(
+                                     x, TsOp::kMul, 1.0009f, out);
+                                 return estimate_seconds(dev, p);
+                             });
+        }
+        {
+            auto cost = std::make_shared<KernelCost>(
+                kernel_cost(Kernel::kTs, Format::kHicoo, stats0));
+            runner.run_trial(entry, Kernel::kTs, Format::kHicoo, cost,
+                             [ctx, dev] {
+                                 HiCooTensor hout = ctx->hx;
+                                 LaunchProfile p = ts_gpu_hicoo(
+                                     ctx->hx, TsOp::kMul, 1.0009f, hout);
+                                 return estimate_seconds(dev, p);
+                             });
         }
 
-        // TTV / TTM / MTTKRP averaged across modes.
-        const Size order = x.order();
-        double sec[3][2] = {{0, 0}, {0, 0}, {0, 0}};
-        KernelCost cost[3][2];
-        for (Size mode = 0; mode < order; ++mode) {
-            Rng rng(31 + mode);
-            DenseVector v = DenseVector::random(x.dim(mode), rng);
-            const DenseMatrix& u = ctx.mats[mode];
-            TensorStats stats = stats0;
-
-            CooTtvPlan tvp = ttv_plan_coo(x, mode);
-            stats.num_fibers = tvp.fibers.num_fibers();
-            {
-                CooTensor out = tvp.out_pattern;
-                LaunchProfile p = ttv_gpu_coo(tvp, v, out);
-                sec[0][0] += estimate_seconds(device, p);
-                const KernelCost c =
-                    kernel_cost(Kernel::kTtv, Format::kCoo, stats);
-                cost[0][0].flops += c.flops / order;
-                cost[0][0].bytes += c.bytes / order;
-            }
-            {
-                HicooTtvPlan plan =
-                    ttv_plan_hicoo(x, mode, options.block_bits);
-                HiCooTensor out = plan.out_pattern;
-                LaunchProfile p = ttv_gpu_hicoo(plan, v, out);
-                sec[0][1] += estimate_seconds(device, p);
-                const KernelCost c =
-                    kernel_cost(Kernel::kTtv, Format::kHicoo, stats);
-                cost[0][1].flops += c.flops / order;
-                cost[0][1].bytes += c.bytes / order;
-            }
-            {
-                CooTtmPlan plan = ttm_plan_coo(x, mode, options.rank);
-                ScooTensor out = plan.out_pattern;
-                LaunchProfile p = ttm_gpu_coo(plan, u, out);
-                sec[1][0] += estimate_seconds(device, p);
-                const KernelCost c = kernel_cost(Kernel::kTtm,
-                                                 Format::kCoo, stats,
-                                                 options.rank);
-                cost[1][0].flops += c.flops / order;
-                cost[1][0].bytes += c.bytes / order;
-            }
-            {
-                HicooTtmPlan plan = ttm_plan_hicoo(x, mode, options.rank,
-                                                   options.block_bits);
-                SHiCooTensor out = plan.out_pattern;
-                LaunchProfile p = ttm_gpu_hicoo(plan, u, out);
-                sec[1][1] += estimate_seconds(device, p);
-                const KernelCost c = kernel_cost(Kernel::kTtm,
-                                                 Format::kHicoo, stats,
-                                                 options.rank);
-                cost[1][1].flops += c.flops / order;
-                cost[1][1].bytes += c.bytes / order;
-            }
-            {
-                FactorList factors = ctx.factors();
-                DenseMatrix out(x.dim(mode), options.rank);
-                LaunchProfile p = mttkrp_gpu_coo(x, factors, mode, out);
-                sec[2][0] += estimate_seconds(device, p);
-                LaunchProfile ph =
-                    mttkrp_gpu_hicoo(ctx.hx, factors, mode, out);
-                sec[2][1] += estimate_seconds(device, ph);
-            }
+        // TTV / TTM / MTTKRP averaged across modes, per (kernel, format).
+        {
+            auto cost = std::make_shared<KernelCost>();
+            runner.run_trial(
+                entry, Kernel::kTtv, Format::kCoo, cost,
+                [ctx, cost, dev, stats0] {
+                    const CooTensor& x = ctx->entry->tensor;
+                    const Size order = x.order();
+                    double total = 0;
+                    KernelCost acc;
+                    for (Size mode = 0; mode < order; ++mode) {
+                        Rng rng(31 + mode);
+                        DenseVector v =
+                            DenseVector::random(x.dim(mode), rng);
+                        CooTtvPlan plan = ttv_plan_coo(x, mode);
+                        TensorStats stats = stats0;
+                        stats.num_fibers = plan.fibers.num_fibers();
+                        CooTensor out = plan.out_pattern;
+                        LaunchProfile p = ttv_gpu_coo(plan, v, out);
+                        total += estimate_seconds(dev, p);
+                        const KernelCost c = kernel_cost(
+                            Kernel::kTtv, Format::kCoo, stats);
+                        acc.flops += c.flops / order;
+                        acc.bytes += c.bytes / order;
+                    }
+                    *cost = acc;
+                    return total / static_cast<double>(order);
+                });
         }
-        const double n = static_cast<double>(order);
-        cost[2][0] = kernel_cost(Kernel::kMttkrp, Format::kCoo, stats0,
-                                 options.rank);
-        cost[2][1] = kernel_cost(Kernel::kMttkrp, Format::kHicoo, stats0,
-                                 options.rank);
-        const Kernel kernels[3] = {Kernel::kTtv, Kernel::kTtm,
-                                   Kernel::kMttkrp};
-        for (int k = 0; k < 3; ++k) {
-            runs.push_back(make_run(entry, kernels[k], Format::kCoo,
-                                    sec[k][0] / n, cost[k][0]));
-            runs.push_back(make_run(entry, kernels[k], Format::kHicoo,
-                                    sec[k][1] / n, cost[k][1]));
+        {
+            auto cost = std::make_shared<KernelCost>();
+            runner.run_trial(
+                entry, Kernel::kTtv, Format::kHicoo, cost,
+                [ctx, cost, dev, stats0, block_bits] {
+                    const CooTensor& x = ctx->entry->tensor;
+                    const Size order = x.order();
+                    double total = 0;
+                    KernelCost acc;
+                    for (Size mode = 0; mode < order; ++mode) {
+                        Rng rng(31 + mode);
+                        DenseVector v =
+                            DenseVector::random(x.dim(mode), rng);
+                        CooTtvPlan coo_plan = ttv_plan_coo(x, mode);
+                        TensorStats stats = stats0;
+                        stats.num_fibers = coo_plan.fibers.num_fibers();
+                        HicooTtvPlan plan =
+                            ttv_plan_hicoo(x, mode, block_bits);
+                        HiCooTensor out = plan.out_pattern;
+                        LaunchProfile p = ttv_gpu_hicoo(plan, v, out);
+                        total += estimate_seconds(dev, p);
+                        const KernelCost c = kernel_cost(
+                            Kernel::kTtv, Format::kHicoo, stats);
+                        acc.flops += c.flops / order;
+                        acc.bytes += c.bytes / order;
+                    }
+                    *cost = acc;
+                    return total / static_cast<double>(order);
+                });
+        }
+        {
+            auto cost = std::make_shared<KernelCost>();
+            runner.run_trial(
+                entry, Kernel::kTtm, Format::kCoo, cost,
+                [ctx, cost, dev, stats0, rank] {
+                    const CooTensor& x = ctx->entry->tensor;
+                    const Size order = x.order();
+                    double total = 0;
+                    KernelCost acc;
+                    for (Size mode = 0; mode < order; ++mode) {
+                        CooTtvPlan fib = ttv_plan_coo(x, mode);
+                        TensorStats stats = stats0;
+                        stats.num_fibers = fib.fibers.num_fibers();
+                        CooTtmPlan plan = ttm_plan_coo(x, mode, rank);
+                        ScooTensor out = plan.out_pattern;
+                        LaunchProfile p =
+                            ttm_gpu_coo(plan, ctx->mats[mode], out);
+                        total += estimate_seconds(dev, p);
+                        const KernelCost c = kernel_cost(
+                            Kernel::kTtm, Format::kCoo, stats, rank);
+                        acc.flops += c.flops / order;
+                        acc.bytes += c.bytes / order;
+                    }
+                    *cost = acc;
+                    return total / static_cast<double>(order);
+                });
+        }
+        {
+            auto cost = std::make_shared<KernelCost>();
+            runner.run_trial(
+                entry, Kernel::kTtm, Format::kHicoo, cost,
+                [ctx, cost, dev, stats0, rank, block_bits] {
+                    const CooTensor& x = ctx->entry->tensor;
+                    const Size order = x.order();
+                    double total = 0;
+                    KernelCost acc;
+                    for (Size mode = 0; mode < order; ++mode) {
+                        CooTtvPlan fib = ttv_plan_coo(x, mode);
+                        TensorStats stats = stats0;
+                        stats.num_fibers = fib.fibers.num_fibers();
+                        HicooTtmPlan plan =
+                            ttm_plan_hicoo(x, mode, rank, block_bits);
+                        SHiCooTensor out = plan.out_pattern;
+                        LaunchProfile p =
+                            ttm_gpu_hicoo(plan, ctx->mats[mode], out);
+                        total += estimate_seconds(dev, p);
+                        const KernelCost c = kernel_cost(
+                            Kernel::kTtm, Format::kHicoo, stats, rank);
+                        acc.flops += c.flops / order;
+                        acc.bytes += c.bytes / order;
+                    }
+                    *cost = acc;
+                    return total / static_cast<double>(order);
+                });
+        }
+        {
+            auto cost = std::make_shared<KernelCost>(kernel_cost(
+                Kernel::kMttkrp, Format::kCoo, stats0, options.rank));
+            runner.run_trial(entry, Kernel::kMttkrp, Format::kCoo, cost,
+                             [ctx, dev, rank] {
+                                 const CooTensor& x = ctx->entry->tensor;
+                                 const Size order = x.order();
+                                 double total = 0;
+                                 for (Size mode = 0; mode < order;
+                                      ++mode) {
+                                     FactorList factors = ctx->factors();
+                                     DenseMatrix out(x.dim(mode), rank);
+                                     LaunchProfile p = mttkrp_gpu_coo(
+                                         x, factors, mode, out);
+                                     total += estimate_seconds(dev, p);
+                                 }
+                                 return total /
+                                        static_cast<double>(order);
+                             });
+        }
+        {
+            auto cost = std::make_shared<KernelCost>(kernel_cost(
+                Kernel::kMttkrp, Format::kHicoo, stats0, options.rank));
+            runner.run_trial(entry, Kernel::kMttkrp, Format::kHicoo, cost,
+                             [ctx, dev, rank] {
+                                 const CooTensor& x = ctx->entry->tensor;
+                                 const Size order = x.order();
+                                 double total = 0;
+                                 for (Size mode = 0; mode < order;
+                                      ++mode) {
+                                     FactorList factors = ctx->factors();
+                                     DenseMatrix out(x.dim(mode), rank);
+                                     LaunchProfile p = mttkrp_gpu_hicoo(
+                                         ctx->hx, factors, mode, out);
+                                     total += estimate_seconds(dev, p);
+                                 }
+                                 return total /
+                                        static_cast<double>(order);
+                             });
         }
     }
-    return runs;
+    return runner.take_result();
 }
 
 void
@@ -418,7 +843,8 @@ print_figure(const std::string& title, const std::vector<MeasuredRun>& runs,
 {
     std::printf("\n=== %s ===\n", title.c_str());
     std::printf("(GFLOPS per tensor; 'roof' is the paper's red Roofline "
-                "performance line: OI x ERT-DRAM bandwidth of %s)\n",
+                "performance line: OI x ERT-DRAM bandwidth of %s; 'skip' "
+                "marks trials the harness abandoned)\n",
                 platform.name.c_str());
     const Kernel kernels[5] = {Kernel::kTew, Kernel::kTs, Kernel::kTtv,
                                Kernel::kTtm, Kernel::kMttkrp};
@@ -427,12 +853,17 @@ print_figure(const std::string& title, const std::vector<MeasuredRun>& runs,
         std::printf("%-10s %12s %12s %12s %8s %8s\n", "tensor",
                     "COO GFLOPS", "HiCOO GFLOPS", "roof GFLOPS",
                     "COO eff", "HiC eff");
-        // Collect per-tensor rows preserving suite order.
+        // Collect per-tensor rows preserving suite order; a tensor with
+        // either series present gets a row (missing cells say "skip").
         std::vector<std::string> ids;
         for (const auto& run : runs) {
-            if (run.kernel != kernel || run.format != Format::kCoo)
+            if (run.kernel != kernel)
                 continue;
-            ids.push_back(run.tensor_id);
+            bool seen = false;
+            for (const auto& id : ids)
+                seen = seen || id == run.tensor_id;
+            if (!seen)
+                ids.push_back(run.tensor_id);
         }
         for (const auto& id : ids) {
             const MeasuredRun* coo = nullptr;
@@ -442,15 +873,56 @@ print_figure(const std::string& title, const std::vector<MeasuredRun>& runs,
                     continue;
                 (run.format == Format::kCoo ? coo : hicoo) = &run;
             }
-            if (!coo || !hicoo)
-                continue;
-            const double roof = run_roofline_gflops(*coo, platform);
-            std::printf("%-10s %12.3f %12.3f %12.3f %7.0f%% %7.0f%%\n",
-                        id.c_str(), run_gflops(*coo), run_gflops(*hicoo),
-                        roof, 100.0 * run_efficiency(*coo, platform),
-                        100.0 * run_efficiency(*hicoo, platform));
+            const MeasuredRun* any = coo ? coo : hicoo;
+            char coo_g[32], hic_g[32], coo_e[32], hic_e[32];
+            if (coo) {
+                std::snprintf(coo_g, sizeof(coo_g), "%.3f",
+                              run_gflops(*coo));
+                std::snprintf(coo_e, sizeof(coo_e), "%.0f%%",
+                              100.0 * run_efficiency(*coo, platform));
+            } else {
+                std::snprintf(coo_g, sizeof(coo_g), "skip");
+                std::snprintf(coo_e, sizeof(coo_e), "skip");
+            }
+            if (hicoo) {
+                std::snprintf(hic_g, sizeof(hic_g), "%.3f",
+                              run_gflops(*hicoo));
+                std::snprintf(hic_e, sizeof(hic_e), "%.0f%%",
+                              100.0 * run_efficiency(*hicoo, platform));
+            } else {
+                std::snprintf(hic_g, sizeof(hic_g), "skip");
+                std::snprintf(hic_e, sizeof(hic_e), "skip");
+            }
+            const double roof = run_roofline_gflops(*any, platform);
+            std::printf("%-10s %12s %12s %12.3f %8s %8s\n", id.c_str(),
+                        coo_g, hic_g, roof, coo_e, hic_e);
         }
     }
+}
+
+void
+print_failure_summary(const SuiteResult& result)
+{
+    if (result.resumed > 0)
+        std::printf("\n[resume] %zu trial(s) restored from the run "
+                    "journal (not re-measured)\n",
+                    result.resumed);
+    if (result.complete()) {
+        std::printf("\nAll trials completed (%zu measurements).\n",
+                    result.runs.size());
+        return;
+    }
+    std::printf("\n!! %zu trial(s) skipped or failed (%zu completed):\n",
+                result.failures.size(), result.runs.size());
+    std::printf("%-10s %-8s %-7s %-9s %8s  %s\n", "tensor", "kernel",
+                "format", "status", "attempts", "error");
+    for (const auto& f : result.failures)
+        std::printf("%-10s %-8s %-7s %-9s %8d  %s\n", f.tensor_id.c_str(),
+                    f.kernel.c_str(), f.format.c_str(),
+                    f.timed_out ? "timeout" : "failed", f.attempts,
+                    f.error.c_str());
+    std::printf("Re-run the same binary to retry just the failed trials "
+                "(completed ones resume from the journal).\n");
 }
 
 void
@@ -478,6 +950,29 @@ export_csv(const std::string& path, const std::vector<MeasuredRun>& runs,
 }
 
 void
+export_failures_csv(const std::string& path,
+                    const std::vector<TrialFailure>& failures)
+{
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        PASTA_LOG_WARN << "cannot write CSV " << path;
+        return;
+    }
+    std::fprintf(f, "tensor,kernel,format,timed_out,attempts,error\n");
+    for (const auto& fail : failures) {
+        std::string error = fail.error;
+        for (auto& c : error)
+            if (c == ',' || c == '\n')
+                c = ';';
+        std::fprintf(f, "%s,%s,%s,%d,%d,%s\n", fail.tensor_id.c_str(),
+                     fail.kernel.c_str(), fail.format.c_str(),
+                     fail.timed_out ? 1 : 0, fail.attempts, error.c_str());
+    }
+    std::fclose(f);
+    PASTA_LOG_INFO << "wrote " << path;
+}
+
+void
 maybe_export_csv(const std::string& stem,
                  const std::vector<MeasuredRun>& runs,
                  const MachineSpec& platform)
@@ -486,6 +981,21 @@ maybe_export_csv(const std::string& stem,
     if (!dir || !*dir)
         return;
     export_csv(std::string(dir) + "/" + stem + ".csv", runs, platform);
+}
+
+void
+maybe_export_csv(const std::string& stem, const SuiteResult& result,
+                 const MachineSpec& platform)
+{
+    const char* dir = std::getenv("PASTA_CSV_DIR");
+    if (!dir || !*dir)
+        return;
+    export_csv(std::string(dir) + "/" + stem + ".csv", result.runs,
+               platform);
+    if (!result.failures.empty())
+        export_failures_csv(
+            std::string(dir) + "/" + stem + "_failures.csv",
+            result.failures);
 }
 
 void

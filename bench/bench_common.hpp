@@ -6,6 +6,13 @@
 /// taken, and TTV/TTM/MTTKRP additionally averaged across all tensor
 /// modes; TEW uses addition and TS multiplication as representatives,
 /// R = 16, HiCOO block size 128.
+///
+/// A full campaign is hundreds of trials per binary, so the suites run
+/// through the src/harness robustness layer: every (tensor, kernel,
+/// format) trial executes under a watchdog/retry guard
+/// (harness::run_guarded_trial), failures are collected instead of
+/// propagated, and completed trials are checkpointed to a JSONL journal
+/// under the cache dir so a killed run resumes where it left off.
 #pragma once
 
 #include <string>
@@ -15,43 +22,78 @@
 #include "analysis/efficiency.hpp"
 #include "gen/datasets.hpp"
 #include "gpusim/timing_model.hpp"
+#include "harness/trial.hpp"
 #include "roofline/machine.hpp"
 
 namespace pasta::bench {
 
 /// Global options, overridable through environment variables:
-///   PASTA_SCALE  dataset scale (fraction of paper nnz), default 5e-4
-///   PASTA_RUNS   timed repetitions per kernel, default 3 (paper: 5)
-///   PASTA_CACHE  dataset cache dir, default ".pasta_cache"
+///   PASTA_SCALE          dataset scale (fraction of paper nnz), 5e-4
+///   PASTA_RUNS           timed repetitions per kernel, default 3
+///   PASTA_CACHE          dataset cache dir, default ".pasta_cache"
+///   PASTA_TRIAL_TIMEOUT  per-trial watchdog seconds (0 = inline, no
+///                        watchdog; defaults to 60 when PASTA_FAULT
+///                        contains a hang rule)
+///   PASTA_TRIAL_RETRIES  attempts per trial (default 3)
+///   PASTA_JOURNAL        "0" disables checkpoint/resume journaling
+/// Malformed numeric values throw PastaError instead of silently
+/// producing 0 runs or undefined behavior.
 struct BenchOptions {
     double scale = 5e-4;
     std::size_t runs = 3;
     Size rank = 16;                  ///< paper §V-A2
     unsigned block_bits = 7;         ///< HiCOO B = 128
     std::string cache_dir = ".pasta_cache";
+    std::string journal_stem;        ///< figure binaries set this; empty
+                                     ///< disables journaling
+    bool journal_enabled = true;     ///< PASTA_JOURNAL != "0"
+    harness::TrialPolicy trial_policy;
 };
 
-/// Reads BenchOptions from the environment.
+/// Reads BenchOptions from the environment (validating numeric values),
+/// applies $PASTA_LOG, and arms fault injection from $PASTA_FAULT.
 BenchOptions options_from_env();
 
+/// One trial (or whole tensor, kernel "*") that failed or was skipped.
+struct TrialFailure {
+    std::string tensor_id;
+    std::string kernel;   ///< kernel_name() or "*" for a whole tensor
+    std::string format;   ///< format_name() or "*"
+    std::string error;
+    bool timed_out = false;
+    int attempts = 0;
+};
+
+/// Partial results of a suite: successful measurements plus a failure
+/// summary; skipped trials never abort the campaign.
+struct SuiteResult {
+    std::vector<MeasuredRun> runs;
+    std::vector<TrialFailure> failures;
+    std::size_t resumed = 0;  ///< trials restored from the journal
+
+    bool complete() const { return failures.empty(); }
+};
+
 /// Loads (generating + caching as needed) the full 30-tensor Table II
-/// suite at the configured scale.
+/// suite at the configured scale.  Unloadable tensors are skipped with
+/// a warning after retries rather than aborting the suite.
 std::vector<NamedTensor> load_suite(const BenchOptions& options);
 
 /// Measures all five kernels x {COO, HiCOO} on the host CPU for every
 /// tensor; one MeasuredRun per (tensor, kernel, format), times averaged
-/// over runs and modes.
-std::vector<MeasuredRun> run_cpu_suite(const std::vector<NamedTensor>& suite,
-                                       const BenchOptions& options);
+/// over runs and modes.  Failed/hung trials land in `failures`.
+SuiteResult run_cpu_suite(const std::vector<NamedTensor>& suite,
+                          const BenchOptions& options);
 
 /// Same protocol on the simulated GPU: kernels execute through the SIMT
 /// simulator and seconds come from the analytical device timing model.
-std::vector<MeasuredRun> run_gpu_suite(const std::vector<NamedTensor>& suite,
-                                       const gpusim::DeviceSpec& device,
-                                       const BenchOptions& options);
+SuiteResult run_gpu_suite(const std::vector<NamedTensor>& suite,
+                          const gpusim::DeviceSpec& device,
+                          const BenchOptions& options);
 
 /// Prints one paper-figure block: per kernel, the GFLOPS series over all
 /// tensors for COO and HiCOO plus the red "Roofline performance" line.
+/// Missing series cells (skipped trials) render as "skip".
 void print_figure(const std::string& title,
                   const std::vector<MeasuredRun>& runs,
                   const MachineSpec& platform);
@@ -60,6 +102,10 @@ void print_figure(const std::string& title,
 void print_averages(const std::vector<MeasuredRun>& runs,
                     const MachineSpec& platform);
 
+/// Prints resumed-trial count and the skipped/failed-trial table; "all
+/// trials completed" when the suite is complete.
+void print_failure_summary(const SuiteResult& result);
+
 /// Writes the full run series as CSV (tensor, kernel, format, seconds,
 /// gflops, roofline_gflops, efficiency) for external plotting.  Figure
 /// binaries call this automatically when PASTA_CSV_DIR is set.
@@ -67,9 +113,19 @@ void export_csv(const std::string& path,
                 const std::vector<MeasuredRun>& runs,
                 const MachineSpec& platform);
 
+/// Writes the failure summary as CSV (tensor, kernel, format, timed_out,
+/// attempts, error).
+void export_failures_csv(const std::string& path,
+                         const std::vector<TrialFailure>& failures);
+
 /// Exports to $PASTA_CSV_DIR/<stem>.csv when the variable is set.
 void maybe_export_csv(const std::string& stem,
                       const std::vector<MeasuredRun>& runs,
+                      const MachineSpec& platform);
+
+/// SuiteResult convenience: <stem>.csv for successful trials and (when
+/// any exist) <stem>_failures.csv for the failure summary.
+void maybe_export_csv(const std::string& stem, const SuiteResult& result,
                       const MachineSpec& platform);
 
 }  // namespace pasta::bench

@@ -17,16 +17,18 @@ using namespace pasta;
 int
 main()
 {
-    const bench::BenchOptions options = bench::options_from_env();
+    bench::BenchOptions options = bench::options_from_env();
+    options.journal_stem = "fig4_cpu_bluesky";
     std::printf("Figure 4 (CPU, Bluesky roofline), scale %g, %zu runs, "
                 "R=%zu, B=%u\n",
                 options.scale, options.runs, options.rank,
                 1u << options.block_bits);
     const auto suite = bench::load_suite(options);
-    const auto runs = bench::run_cpu_suite(suite, options);
-    bench::print_figure("Figure 4: five kernels on CPU (Bluesky)", runs,
-                        bluesky());
-    bench::print_averages(runs, bluesky());
-    bench::maybe_export_csv("fig4_cpu_bluesky", runs, bluesky());
+    const auto result = bench::run_cpu_suite(suite, options);
+    bench::print_figure("Figure 4: five kernels on CPU (Bluesky)",
+                        result.runs, bluesky());
+    bench::print_averages(result.runs, bluesky());
+    bench::print_failure_summary(result);
+    bench::maybe_export_csv("fig4_cpu_bluesky", result, bluesky());
     return 0;
 }

@@ -15,14 +15,16 @@ using namespace pasta;
 int
 main()
 {
-    const bench::BenchOptions options = bench::options_from_env();
+    bench::BenchOptions options = bench::options_from_env();
+    options.journal_stem = "fig5_cpu_wingtip";
     std::printf("Figure 5 (CPU, Wingtip roofline), scale %g, %zu runs\n",
                 options.scale, options.runs);
     const auto suite = bench::load_suite(options);
-    const auto runs = bench::run_cpu_suite(suite, options);
-    bench::print_figure("Figure 5: five kernels on CPU (Wingtip)", runs,
-                        wingtip());
-    bench::print_averages(runs, wingtip());
-    bench::maybe_export_csv("fig5_cpu_wingtip", runs, wingtip());
+    const auto result = bench::run_cpu_suite(suite, options);
+    bench::print_figure("Figure 5: five kernels on CPU (Wingtip)",
+                        result.runs, wingtip());
+    bench::print_averages(result.runs, wingtip());
+    bench::print_failure_summary(result);
+    bench::maybe_export_csv("fig5_cpu_wingtip", result, wingtip());
     return 0;
 }

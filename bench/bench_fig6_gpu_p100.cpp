@@ -13,15 +13,17 @@ using namespace pasta;
 int
 main()
 {
-    const bench::BenchOptions options = bench::options_from_env();
+    bench::BenchOptions options = bench::options_from_env();
+    options.journal_stem = "fig6_gpu_p100";
     std::printf("Figure 6 (simulated Tesla P100 / DGX-1P), scale %g\n",
                 options.scale);
     const auto suite = bench::load_suite(options);
-    const auto runs =
+    const auto result =
         bench::run_gpu_suite(suite, gpusim::tesla_p100(), options);
     bench::print_figure("Figure 6: five kernels on DGX-1P (simulated)",
-                        runs, dgx_1p());
-    bench::print_averages(runs, dgx_1p());
-    bench::maybe_export_csv("fig6_gpu_p100", runs, dgx_1p());
+                        result.runs, dgx_1p());
+    bench::print_averages(result.runs, dgx_1p());
+    bench::print_failure_summary(result);
+    bench::maybe_export_csv("fig6_gpu_p100", result, dgx_1p());
     return 0;
 }

@@ -12,15 +12,17 @@ using namespace pasta;
 int
 main()
 {
-    const bench::BenchOptions options = bench::options_from_env();
+    bench::BenchOptions options = bench::options_from_env();
+    options.journal_stem = "fig7_gpu_v100";
     std::printf("Figure 7 (simulated Tesla V100 / DGX-1V), scale %g\n",
                 options.scale);
     const auto suite = bench::load_suite(options);
-    const auto runs =
+    const auto result =
         bench::run_gpu_suite(suite, gpusim::tesla_v100(), options);
     bench::print_figure("Figure 7: five kernels on DGX-1V (simulated)",
-                        runs, dgx_1v());
-    bench::print_averages(runs, dgx_1v());
-    bench::maybe_export_csv("fig7_gpu_v100", runs, dgx_1v());
+                        result.runs, dgx_1v());
+    bench::print_averages(result.runs, dgx_1v());
+    bench::print_failure_summary(result);
+    bench::maybe_export_csv("fig7_gpu_v100", result, dgx_1v());
     return 0;
 }

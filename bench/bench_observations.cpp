@@ -163,15 +163,18 @@ observation5(const std::vector<MeasuredRun>& runs)
 int
 main()
 {
-    const BenchOptions options = bench::options_from_env();
+    BenchOptions options = bench::options_from_env();
+    options.journal_stem = "observations";
     std::printf("Observations harness, scale %g\n", options.scale);
     const auto suite = bench::load_suite(options);
 
     std::printf("\nrunning CPU suite...\n");
-    const auto cpu_runs = bench::run_cpu_suite(suite, options);
+    const auto cpu = bench::run_cpu_suite(suite, options);
     std::printf("running simulated-GPU suite (P100)...\n");
-    const auto gpu_runs =
+    const auto gpu =
         bench::run_gpu_suite(suite, gpusim::tesla_p100(), options);
+    const auto& cpu_runs = cpu.runs;
+    const auto& gpu_runs = gpu.runs;
 
     observation1(cpu_runs);
     observation2(cpu_runs, bluesky());
@@ -180,5 +183,7 @@ main()
     observation3(gpu_runs, dgx_1p());
     observation4(cpu_runs, gpu_runs);
     observation5(cpu_runs);
+    bench::print_failure_summary(cpu);
+    bench::print_failure_summary(gpu);
     return 0;
 }

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Builds the suite with AddressSanitizer + UndefinedBehaviorSanitizer and
+# runs the tier-1 tests under it.  The robustness harness detaches worker
+# threads on watchdog timeout by design, so LSAN's exit-time leak check is
+# told to ignore still-running detached workers' allocations.
+#
+# Usage: scripts/check_sanitizers.sh [build-dir] [sanitizers]
+#   build-dir   defaults to build-asan
+#   sanitizers  defaults to address,undefined (passed to -fsanitize=)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-asan}"
+SANITIZERS="${2:-address,undefined}"
+
+cmake -B "${BUILD_DIR}" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DPASTA_SANITIZE="${SANITIZERS}"
+cmake --build "${BUILD_DIR}" -j "$(nproc)"
+
+# halt_on_error: make UBSan failures fatal so ctest reports them.
+export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+export ASAN_OPTIONS="detect_leaks=1:abort_on_error=1"
+
+ctest --test-dir "${BUILD_DIR}" --output-on-failure
+
+echo "sanitizer run (${SANITIZERS}) passed"

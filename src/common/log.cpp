@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
 
 namespace pasta {
@@ -35,6 +36,23 @@ void
 set_log_threshold(LogLevel level)
 {
     g_threshold.store(level, std::memory_order_relaxed);
+}
+
+void
+set_log_threshold_from_env()
+{
+    const char* s = std::getenv("PASTA_LOG");
+    if (!s)
+        return;
+    const std::string v(s);
+    if (v == "debug")
+        set_log_threshold(LogLevel::kDebug);
+    else if (v == "info")
+        set_log_threshold(LogLevel::kInfo);
+    else if (v == "warn")
+        set_log_threshold(LogLevel::kWarn);
+    else if (v == "error")
+        set_log_threshold(LogLevel::kError);
 }
 
 void

@@ -17,6 +17,11 @@ LogLevel log_threshold();
 /// Sets the global threshold.  Not thread-safe; set it once at startup.
 void set_log_threshold(LogLevel level);
 
+/// Applies $PASTA_LOG ("debug"/"info"/"warn"/"error") to the global
+/// threshold; unknown or unset values leave it untouched.  Drivers call
+/// this once at startup so long suite runs can be quieted.
+void set_log_threshold_from_env();
+
 /// Emits one line to stderr with a level prefix.  Thread-safe.
 void log_message(LogLevel level, const std::string& message);
 

@@ -30,6 +30,33 @@ class Timer {
     Clock::time_point begin_{Clock::now()};
 };
 
+/// Monotonic deadline built on the same steady clock as Timer; the
+/// harness watchdog and fault-injection hangs use it so wall-clock
+/// adjustments can never extend (or cut short) a timeout.
+class Deadline {
+  public:
+    /// A deadline `seconds` from now; non-positive means already expired.
+    explicit Deadline(double seconds)
+        : end_(std::chrono::steady_clock::now() +
+               std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                   std::chrono::duration<double>(seconds < 0 ? 0 : seconds)))
+    {
+    }
+
+    bool expired() const { return std::chrono::steady_clock::now() >= end_; }
+
+    /// Seconds left; never negative.
+    double remaining_seconds() const
+    {
+        const auto left = end_ - std::chrono::steady_clock::now();
+        const double s = std::chrono::duration<double>(left).count();
+        return s > 0 ? s : 0.0;
+    }
+
+  private:
+    std::chrono::steady_clock::time_point end_;
+};
+
 /// Aggregated timing statistics over repeated runs.
 struct RunStats {
     double mean_seconds = 0.0;

@@ -1,0 +1,288 @@
+#include "harness/journal.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace pasta::harness {
+
+namespace {
+
+/// Minimal JSON string escaping; tensor ids and error strings are ASCII
+/// but error messages can contain quotes/backslashes from paths.
+std::string
+escape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/// Pull-parser over one flat JSON object line.  Only what the journal
+/// emits is supported: string, number, and bool values.
+class FlatJsonReader {
+  public:
+    explicit FlatJsonReader(const std::string& text) : text_(text) {}
+
+    bool parse(std::map<std::string, std::string>& strings,
+               std::map<std::string, double>& numbers,
+               std::map<std::string, bool>& bools)
+    {
+        skip_ws();
+        if (!consume('{'))
+            return false;
+        skip_ws();
+        if (consume('}'))
+            return at_end();
+        for (;;) {
+            std::string k;
+            if (!parse_string(k))
+                return false;
+            skip_ws();
+            if (!consume(':'))
+                return false;
+            skip_ws();
+            if (peek() == '"') {
+                std::string v;
+                if (!parse_string(v))
+                    return false;
+                strings[k] = v;
+            } else if (text_.compare(pos_, 4, "true") == 0) {
+                bools[k] = true;
+                pos_ += 4;
+            } else if (text_.compare(pos_, 5, "false") == 0) {
+                bools[k] = false;
+                pos_ += 5;
+            } else {
+                char* end = nullptr;
+                const double v = std::strtod(text_.c_str() + pos_, &end);
+                if (end == text_.c_str() + pos_)
+                    return false;
+                numbers[k] = v;
+                pos_ = static_cast<std::size_t>(end - text_.c_str());
+            }
+            skip_ws();
+            if (consume(','))
+                skip_ws();
+            else
+                break;
+        }
+        if (!consume('}'))
+            return false;
+        return at_end();
+    }
+
+  private:
+    char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+    bool consume(char c)
+    {
+        if (peek() != c)
+            return false;
+        ++pos_;
+        return true;
+    }
+
+    void skip_ws()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool at_end()
+    {
+        skip_ws();
+        return pos_ == text_.size();
+    }
+
+    bool parse_string(std::string& out)
+    {
+        if (!consume('"'))
+            return false;
+        out.clear();
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    return false;
+                const char e = text_[pos_++];
+                switch (e) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'n': out += '\n'; break;
+                  case 'r': out += '\r'; break;
+                  case 't': out += '\t'; break;
+                  case 'u': {
+                    if (pos_ + 4 > text_.size())
+                        return false;
+                    unsigned v = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = text_[pos_++];
+                        v <<= 4;
+                        if (h >= '0' && h <= '9')
+                            v |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            v |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            v |= static_cast<unsigned>(h - 'A' + 10);
+                        else
+                            return false;
+                    }
+                    out += static_cast<char>(v & 0x7F);
+                    break;
+                  }
+                  default: return false;
+                }
+            } else {
+                out += c;
+            }
+        }
+        return false;  // unterminated (torn line)
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string
+to_json_line(const JournalEntry& entry)
+{
+    std::ostringstream oss;
+    oss.precision(17);
+    oss << "{\"tensor\":\"" << escape(entry.tensor_id) << "\""
+        << ",\"kernel\":\"" << escape(entry.kernel) << "\""
+        << ",\"format\":\"" << escape(entry.format) << "\""
+        << ",\"ok\":" << (entry.ok ? "true" : "false")
+        << ",\"seconds\":" << entry.seconds << ",\"flops\":" << entry.flops
+        << ",\"bytes\":" << entry.bytes << ",\"attempts\":" << entry.attempts
+        << ",\"error\":\"" << escape(entry.error) << "\"}";
+    return oss.str();
+}
+
+bool
+parse_json_line(const std::string& line, JournalEntry& entry)
+{
+    std::map<std::string, std::string> strings;
+    std::map<std::string, double> numbers;
+    std::map<std::string, bool> bools;
+    FlatJsonReader reader(line);
+    if (!reader.parse(strings, numbers, bools))
+        return false;
+    if (!strings.count("tensor") || !strings.count("kernel") ||
+        !strings.count("format") || !bools.count("ok"))
+        return false;
+    entry.tensor_id = strings["tensor"];
+    entry.kernel = strings["kernel"];
+    entry.format = strings["format"];
+    entry.ok = bools["ok"];
+    entry.seconds = numbers.count("seconds") ? numbers["seconds"] : 0.0;
+    entry.flops = numbers.count("flops") ? numbers["flops"] : 0.0;
+    entry.bytes = numbers.count("bytes") ? numbers["bytes"] : 0.0;
+    entry.attempts =
+        numbers.count("attempts") ? static_cast<int>(numbers["attempts"]) : 0;
+    entry.error = strings.count("error") ? strings["error"] : "";
+    return true;
+}
+
+RunJournal::RunJournal(std::string path) : path_(std::move(path))
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    const fs::path parent = fs::path(path_).parent_path();
+    if (!parent.empty())
+        fs::create_directories(parent, ec);
+
+    std::ifstream in(path_);
+    if (!in.good())
+        return;  // fresh journal
+    std::string line;
+    std::size_t line_no = 0;
+    std::size_t torn = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty())
+            continue;
+        JournalEntry entry;
+        if (!parse_json_line(line, entry)) {
+            ++torn;
+            PASTA_LOG_WARN << "journal " << path_ << ": skipping "
+                           << "unparsable line " << line_no
+                           << " (torn write from a killed run?)";
+            continue;
+        }
+        entries_[key(entry.tensor_id, entry.kernel, entry.format)] = entry;
+    }
+    if (!entries_.empty()) {
+        PASTA_LOG_INFO << "journal " << path_ << ": replayed "
+                       << entries_.size() << " trial(s)"
+                       << (torn ? " (torn lines skipped)" : "");
+    }
+}
+
+std::string
+RunJournal::key(const std::string& tensor_id, const std::string& kernel,
+                const std::string& format)
+{
+    return tensor_id + "\x1f" + kernel + "\x1f" + format;
+}
+
+const JournalEntry*
+RunJournal::find(const std::string& tensor_id, const std::string& kernel,
+                 const std::string& format) const
+{
+    auto it = entries_.find(key(tensor_id, kernel, format));
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+bool
+RunJournal::has_ok(const std::string& tensor_id, const std::string& kernel,
+                   const std::string& format) const
+{
+    const JournalEntry* entry = find(tensor_id, kernel, format);
+    return entry && entry->ok;
+}
+
+void
+RunJournal::append(const JournalEntry& entry)
+{
+    if (!enabled())
+        return;
+    entries_[key(entry.tensor_id, entry.kernel, entry.format)] = entry;
+    std::ofstream out(path_, std::ios::app);
+    if (!out.good()) {
+        PASTA_LOG_WARN << "journal " << path_ << ": cannot append";
+        return;
+    }
+    out << to_json_line(entry) << "\n";
+    out.flush();
+}
+
+}  // namespace pasta::harness

@@ -1,0 +1,81 @@
+/// \file
+/// Append-only run journal: checkpoint/resume for suite campaigns.
+///
+/// Every completed (tensor, kernel, format) trial is appended as one
+/// JSON line and flushed, so a killed run loses at most the trial in
+/// flight.  A re-invoked figure binary reloads the journal and skips
+/// trials that already succeeded; failed entries are kept for the
+/// record but retried on the next run.  The loader tolerates a torn
+/// trailing line (the kill case) and skips unparsable lines with a
+/// warning rather than aborting the campaign.
+///
+/// Line format (flat JSON, string/number/bool fields only):
+///   {"tensor":"r1","kernel":"TTV","format":"COO","ok":true,
+///    "seconds":1.25e-4,"flops":4.2e6,"bytes":8.1e6,"attempts":1,
+///    "error":""}
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+namespace pasta::harness {
+
+/// One journaled trial outcome.
+struct JournalEntry {
+    std::string tensor_id;
+    std::string kernel;
+    std::string format;
+    bool ok = false;
+    double seconds = 0;
+    double flops = 0;
+    double bytes = 0;
+    int attempts = 0;
+    std::string error;
+};
+
+/// Serializes an entry as one JSON line (no trailing newline).
+std::string to_json_line(const JournalEntry& entry);
+
+/// Parses a journal line; returns false (and logs nothing) on torn or
+/// malformed input so the loader can skip it.
+bool parse_json_line(const std::string& line, JournalEntry& entry);
+
+/// Append-only JSONL journal keyed by (tensor, kernel, format); the
+/// last line for a key wins on reload.
+class RunJournal {
+  public:
+    /// A disabled journal: has() is always false, append() is a no-op.
+    RunJournal() = default;
+
+    /// Opens (creating parent directories) and replays `path`.
+    explicit RunJournal(std::string path);
+
+    bool enabled() const { return !path_.empty(); }
+    const std::string& path() const { return path_; }
+
+    /// Entries replayed from disk at open (after last-wins dedup).
+    std::size_t size() const { return entries_.size(); }
+
+    /// The entry for a key, or nullptr.
+    const JournalEntry* find(const std::string& tensor_id,
+                             const std::string& kernel,
+                             const std::string& format) const;
+
+    /// True when the key has a *successful* entry (the resume filter).
+    bool has_ok(const std::string& tensor_id, const std::string& kernel,
+                const std::string& format) const;
+
+    /// Appends one entry and flushes it to disk immediately.
+    void append(const JournalEntry& entry);
+
+  private:
+    static std::string key(const std::string& tensor_id,
+                           const std::string& kernel,
+                           const std::string& format);
+
+    std::string path_;
+    std::map<std::string, JournalEntry> entries_;
+};
+
+}  // namespace pasta::harness

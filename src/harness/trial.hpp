@@ -1,0 +1,53 @@
+/// \file
+/// Guarded trial execution: one (tensor, kernel, format, mode) benchmark
+/// trial runs under a monotonic watchdog timeout and a capped-backoff
+/// retry loop, and failure comes back as data instead of unwinding the
+/// whole suite.
+///
+/// Contract for the trial body: it returns the measured seconds for the
+/// trial and may throw PastaError / std::bad_alloc (both treated as
+/// transient and retried) or any std::exception (reported, retried).
+/// When a watchdog is armed the body runs on a worker thread; if the
+/// deadline passes, the attempt is abandoned — the worker is detached
+/// and may still be running — so the body must only touch state it owns
+/// or shares via shared_ptr, never references to the caller's stack.
+#pragma once
+
+#include <functional>
+#include <string>
+
+namespace pasta::harness {
+
+/// Retry/timeout policy for guarded trials, env-overridable:
+///   PASTA_TRIAL_TIMEOUT  watchdog seconds per attempt (0 = no watchdog,
+///                        trial runs inline on the calling thread)
+///   PASTA_TRIAL_RETRIES  max attempts per trial (default 3)
+struct TrialPolicy {
+    double timeout_seconds = 0.0;
+    int max_attempts = 3;
+    double backoff_initial_s = 0.05;  ///< sleep before the 2nd attempt
+    double backoff_max_s = 2.0;       ///< exponential backoff cap
+
+    /// Policy from the environment; malformed values throw PastaError.
+    static TrialPolicy from_env();
+};
+
+/// Structured outcome of one guarded trial.
+struct TrialResult {
+    bool ok = false;        ///< trial produced a measurement
+    bool skipped = false;   ///< abandoned: timed out or retries exhausted
+    bool timed_out = false; ///< skipped specifically by the watchdog
+    std::string error;      ///< last failure message when !ok
+    int attempts = 0;       ///< attempts actually made
+    double seconds = 0.0;   ///< trial body's return value when ok
+};
+
+/// Runs `body` under `policy`.  Never throws for trial failures; the
+/// returned TrialResult carries success or the last error.  A watchdog
+/// timeout is terminal (no retry — a hung kernel will hang again);
+/// thrown errors are retried with capped exponential backoff.
+TrialResult run_guarded_trial(const std::string& label,
+                              const std::function<double()>& body,
+                              const TrialPolicy& policy);
+
+}  // namespace pasta::harness

@@ -5,13 +5,18 @@
 #include <fstream>
 
 #include "common/error.hpp"
+#include "harness/fault.hpp"
 
 namespace pasta {
 
 namespace {
 
 constexpr char kMagic[4] = {'P', 'S', 'T', 'B'};
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersion = 2;  ///< v2 added the payload checksum
+
+/// Headers can be corrupted too; bound nnz before trusting it with an
+/// allocation (the checksum only protects what we managed to read).
+constexpr std::uint64_t kMaxPlausibleNnz = 1ULL << 40;
 
 template <typename T>
 void
@@ -29,6 +34,18 @@ read_pod(std::ifstream& in, T& v)
 
 }  // namespace
 
+std::uint64_t
+fnv1a64(const void* data, std::size_t n, std::uint64_t seed)
+{
+    const auto* p = static_cast<const unsigned char*>(data);
+    std::uint64_t h = seed;
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
 void
 write_binary_file(const std::string& path, const CooTensor& x)
 {
@@ -40,20 +57,29 @@ write_binary_file(const std::string& path, const CooTensor& x)
     const std::uint64_t nnz = x.nnz();
     write_pod(out, order);
     write_pod(out, nnz);
-    for (Size m = 0; m < x.order(); ++m)
-        write_pod(out, x.dim(m));
-    for (Size m = 0; m < x.order(); ++m)
-        out.write(
-            reinterpret_cast<const char*>(x.mode_indices(m).data()),
-            static_cast<std::streamsize>(nnz * sizeof(Index)));
+    std::uint64_t checksum = fnv1a64(nullptr, 0);
+    for (Size m = 0; m < x.order(); ++m) {
+        const Index d = x.dim(m);
+        write_pod(out, d);
+        checksum = fnv1a64(&d, sizeof(d), checksum);
+    }
+    for (Size m = 0; m < x.order(); ++m) {
+        const auto& idx = x.mode_indices(m);
+        out.write(reinterpret_cast<const char*>(idx.data()),
+                  static_cast<std::streamsize>(nnz * sizeof(Index)));
+        checksum = fnv1a64(idx.data(), nnz * sizeof(Index), checksum);
+    }
     out.write(reinterpret_cast<const char*>(x.values().data()),
               static_cast<std::streamsize>(nnz * sizeof(Value)));
+    checksum = fnv1a64(x.values().data(), nnz * sizeof(Value), checksum);
+    write_pod(out, checksum);
     PASTA_CHECK_MSG(out.good(), "write to " << path << " failed");
 }
 
 CooTensor
 read_binary_file(const std::string& path)
 {
+    harness::fault_point("io.read");
     std::ifstream in(path, std::ios::binary);
     PASTA_CHECK_MSG(in.good(), "cannot open " << path);
     char magic[4];
@@ -63,24 +89,46 @@ read_binary_file(const std::string& path)
     std::uint32_t version = 0;
     read_pod(in, version);
     PASTA_CHECK_MSG(version == kVersion,
-                    "unsupported PSTB version " << version);
+                    "unsupported PSTB version " << version << " in " << path
+                                                << " (expected " << kVersion
+                                                << ")");
     std::uint64_t order = 0;
     std::uint64_t nnz = 0;
     read_pod(in, order);
     read_pod(in, nnz);
     PASTA_CHECK_MSG(in.good() && order >= 1 && order <= 16,
-                    "implausible order " << order);
+                    "implausible order " << order << " in " << path);
+    PASTA_CHECK_MSG(nnz <= kMaxPlausibleNnz,
+                    "implausible nnz " << nnz << " in " << path
+                                       << " (corrupt header?)");
+    std::uint64_t checksum = fnv1a64(nullptr, 0);
     std::vector<Index> dims(order);
-    for (auto& d : dims)
+    for (auto& d : dims) {
         read_pod(in, d);
+        checksum = fnv1a64(&d, sizeof(d), checksum);
+    }
     CooTensor x(dims);
     x.resize_nnz(nnz);
-    for (Size m = 0; m < x.order(); ++m)
+    for (Size m = 0; m < x.order(); ++m) {
         in.read(reinterpret_cast<char*>(x.mode_indices(m).data()),
                 static_cast<std::streamsize>(nnz * sizeof(Index)));
+        checksum = fnv1a64(x.mode_indices(m).data(), nnz * sizeof(Index),
+                           checksum);
+    }
     in.read(reinterpret_cast<char*>(x.values().data()),
             static_cast<std::streamsize>(nnz * sizeof(Value)));
+    checksum = fnv1a64(x.values().data(), nnz * sizeof(Value), checksum);
     PASTA_CHECK_MSG(in.good(), "truncated PSTB file " << path);
+    std::uint64_t stored = 0;
+    read_pod(in, stored);
+    PASTA_CHECK_MSG(in.good(), "truncated PSTB file " << path
+                                                      << " (no checksum)");
+    PASTA_CHECK_MSG(stored == checksum,
+                    "checksum mismatch in " << path << " (stored 0x"
+                                            << std::hex << stored
+                                            << ", computed 0x" << checksum
+                                            << std::dec
+                                            << "): corrupt cache entry");
     x.validate();
     return x;
 }

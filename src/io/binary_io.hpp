@@ -3,21 +3,32 @@
 ///
 /// Layout (little-endian, host-order):
 ///   magic "PSTB" | u32 version | u64 order | u64 nnz |
-///   u32 dims[order] | u32 indices[order][nnz] | f32 values[nnz]
+///   u32 dims[order] | u32 indices[order][nnz] | f32 values[nnz] |
+///   u64 fnv1a64(dims..values)
 /// Mode-major index arrays mirror the in-memory COO layout, so reads and
-/// writes are straight memcpy-sized block transfers.
+/// writes are straight memcpy-sized block transfers.  The trailing FNV-1a
+/// checksum covers every payload byte after the nnz field: a truncated or
+/// bit-flipped cache entry fails loudly (PastaError) instead of feeding a
+/// silently corrupt tensor into a multi-hour campaign, and the registry
+/// responds by deleting and regenerating the entry.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 
 #include "core/coo_tensor.hpp"
 
 namespace pasta {
 
+/// FNV-1a 64-bit over `n` bytes, chainable via `seed`.
+std::uint64_t fnv1a64(const void* data, std::size_t n,
+                      std::uint64_t seed = 1469598103934665603ULL);
+
 /// Writes `x` to `path` in PSTB format; throws PastaError on IO failure.
 void write_binary_file(const std::string& path, const CooTensor& x);
 
-/// Reads a PSTB file; throws PastaError on IO/format errors.
+/// Reads a PSTB file; throws PastaError on IO/format/checksum errors.
 CooTensor read_binary_file(const std::string& path);
 
 }  // namespace pasta

@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "harness/fault.hpp"
 #include "io/binary_io.hpp"
 
 namespace pasta {
@@ -35,10 +36,20 @@ TensorRegistry::load(const std::string& id_or_name)
     const std::string path = cache_path(spec);
     if (!path.empty() && std::filesystem::exists(path)) {
         try {
+            harness::fault_point("cache.load");
             return read_binary_file(path);
         } catch (const PastaError& e) {
+            // Corrupt, truncated, or stale-version entry: drop it so the
+            // regenerated tensor replaces it instead of failing again on
+            // the next run, then fall through to synthesis.
             PASTA_LOG_WARN << "stale cache " << path << " (" << e.what()
-                           << "); regenerating";
+                           << "); deleting and regenerating";
+            std::error_code ec;
+            std::filesystem::remove(path, ec);
+            if (ec) {
+                PASTA_LOG_WARN << "cannot delete stale cache " << path
+                               << ": " << ec.message();
+            }
         }
     }
     CooTensor tensor = synthesize_dataset(spec, scale_);

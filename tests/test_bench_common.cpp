@@ -1,5 +1,7 @@
-// Tests for the bench harness plumbing: option parsing, suite loading,
-// and the CPU/GPU measurement pipelines at tiny scale.
+// Tests for the bench harness plumbing: option parsing (including the
+// strict env validation), suite loading, the CPU/GPU measurement
+// pipelines at tiny scale, and the robustness layer wiring: fault-driven
+// partial results, retry recovery, and journal checkpoint/resume.
 #include <gtest/gtest.h>
 
 #include <cstdlib>
@@ -7,10 +9,17 @@
 #include <fstream>
 
 #include "bench_common.hpp"
+#include "common/error.hpp"
 #include "gpusim/timing_model.hpp"
+#include "harness/fault.hpp"
 
 namespace pasta::bench {
 namespace {
+
+/// Clears the global fault injector even when a test fails mid-way.
+struct FaultGuard {
+    ~FaultGuard() { harness::FaultInjector::instance().clear(); }
+};
 
 TEST(BenchOptions, EnvOverridesAreApplied)
 {
@@ -34,6 +43,50 @@ TEST(BenchOptions, DefaultsMatchThePaperProtocol)
     EXPECT_EQ(options.rank, 16u);           // §V-A2: R = 16
     EXPECT_EQ(options.block_bits, 7u);      // §V-A2: B = 128
     EXPECT_GT(options.scale, 0.0);
+    EXPECT_TRUE(options.journal_enabled);
+}
+
+TEST(BenchOptions, MalformedScaleRejected)
+{
+    for (const char* bad : {"abc", "0", "-0.5", "1.5", "0.1x", ""}) {
+        ::setenv("PASTA_SCALE", bad, 1);
+        EXPECT_THROW(options_from_env(), PastaError) << "'" << bad << "'";
+    }
+    ::unsetenv("PASTA_SCALE");
+}
+
+TEST(BenchOptions, MalformedRunsRejected)
+{
+    // 0 runs would silently measure nothing; absurd counts are typos.
+    for (const char* bad : {"abc", "0", "-3", "3.5", "99999999999999"}) {
+        ::setenv("PASTA_RUNS", bad, 1);
+        EXPECT_THROW(options_from_env(), PastaError) << "'" << bad << "'";
+    }
+    ::unsetenv("PASTA_RUNS");
+}
+
+TEST(BenchOptions, MalformedTrialPolicyRejected)
+{
+    ::setenv("PASTA_TRIAL_TIMEOUT", "soon", 1);
+    EXPECT_THROW(options_from_env(), PastaError);
+    ::setenv("PASTA_TRIAL_TIMEOUT", "-5", 1);
+    EXPECT_THROW(options_from_env(), PastaError);
+    ::unsetenv("PASTA_TRIAL_TIMEOUT");
+    ::setenv("PASTA_TRIAL_RETRIES", "0", 1);
+    EXPECT_THROW(options_from_env(), PastaError);
+    ::unsetenv("PASTA_TRIAL_RETRIES");
+    const BenchOptions options = options_from_env();
+    EXPECT_EQ(options.trial_policy.max_attempts, 3);
+}
+
+TEST(BenchOptions, HangFaultArmsDefaultWatchdog)
+{
+    FaultGuard guard;
+    ::setenv("PASTA_FAULT", "kernel.run:hang@99999", 1);
+    ::unsetenv("PASTA_TRIAL_TIMEOUT");
+    const BenchOptions options = options_from_env();
+    EXPECT_GT(options.trial_policy.timeout_seconds, 0.0);
+    ::unsetenv("PASTA_FAULT");
 }
 
 class SuitePipeline : public ::testing::Test {
@@ -63,10 +116,12 @@ TEST_F(SuitePipeline, CpuSuiteProducesTenRunsPerTensor)
 {
     // Use only the first two tensors to keep the test quick.
     std::vector<NamedTensor> small(suite_.begin(), suite_.begin() + 2);
-    const auto runs = run_cpu_suite(small, options_);
+    const SuiteResult result = run_cpu_suite(small, options_);
     // 5 kernels x 2 formats x 2 tensors.
-    EXPECT_EQ(runs.size(), 20u);
-    for (const auto& run : runs) {
+    EXPECT_EQ(result.runs.size(), 20u);
+    EXPECT_TRUE(result.complete());
+    EXPECT_EQ(result.resumed, 0u);
+    for (const auto& run : result.runs) {
         EXPECT_GT(run.seconds, 0.0);
         EXPECT_GT(run.cost.flops, 0.0);
         EXPECT_GT(run.cost.bytes, 0.0);
@@ -77,30 +132,32 @@ TEST_F(SuitePipeline, GpuSuiteProducesTenRunsPerTensor)
 {
     std::vector<NamedTensor> small(suite_.begin() + 15,
                                    suite_.begin() + 17);
-    const auto runs =
+    const SuiteResult result =
         run_gpu_suite(small, gpusim::tesla_v100(), options_);
-    EXPECT_EQ(runs.size(), 20u);
-    for (const auto& run : runs)
+    EXPECT_EQ(result.runs.size(), 20u);
+    EXPECT_TRUE(result.complete());
+    for (const auto& run : result.runs)
         EXPECT_GT(run.seconds, 0.0);
 }
 
 TEST_F(SuitePipeline, PrintHelpersDoNotCrash)
 {
     std::vector<NamedTensor> small(suite_.begin(), suite_.begin() + 1);
-    const auto runs = run_cpu_suite(small, options_);
-    print_figure("test figure", runs, bluesky());
-    print_averages(runs, bluesky());
+    const SuiteResult result = run_cpu_suite(small, options_);
+    print_figure("test figure", result.runs, bluesky());
+    print_averages(result.runs, bluesky());
+    print_failure_summary(result);
 }
 
 TEST_F(SuitePipeline, CsvExportRoundTrips)
 {
     namespace fs = std::filesystem;
     std::vector<NamedTensor> small(suite_.begin(), suite_.begin() + 1);
-    const auto runs = run_cpu_suite(small, options_);
+    const SuiteResult result = run_cpu_suite(small, options_);
     const fs::path dir = fs::temp_directory_path() / "pasta_csv_test";
     fs::create_directories(dir);
     const std::string path = (dir / "series.csv").string();
-    export_csv(path, runs, bluesky());
+    export_csv(path, result.runs, bluesky());
     std::ifstream in(path);
     ASSERT_TRUE(in.good());
     std::string header;
@@ -113,7 +170,139 @@ TEST_F(SuitePipeline, CsvExportRoundTrips)
     while (std::getline(in, line))
         if (!line.empty())
             ++lines;
-    EXPECT_EQ(lines, runs.size());
+    EXPECT_EQ(lines, result.runs.size());
+    fs::remove_all(dir);
+}
+
+TEST_F(SuitePipeline, InjectedKernelFaultsYieldPartialResults)
+{
+    FaultGuard guard;
+    harness::FaultInjector::instance().configure(
+        harness::parse_fault_spec("kernel.run:throw"), 7);
+    options_.trial_policy.max_attempts = 1;
+    options_.trial_policy.backoff_initial_s = 0.0;
+    std::vector<NamedTensor> small(suite_.begin(), suite_.begin() + 2);
+    const SuiteResult result = run_cpu_suite(small, options_);
+    EXPECT_EQ(result.runs.size(), 0u);
+    EXPECT_EQ(result.failures.size(), 20u);
+    for (const auto& f : result.failures) {
+        EXPECT_FALSE(f.timed_out);
+        EXPECT_NE(f.error.find("injected fault"), std::string::npos);
+    }
+    // Partial rendering must not crash on fully-missing series.
+    print_figure("faulted figure", result.runs, bluesky());
+    print_failure_summary(result);
+}
+
+TEST_F(SuitePipeline, ProbabilisticFaultsSkipOnlySomeTrials)
+{
+    FaultGuard guard;
+    harness::FaultInjector::instance().configure(
+        harness::parse_fault_spec("kernel.run:throw:0.3"), 1234);
+    options_.trial_policy.max_attempts = 1;
+    std::vector<NamedTensor> small(suite_.begin(), suite_.begin() + 2);
+    const SuiteResult result = run_cpu_suite(small, options_);
+    EXPECT_EQ(result.runs.size() + result.failures.size(), 20u);
+    EXPECT_GT(result.runs.size(), 0u);       // 0.3^20 ~ 3.5e-11
+    EXPECT_GT(result.failures.size(), 0u);   // 0.7^20 ~ 8e-4
+    print_figure("partial figure", result.runs, bluesky());
+    print_failure_summary(result);
+}
+
+TEST_F(SuitePipeline, RetryRecoversFromTransientFault)
+{
+    FaultGuard guard;
+    // Fires exactly once, on the very first kernel.run hit; the retry
+    // must recover it and every later trial is untouched.
+    harness::FaultInjector::instance().configure(
+        harness::parse_fault_spec("kernel.run:throw@1"), 7);
+    options_.trial_policy.max_attempts = 3;
+    options_.trial_policy.backoff_initial_s = 0.001;
+    std::vector<NamedTensor> small(suite_.begin(), suite_.begin() + 1);
+    const SuiteResult result = run_cpu_suite(small, options_);
+    EXPECT_EQ(result.runs.size(), 10u);
+    EXPECT_TRUE(result.complete());
+}
+
+TEST_F(SuitePipeline, ContextFaultFailsWholeTensor)
+{
+    FaultGuard guard;
+    harness::FaultInjector::instance().configure(
+        harness::parse_fault_spec("alloc:oom"), 7);
+    options_.trial_policy.max_attempts = 1;
+    std::vector<NamedTensor> small(suite_.begin(), suite_.begin() + 1);
+    const SuiteResult result = run_cpu_suite(small, options_);
+    EXPECT_EQ(result.runs.size(), 0u);
+    ASSERT_EQ(result.failures.size(), 1u);
+    EXPECT_EQ(result.failures[0].kernel, "*");
+    EXPECT_NE(result.failures[0].error.find("out of memory"),
+              std::string::npos);
+}
+
+TEST_F(SuitePipeline, JournalResumeSkipsCompletedTrials)
+{
+    namespace fs = std::filesystem;
+    const fs::path dir = fs::temp_directory_path() / "pasta_journal_test";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    options_.cache_dir = dir.string();
+    options_.journal_stem = "resume_test";
+    std::vector<NamedTensor> small(suite_.begin(), suite_.begin() + 2);
+
+    const SuiteResult first = run_cpu_suite(small, options_);
+    EXPECT_EQ(first.runs.size(), 20u);
+    EXPECT_EQ(first.resumed, 0u);
+    bool journal_seen = false;
+    for (const auto& e : fs::directory_iterator(dir))
+        journal_seen = journal_seen ||
+                       e.path().string().find("resume_test") !=
+                           std::string::npos;
+    EXPECT_TRUE(journal_seen);
+
+    // Second invocation must restore every trial without re-measuring.
+    const SuiteResult second = run_cpu_suite(small, options_);
+    EXPECT_EQ(second.runs.size(), 20u);
+    EXPECT_EQ(second.resumed, 20u);
+    for (const auto& run : first.runs) {
+        bool matched = false;
+        for (const auto& replay : second.runs)
+            if (replay.tensor_id == run.tensor_id &&
+                replay.kernel == run.kernel &&
+                replay.format == run.format) {
+                EXPECT_DOUBLE_EQ(replay.seconds, run.seconds);
+                EXPECT_DOUBLE_EQ(replay.cost.flops, run.cost.flops);
+                matched = true;
+            }
+        EXPECT_TRUE(matched);
+    }
+    fs::remove_all(dir);
+}
+
+TEST_F(SuitePipeline, JournalResumeRetriesFailedTrials)
+{
+    namespace fs = std::filesystem;
+    const fs::path dir =
+        fs::temp_directory_path() / "pasta_journal_retry_test";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    options_.cache_dir = dir.string();
+    options_.journal_stem = "retry_test";
+    options_.trial_policy.max_attempts = 1;
+    std::vector<NamedTensor> small(suite_.begin(), suite_.begin() + 1);
+
+    {
+        FaultGuard guard;
+        harness::FaultInjector::instance().configure(
+            harness::parse_fault_spec("kernel.run:throw"), 7);
+        const SuiteResult faulted = run_cpu_suite(small, options_);
+        EXPECT_EQ(faulted.failures.size(), 10u);
+    }
+    // Faults cleared: the rerun retries everything the journal marked
+    // failed and completes the campaign.
+    const SuiteResult recovered = run_cpu_suite(small, options_);
+    EXPECT_EQ(recovered.runs.size(), 10u);
+    EXPECT_EQ(recovered.resumed, 0u);
+    EXPECT_TRUE(recovered.complete());
     fs::remove_all(dir);
 }
 
@@ -121,13 +310,36 @@ TEST(CsvEnv, MaybeExportRespectsEnvVar)
 {
     ::unsetenv("PASTA_CSV_DIR");
     // No env: must be a silent no-op.
-    maybe_export_csv("noop", {}, bluesky());
+    maybe_export_csv("noop", std::vector<MeasuredRun>{}, bluesky());
     namespace fs = std::filesystem;
     const fs::path dir = fs::temp_directory_path() / "pasta_csv_env";
     fs::create_directories(dir);
     ::setenv("PASTA_CSV_DIR", dir.c_str(), 1);
-    maybe_export_csv("series", {}, bluesky());
+    maybe_export_csv("series", std::vector<MeasuredRun>{}, bluesky());
     EXPECT_TRUE(fs::exists(dir / "series.csv"));
+    ::unsetenv("PASTA_CSV_DIR");
+    fs::remove_all(dir);
+}
+
+TEST(CsvEnv, SuiteResultExportWritesFailuresCsv)
+{
+    namespace fs = std::filesystem;
+    const fs::path dir = fs::temp_directory_path() / "pasta_csv_fail";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    ::setenv("PASTA_CSV_DIR", dir.c_str(), 1);
+    SuiteResult result;
+    result.failures.push_back(
+        {"r1", "TTV", "COO", "injected fault, with comma", true, 2});
+    maybe_export_csv("faulty", result, bluesky());
+    EXPECT_TRUE(fs::exists(dir / "faulty.csv"));
+    ASSERT_TRUE(fs::exists(dir / "faulty_failures.csv"));
+    std::ifstream in(dir / "faulty_failures.csv");
+    std::string header, row;
+    std::getline(in, header);
+    EXPECT_EQ(header, "tensor,kernel,format,timed_out,attempts,error");
+    std::getline(in, row);
+    EXPECT_NE(row.find("r1,TTV,COO,1,2"), std::string::npos);
     ::unsetenv("PASTA_CSV_DIR");
     fs::remove_all(dir);
 }

@@ -3,6 +3,7 @@
 // caught; also exercise kernel precondition violations and IO abuse.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -107,6 +108,46 @@ TEST(FailureInjection, TnsGarbageInputsRejected)
     }
 }
 
+TEST(FailureInjection, TnsNonFiniteValuesRejected)
+{
+    // A single NaN/Inf silently poisons every reduction downstream, so
+    // the reader must refuse it and name the offending line.
+    const char* cases[] = {"1 1 nan\n", "1 1 inf\n", "2 3 -inf\n",
+                           "1 1 1.0\n2 2 NaN\n"};
+    for (const char* text : cases) {
+        std::istringstream in(text);
+        try {
+            read_tns(in);
+            FAIL() << "accepted: " << text;
+        } catch (const PastaError& e) {
+            EXPECT_NE(std::string(e.what()).find("line"),
+                      std::string::npos)
+                << e.what();
+        }
+    }
+}
+
+TEST(FailureInjection, TnsIndexOverflowRejected)
+{
+    // 2^32 does not fit Index (uint32_t); the old reader would silently
+    // wrap to coordinate 0.
+    {
+        std::istringstream in("4294967296 1 1.0\n");
+        EXPECT_THROW(read_tns(in), PastaError);
+    }
+    {
+        // Overflow in a later mode and a later row too.
+        std::istringstream in("1 1 1.0\n2 99999999999999 2.0\n");
+        EXPECT_THROW(read_tns(in), PastaError);
+    }
+    {
+        // Largest representable coordinate is fine.
+        std::istringstream in("4294967294 1 1.0\n");
+        const CooTensor t = read_tns(in);
+        EXPECT_EQ(t.nnz(), 1u);
+    }
+}
+
 TEST(FailureInjection, BinaryBitflipsRejected)
 {
     namespace fs = std::filesystem;
@@ -125,6 +166,58 @@ TEST(FailureInjection, BinaryBitflipsRejected)
         f.write(reinterpret_cast<const char*>(&bogus), sizeof(bogus));
     }
     EXPECT_THROW(read_binary_file(path), PastaError);
+    fs::remove_all(dir);
+}
+
+TEST(FailureInjection, BinaryPayloadChecksumCatchesSilentCorruption)
+{
+    // A bitflip in the value payload leaves the header plausible; only
+    // the trailing FNV-1a checksum can catch it.
+    namespace fs = std::filesystem;
+    const fs::path dir =
+        fs::temp_directory_path() / "pasta_failure_checksum";
+    fs::create_directories(dir);
+    const std::string path = (dir / "t.pstb").string();
+    write_binary_file(path, healthy());
+    {
+        std::fstream f(path,
+                       std::ios::in | std::ios::out | std::ios::binary);
+        char byte = 0;
+        f.seekg(-12, std::ios::end);  // inside values, before checksum
+        f.read(&byte, 1);
+        byte = static_cast<char>(byte ^ 0x01);
+        f.seekp(-12, std::ios::end);
+        f.write(&byte, 1);
+    }
+    try {
+        read_binary_file(path);
+        FAIL() << "bitflipped payload accepted";
+    } catch (const PastaError& e) {
+        EXPECT_NE(std::string(e.what()).find("checksum"),
+                  std::string::npos)
+            << e.what();
+    }
+    fs::remove_all(dir);
+}
+
+TEST(FailureInjection, BinaryTruncationRejected)
+{
+    namespace fs = std::filesystem;
+    const fs::path dir =
+        fs::temp_directory_path() / "pasta_failure_truncate";
+    fs::create_directories(dir);
+    const std::string path = (dir / "t.pstb").string();
+    write_binary_file(path, healthy());
+    const auto size = fs::file_size(path);
+    // Chop at several depths: inside the checksum, the payload, and the
+    // header itself.
+    for (const auto keep :
+         {size - 3, size / 2, static_cast<std::uintmax_t>(10)}) {
+        fs::resize_file(path, keep);
+        EXPECT_THROW(read_binary_file(path), PastaError) << keep;
+        fs::remove(path);
+        write_binary_file(path, healthy());
+    }
     fs::remove_all(dir);
 }
 
