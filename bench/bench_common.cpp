@@ -21,6 +21,8 @@
 #include "kernels/ttm.hpp"
 #include "kernels/ttv.hpp"
 #include "roofline/roofline.hpp"
+#include "validate/diff.hpp"
+#include "validate/validate.hpp"
 
 namespace pasta::bench {
 
@@ -57,6 +59,9 @@ options_from_env()
     set_log_threshold_from_env();
     // Arm fault injection before anything the guards protect can run.
     harness::FaultInjector::instance().configure_from_env();
+    // Parse PASTA_VALIDATE up front so a malformed value fails the run
+    // immediately instead of mid-suite on the first checked trial.
+    (void)validate::current_mode();
 
     BenchOptions options;
     if (const char* s = std::getenv("PASTA_SCALE"))
@@ -192,6 +197,21 @@ sanitize_tag(const std::string& name)
     return tag;
 }
 
+/// Failure class recorded in the journal and failure CSVs: "" (ok),
+/// "timeout", "validation" (structural/differential check failed), or
+/// "error" (any other trial error).
+std::string
+failure_class(const harness::TrialResult& trial)
+{
+    if (trial.ok)
+        return "";
+    if (trial.timed_out)
+        return "timeout";
+    if (trial.validation)
+        return "validation";
+    return "error";
+}
+
 /// Drives one suite: journal lookup, guarded execution, and partial-
 /// result bookkeeping for every (tensor, kernel, format) trial.
 class SuiteRunner {
@@ -251,6 +271,7 @@ class SuiteRunner {
         record.seconds = trial.seconds;
         record.attempts = trial.attempts;
         record.error = trial.error;
+        record.failure_class = failure_class(trial);
         if (trial.ok) {
             MeasuredRun run;
             run.tensor_id = entry.id;
@@ -263,7 +284,8 @@ class SuiteRunner {
             result_.runs.push_back(run);
         } else {
             result_.failures.push_back({entry.id, kname, fname, trial.error,
-                                        trial.timed_out, trial.attempts});
+                                        trial.timed_out, trial.attempts,
+                                        failure_class(trial)});
         }
         journal_.append(record);
     }
@@ -312,7 +334,8 @@ class SuiteRunner {
             return ctx;
         result_.failures.push_back({entry.id, "*", "*",
                                     "context setup failed: " + trial.error,
-                                    trial.timed_out, trial.attempts});
+                                    trial.timed_out, trial.attempts,
+                                    failure_class(trial)});
         return nullptr;
     }
 
@@ -357,17 +380,25 @@ run_cpu_suite(const std::vector<NamedTensor>& suite,
                              [ctx, runs] {
                                  const CooTensor& x = ctx->entry->tensor;
                                  CooTensor z = x;
-                                 return timed_runs(
-                                            [&] {
-                                                tew_values(
-                                                    EwOp::kAdd,
-                                                    x.values().data(),
-                                                    ctx->y.values().data(),
-                                                    z.values().data(),
-                                                    x.nnz());
-                                            },
-                                            runs)
-                                     .mean_seconds;
+                                 const double secs =
+                                     timed_runs(
+                                         [&] {
+                                             tew_values(
+                                                 EwOp::kAdd,
+                                                 x.values().data(),
+                                                 ctx->y.values().data(),
+                                                 z.values().data(),
+                                                 x.nnz());
+                                         },
+                                         runs)
+                                         .mean_seconds;
+                                 if (validate::kernel_checks_enabled())
+                                     validate::diff_tew(
+                                         EwOp::kAdd, x.values().data(),
+                                         ctx->y.values().data(),
+                                         z.values().data(), x.nnz())
+                                         .require();
+                                 return secs;
                              });
         }
         {
@@ -376,17 +407,27 @@ run_cpu_suite(const std::vector<NamedTensor>& suite,
             runner.run_trial(entry, Kernel::kTew, Format::kHicoo, cost,
                              [ctx, runs] {
                                  HiCooTensor hz = ctx->hx;
-                                 return timed_runs(
-                                            [&] {
-                                                tew_values(
-                                                    EwOp::kAdd,
-                                                    ctx->hx.values().data(),
-                                                    ctx->hy.values().data(),
-                                                    hz.values().data(),
-                                                    ctx->hx.nnz());
-                                            },
-                                            runs)
-                                     .mean_seconds;
+                                 const double secs =
+                                     timed_runs(
+                                         [&] {
+                                             tew_values(
+                                                 EwOp::kAdd,
+                                                 ctx->hx.values().data(),
+                                                 ctx->hy.values().data(),
+                                                 hz.values().data(),
+                                                 ctx->hx.nnz());
+                                         },
+                                         runs)
+                                         .mean_seconds;
+                                 if (validate::kernel_checks_enabled())
+                                     validate::diff_tew(
+                                         EwOp::kAdd,
+                                         ctx->hx.values().data(),
+                                         ctx->hy.values().data(),
+                                         hz.values().data(),
+                                         ctx->hx.nnz())
+                                         .require();
+                                 return secs;
                              });
         }
 
@@ -398,16 +439,24 @@ run_cpu_suite(const std::vector<NamedTensor>& suite,
                              [ctx, runs] {
                                  const CooTensor& x = ctx->entry->tensor;
                                  CooTensor out = x;
-                                 return timed_runs(
-                                            [&] {
-                                                ts_values(
-                                                    TsOp::kMul,
-                                                    x.values().data(),
-                                                    out.values().data(),
-                                                    x.nnz(), 1.0009f);
-                                            },
-                                            runs)
-                                     .mean_seconds;
+                                 const double secs =
+                                     timed_runs(
+                                         [&] {
+                                             ts_values(
+                                                 TsOp::kMul,
+                                                 x.values().data(),
+                                                 out.values().data(),
+                                                 x.nnz(), 1.0009f);
+                                         },
+                                         runs)
+                                         .mean_seconds;
+                                 if (validate::kernel_checks_enabled())
+                                     validate::diff_ts(
+                                         TsOp::kMul, x.values().data(),
+                                         1.0009f, out.values().data(),
+                                         x.nnz())
+                                         .require();
+                                 return secs;
                              });
         }
         {
@@ -416,16 +465,25 @@ run_cpu_suite(const std::vector<NamedTensor>& suite,
             runner.run_trial(entry, Kernel::kTs, Format::kHicoo, cost,
                              [ctx, runs] {
                                  HiCooTensor hout = ctx->hx;
-                                 return timed_runs(
-                                            [&] {
-                                                ts_values(
-                                                    TsOp::kMul,
-                                                    ctx->hx.values().data(),
-                                                    hout.values().data(),
-                                                    ctx->hx.nnz(), 1.0009f);
-                                            },
-                                            runs)
-                                     .mean_seconds;
+                                 const double secs =
+                                     timed_runs(
+                                         [&] {
+                                             ts_values(
+                                                 TsOp::kMul,
+                                                 ctx->hx.values().data(),
+                                                 hout.values().data(),
+                                                 ctx->hx.nnz(), 1.0009f);
+                                         },
+                                         runs)
+                                         .mean_seconds;
+                                 if (validate::kernel_checks_enabled())
+                                     validate::diff_ts(
+                                         TsOp::kMul,
+                                         ctx->hx.values().data(), 1.0009f,
+                                         hout.values().data(),
+                                         ctx->hx.nnz())
+                                         .require();
+                                 return secs;
                              });
         }
 
@@ -452,6 +510,8 @@ run_cpu_suite(const std::vector<NamedTensor>& suite,
                                      [&] { ttv_exec_coo(plan, v, out); },
                                      runs)
                                      .mean_seconds;
+                        if (validate::kernel_checks_enabled())
+                            validate::diff_ttv(x, v, mode, out).require();
                         const KernelCost c = kernel_cost(
                             Kernel::kTtv, Format::kCoo, stats);
                         acc.flops += c.flops / order;
@@ -485,6 +545,10 @@ run_cpu_suite(const std::vector<NamedTensor>& suite,
                                      [&] { ttv_exec_hicoo(plan, v, out); },
                                      runs)
                                      .mean_seconds;
+                        if (validate::kernel_checks_enabled())
+                            validate::diff_ttv(x, v, mode,
+                                               hicoo_to_coo(out))
+                                .require();
                         const KernelCost c = kernel_cost(
                             Kernel::kTtv, Format::kHicoo, stats);
                         acc.flops += c.flops / order;
@@ -514,6 +578,8 @@ run_cpu_suite(const std::vector<NamedTensor>& suite,
                             timed_runs(
                                 [&] { ttm_exec_coo(plan, u, out); }, runs)
                                 .mean_seconds;
+                        if (validate::kernel_checks_enabled())
+                            validate::diff_ttm(x, u, mode, out).require();
                         const KernelCost c = kernel_cost(
                             Kernel::kTtm, Format::kCoo, stats, rank);
                         acc.flops += c.flops / order;
@@ -544,6 +610,9 @@ run_cpu_suite(const std::vector<NamedTensor>& suite,
                                      [&] { ttm_exec_hicoo(plan, u, out); },
                                      runs)
                                      .mean_seconds;
+                        if (validate::kernel_checks_enabled())
+                            validate::diff_ttm(x, u, mode, out.to_scoo())
+                                .require();
                         const KernelCost c = kernel_cost(
                             Kernel::kTtm, Format::kHicoo, stats, rank);
                         acc.flops += c.flops / order;
@@ -573,6 +642,11 @@ run_cpu_suite(const std::vector<NamedTensor>& suite,
                                              },
                                              runs)
                                              .mean_seconds;
+                                     if (validate::
+                                             kernel_checks_enabled())
+                                         validate::diff_mttkrp(
+                                             x, factors, mode, out)
+                                             .require();
                                  }
                                  return total /
                                         static_cast<double>(order);
@@ -598,6 +672,11 @@ run_cpu_suite(const std::vector<NamedTensor>& suite,
                                                   },
                                                   runs)
                                                   .mean_seconds;
+                                     if (validate::
+                                             kernel_checks_enabled())
+                                         validate::diff_mttkrp(
+                                             x, factors, mode, out)
+                                             .require();
                                  }
                                  return total /
                                         static_cast<double>(order);
@@ -641,6 +720,12 @@ run_gpu_suite(const std::vector<NamedTensor>& suite,
                                  CooTensor z = x;
                                  LaunchProfile p = tew_gpu_coo(
                                      x, ctx->y, EwOp::kAdd, z);
+                                 if (validate::kernel_checks_enabled())
+                                     validate::diff_tew(
+                                         EwOp::kAdd, x.values().data(),
+                                         ctx->y.values().data(),
+                                         z.values().data(), x.nnz())
+                                         .require();
                                  return estimate_seconds(dev, p);
                              });
         }
@@ -652,6 +737,14 @@ run_gpu_suite(const std::vector<NamedTensor>& suite,
                                  HiCooTensor hz = ctx->hx;
                                  LaunchProfile p = tew_gpu_hicoo(
                                      ctx->hx, ctx->hy, EwOp::kAdd, hz);
+                                 if (validate::kernel_checks_enabled())
+                                     validate::diff_tew(
+                                         EwOp::kAdd,
+                                         ctx->hx.values().data(),
+                                         ctx->hy.values().data(),
+                                         hz.values().data(),
+                                         ctx->hx.nnz())
+                                         .require();
                                  return estimate_seconds(dev, p);
                              });
         }
@@ -664,6 +757,12 @@ run_gpu_suite(const std::vector<NamedTensor>& suite,
                                  CooTensor out = x;
                                  LaunchProfile p = ts_gpu_coo(
                                      x, TsOp::kMul, 1.0009f, out);
+                                 if (validate::kernel_checks_enabled())
+                                     validate::diff_ts(
+                                         TsOp::kMul, x.values().data(),
+                                         1.0009f, out.values().data(),
+                                         x.nnz())
+                                         .require();
                                  return estimate_seconds(dev, p);
                              });
         }
@@ -675,6 +774,13 @@ run_gpu_suite(const std::vector<NamedTensor>& suite,
                                  HiCooTensor hout = ctx->hx;
                                  LaunchProfile p = ts_gpu_hicoo(
                                      ctx->hx, TsOp::kMul, 1.0009f, hout);
+                                 if (validate::kernel_checks_enabled())
+                                     validate::diff_ts(
+                                         TsOp::kMul,
+                                         ctx->hx.values().data(), 1.0009f,
+                                         hout.values().data(),
+                                         ctx->hx.nnz())
+                                         .require();
                                  return estimate_seconds(dev, p);
                              });
         }
@@ -698,6 +804,8 @@ run_gpu_suite(const std::vector<NamedTensor>& suite,
                         stats.num_fibers = plan.fibers.num_fibers();
                         CooTensor out = plan.out_pattern;
                         LaunchProfile p = ttv_gpu_coo(plan, v, out);
+                        if (validate::kernel_checks_enabled())
+                            validate::diff_ttv(x, v, mode, out).require();
                         total += estimate_seconds(dev, p);
                         const KernelCost c = kernel_cost(
                             Kernel::kTtv, Format::kCoo, stats);
@@ -728,6 +836,10 @@ run_gpu_suite(const std::vector<NamedTensor>& suite,
                             ttv_plan_hicoo(x, mode, block_bits);
                         HiCooTensor out = plan.out_pattern;
                         LaunchProfile p = ttv_gpu_hicoo(plan, v, out);
+                        if (validate::kernel_checks_enabled())
+                            validate::diff_ttv(x, v, mode,
+                                               hicoo_to_coo(out))
+                                .require();
                         total += estimate_seconds(dev, p);
                         const KernelCost c = kernel_cost(
                             Kernel::kTtv, Format::kHicoo, stats);
@@ -755,6 +867,10 @@ run_gpu_suite(const std::vector<NamedTensor>& suite,
                         ScooTensor out = plan.out_pattern;
                         LaunchProfile p =
                             ttm_gpu_coo(plan, ctx->mats[mode], out);
+                        if (validate::kernel_checks_enabled())
+                            validate::diff_ttm(x, ctx->mats[mode], mode,
+                                               out)
+                                .require();
                         total += estimate_seconds(dev, p);
                         const KernelCost c = kernel_cost(
                             Kernel::kTtm, Format::kCoo, stats, rank);
@@ -783,6 +899,10 @@ run_gpu_suite(const std::vector<NamedTensor>& suite,
                         SHiCooTensor out = plan.out_pattern;
                         LaunchProfile p =
                             ttm_gpu_hicoo(plan, ctx->mats[mode], out);
+                        if (validate::kernel_checks_enabled())
+                            validate::diff_ttm(x, ctx->mats[mode], mode,
+                                               out.to_scoo())
+                                .require();
                         total += estimate_seconds(dev, p);
                         const KernelCost c = kernel_cost(
                             Kernel::kTtm, Format::kHicoo, stats, rank);
@@ -807,6 +927,11 @@ run_gpu_suite(const std::vector<NamedTensor>& suite,
                                      DenseMatrix out(x.dim(mode), rank);
                                      LaunchProfile p = mttkrp_gpu_coo(
                                          x, factors, mode, out);
+                                     if (validate::
+                                             kernel_checks_enabled())
+                                         validate::diff_mttkrp(
+                                             x, factors, mode, out)
+                                             .require();
                                      total += estimate_seconds(dev, p);
                                  }
                                  return total /
@@ -827,6 +952,11 @@ run_gpu_suite(const std::vector<NamedTensor>& suite,
                                      DenseMatrix out(x.dim(mode), rank);
                                      LaunchProfile p = mttkrp_gpu_hicoo(
                                          ctx->hx, factors, mode, out);
+                                     if (validate::
+                                             kernel_checks_enabled())
+                                         validate::diff_mttkrp(
+                                             x, factors, mode, out)
+                                             .require();
                                      total += estimate_seconds(dev, p);
                                  }
                                  return total /
@@ -914,13 +1044,14 @@ print_failure_summary(const SuiteResult& result)
     }
     std::printf("\n!! %zu trial(s) skipped or failed (%zu completed):\n",
                 result.failures.size(), result.runs.size());
-    std::printf("%-10s %-8s %-7s %-9s %8s  %s\n", "tensor", "kernel",
+    std::printf("%-10s %-8s %-7s %-10s %8s  %s\n", "tensor", "kernel",
                 "format", "status", "attempts", "error");
     for (const auto& f : result.failures)
-        std::printf("%-10s %-8s %-7s %-9s %8d  %s\n", f.tensor_id.c_str(),
+        std::printf("%-10s %-8s %-7s %-10s %8d  %s\n", f.tensor_id.c_str(),
                     f.kernel.c_str(), f.format.c_str(),
-                    f.timed_out ? "timeout" : "failed", f.attempts,
-                    f.error.c_str());
+                    f.failure_class.empty() ? "failed"
+                                            : f.failure_class.c_str(),
+                    f.attempts, f.error.c_str());
     std::printf("Re-run the same binary to retry just the failed trials "
                 "(completed ones resume from the journal).\n");
 }
@@ -958,15 +1089,17 @@ export_failures_csv(const std::string& path,
         PASTA_LOG_WARN << "cannot write CSV " << path;
         return;
     }
-    std::fprintf(f, "tensor,kernel,format,timed_out,attempts,error\n");
+    std::fprintf(f, "tensor,kernel,format,class,timed_out,attempts,"
+                    "error\n");
     for (const auto& fail : failures) {
         std::string error = fail.error;
         for (auto& c : error)
             if (c == ',' || c == '\n')
                 c = ';';
-        std::fprintf(f, "%s,%s,%s,%d,%d,%s\n", fail.tensor_id.c_str(),
+        std::fprintf(f, "%s,%s,%s,%s,%d,%d,%s\n", fail.tensor_id.c_str(),
                      fail.kernel.c_str(), fail.format.c_str(),
-                     fail.timed_out ? 1 : 0, fail.attempts, error.c_str());
+                     fail.failure_class.c_str(), fail.timed_out ? 1 : 0,
+                     fail.attempts, error.c_str());
     }
     std::fclose(f);
     PASTA_LOG_INFO << "wrote " << path;

@@ -36,6 +36,8 @@ namespace pasta::bench {
 ///                        contains a hang rule)
 ///   PASTA_TRIAL_RETRIES  attempts per trial (default 3)
 ///   PASTA_JOURNAL        "0" disables checkpoint/resume journaling
+///   PASTA_VALIDATE       off|convert|kernel|full structural and
+///                        differential checking (see src/validate)
 /// Malformed numeric values throw PastaError instead of silently
 /// producing 0 runs or undefined behavior.
 struct BenchOptions {
@@ -62,6 +64,7 @@ struct TrialFailure {
     std::string error;
     bool timed_out = false;
     int attempts = 0;
+    std::string failure_class;  ///< "timeout", "validation", or "error"
 };
 
 /// Partial results of a suite: successful measurements plus a failure
@@ -113,8 +116,9 @@ void export_csv(const std::string& path,
                 const std::vector<MeasuredRun>& runs,
                 const MachineSpec& platform);
 
-/// Writes the failure summary as CSV (tensor, kernel, format, timed_out,
-/// attempts, error).
+/// Writes the failure summary as CSV (tensor, kernel, format, class,
+/// timed_out, attempts, error), where class is "timeout", "validation",
+/// or "error".
 void export_failures_csv(const std::string& path,
                          const std::vector<TrialFailure>& failures);
 

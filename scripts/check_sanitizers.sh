@@ -25,4 +25,9 @@ export ASAN_OPTIONS="detect_leaks=1:abort_on_error=1"
 
 ctest --test-dir "${BUILD_DIR}" --output-on-failure
 
-echo "sanitizer run (${SANITIZERS}) passed"
+# Second pass with every validation layer armed: structural checks after
+# each conversion, differential kernel checks, and bounds-checked
+# simulated GPU accesses all run under the sanitizers too.
+PASTA_VALIDATE=full ctest --test-dir "${BUILD_DIR}" --output-on-failure
+
+echo "sanitizer run (${SANITIZERS}, plus PASTA_VALIDATE=full pass) passed"

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Smoke-checks the validation layer end to end: runs one CPU bench figure
+# with differential kernel checking armed (PASTA_VALIDATE=kernel) against
+# a throwaway cache, then asserts that the run journal records zero
+# trials in the "validation" failure class.  A kernel whose output drifts
+# from the COO-serial oracle fails this script.
+#
+# Usage: scripts/check_validate.sh [build-dir]
+#   build-dir  defaults to build
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+BIN="${BUILD_DIR}/bench/bench_fig4_cpu_bluesky"
+
+if [[ ! -x "${BIN}" ]]; then
+    cmake -B "${BUILD_DIR}" -S .
+    cmake --build "${BUILD_DIR}" -j "$(nproc)" --target bench_fig4_cpu_bluesky
+fi
+
+CACHE_DIR="$(mktemp -d)"
+trap 'rm -rf "${CACHE_DIR}"' EXIT
+
+PASTA_VALIDATE=kernel \
+PASTA_CACHE="${CACHE_DIR}" \
+PASTA_SCALE=1e-4 \
+PASTA_RUNS=1 \
+    "${BIN}"
+
+JOURNAL="${CACHE_DIR}/fig4_cpu_bluesky.cpu.journal.jsonl"
+if [[ ! -f "${JOURNAL}" ]]; then
+    echo "FAIL: expected journal ${JOURNAL} was not written" >&2
+    exit 1
+fi
+
+TRIALS=$(wc -l < "${JOURNAL}")
+VALIDATION_FAILURES=$(grep -c '"class":"validation"' "${JOURNAL}" || true)
+if [[ "${VALIDATION_FAILURES}" -ne 0 ]]; then
+    echo "FAIL: ${VALIDATION_FAILURES} of ${TRIALS} journaled trials" \
+         "failed differential validation:" >&2
+    grep '"class":"validation"' "${JOURNAL}" >&2
+    exit 1
+fi
+
+echo "validate smoke run passed: ${TRIALS} trials, 0 validation failures"

@@ -7,6 +7,21 @@
 
 #include "common/error.hpp"
 #include "common/morton.hpp"
+#include "validate/validate.hpp"
+
+namespace {
+
+/// Post-conversion structural check, armed by PASTA_VALIDATE=convert|full.
+template <typename Tensor>
+const Tensor&
+checked(const Tensor& out)
+{
+    if (pasta::validate::convert_checks_enabled())
+        pasta::validate::validate(out).require();
+    return out;
+}
+
+}  // namespace
 
 namespace pasta {
 
@@ -41,7 +56,7 @@ coo_to_hicoo(const CooTensor& x, unsigned block_bits)
                 static_cast<EIndex>(sorted.index(m, p) & mask);
         out.append_entry(element_coords.data(), sorted.value(p));
     }
-    return out;
+    return checked(out);
 }
 
 CooTensor
@@ -58,7 +73,7 @@ hicoo_to_coo(const HiCooTensor& x)
         }
     }
     out.sort_lexicographic();
-    return out;
+    return checked(out);
 }
 
 GHiCooTensor
@@ -125,7 +140,7 @@ coo_to_ghicoo(const CooTensor& x, std::vector<bool> compressed,
         out.append_entry(element_coords.data(), raw_coords.data(),
                          sorted.value(p));
     }
-    return out;
+    return checked(out);
 }
 
 CooTensor
@@ -142,7 +157,7 @@ ghicoo_to_coo(const GHiCooTensor& x)
         }
     }
     out.sort_lexicographic();
-    return out;
+    return checked(out);
 }
 
 ScooTensor
@@ -181,7 +196,7 @@ coo_to_scoo(const CooTensor& x, Size dense_mode)
         out.stripe(stripe_pos)[sorted.index(dense_mode, p)] +=
             sorted.value(p);
     }
-    return out;
+    return checked(out);
 }
 
 SHiCooTensor
@@ -235,7 +250,7 @@ scoo_to_shicoo(const ScooTensor& x, unsigned block_bits)
         std::memcpy(out.stripe(out_pos), x.stripe(pos),
                     x.stripe_volume() * sizeof(Value));
     }
-    return out;
+    return checked(out);
 }
 
 bool

@@ -182,6 +182,52 @@ CooTensor::coalesce()
     resize_nnz(out + 1);
 }
 
+Size
+CooTensor::count_duplicates() const
+{
+    Size dups = 0;
+    for (Size p = 1; p < nnz(); ++p) {
+        bool same = true;
+        for (Size m = 0; m < order(); ++m) {
+            if (indices_[m][p] != indices_[m][p - 1]) {
+                same = false;
+                break;
+            }
+        }
+        if (same)
+            ++dups;
+    }
+    return dups;
+}
+
+void
+CooTensor::canonicalize(DuplicatePolicy policy)
+{
+    sort_lexicographic();
+    if (policy == DuplicatePolicy::kSum) {
+        coalesce();
+        return;
+    }
+    for (Size p = 1; p < nnz(); ++p) {
+        bool same = true;
+        for (Size m = 0; m < order(); ++m) {
+            if (indices_[m][p] != indices_[m][p - 1]) {
+                same = false;
+                break;
+            }
+        }
+        if (same) {
+            std::ostringstream oss;
+            for (Size m = 0; m < order(); ++m)
+                oss << (m ? "," : "(") << indices_[m][p];
+            oss << ")";
+            PASTA_CHECK_MSG(false, "duplicate coordinate "
+                                       << oss.str() << " at position " << p
+                                       << " rejected by policy");
+        }
+    }
+}
+
 Value
 CooTensor::at(const Coordinate& coords) const
 {

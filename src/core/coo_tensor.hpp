@@ -17,6 +17,14 @@
 
 namespace pasta {
 
+/// What to do with duplicate coordinates during canonicalization.
+/// Producers (file readers, generators) must choose explicitly instead of
+/// assuming their input is duplicate-free.
+enum class DuplicatePolicy {
+    kReject,  ///< throw PastaError naming the first duplicate coordinate
+    kSum,     ///< merge duplicates by summing their values (coalesce)
+};
+
 /// Arbitrary-order sparse tensor in coordinate format.
 class CooTensor {
   public:
@@ -96,6 +104,15 @@ class CooTensor {
     /// Merges duplicate coordinates by summing their values.  Requires the
     /// tensor to be lexicographically sorted first.
     void coalesce();
+
+    /// Number of non-zeros sharing a coordinate with an earlier non-zero.
+    /// Requires the tensor to be lexicographically sorted first.
+    Size count_duplicates() const;
+
+    /// Sorts lexicographically and applies `policy` to duplicate
+    /// coordinates: kReject throws PastaError naming the first duplicate,
+    /// kSum coalesces.  Afterwards is_sorted_lexicographic() holds.
+    void canonicalize(DuplicatePolicy policy);
 
     /// Looks up the value at `coords`, 0 when absent.  Linear scan; for
     /// tests and small tensors only.

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "validate/validate.hpp"
 
 namespace pasta {
 
@@ -78,6 +79,8 @@ CsfTensor::from_coo(const CooTensor& x, std::vector<Size> mode_order)
     for (Size l = 0; l + 1 < n; ++l)
         out.levels_[l].ptr.push_back(out.levels_[l + 1].idx.size());
     out.values_ = sorted.values();
+    if (validate::convert_checks_enabled())
+        validate::validate(out).require();
     return out;
 }
 

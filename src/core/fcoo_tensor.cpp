@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "validate/validate.hpp"
 #include "core/fibers.hpp"
 
 namespace pasta {
@@ -44,6 +45,8 @@ FcooTensor::build(const CooTensor& x, Size mode)
                 oc[s++] = sorted.index(m, head);
         out.out_pattern_.append(oc, 0);
     }
+    if (validate::convert_checks_enabled())
+        validate::validate(out).require();
     return out;
 }
 

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "core/block_math.hpp"
 
 namespace pasta {
 
@@ -27,6 +28,8 @@ GHiCooTensor::GHiCooTensor(std::vector<Index> dims, unsigned block_bits,
     }
     PASTA_CHECK_MSG(!compressed_modes_.empty(),
                     "gHiCOO needs at least one compressed mode");
+    for (Size m : compressed_modes_)
+        check_blockable(dims_[m], block_bits_, m);
 }
 
 Size

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "core/block_math.hpp"
 
 namespace pasta {
 
@@ -14,6 +15,8 @@ HiCooTensor::HiCooTensor(std::vector<Index> dims, unsigned block_bits)
     PASTA_CHECK_MSG(block_bits_ >= 1 && block_bits_ <= 8,
                     "block bits " << block_bits_
                                   << " outside [1,8] (8-bit element index)");
+    for (Size m = 0; m < dims_.size(); ++m)
+        check_blockable(dims_[m], block_bits_, m);
     binds_.resize(dims_.size());
     einds_.resize(dims_.size());
 }
@@ -77,10 +80,12 @@ HiCooTensor::validate() const
     for (Size m = 0; m < order(); ++m) {
         PASTA_CHECK_MSG(binds_[m].size() == nb, "binds length mismatch");
         PASTA_CHECK_MSG(einds_[m].size() == nnz(), "einds length mismatch");
-        const BIndex max_bind = static_cast<BIndex>(
-            (dims_[m] + block_size() - 1) >> block_bits_);
+        // 64-bit block count: Index arithmetic would wrap for dims near
+        // UINT32_MAX and reject every block.
+        const Size max_bind = block_count(dims_[m], block_bits_);
         for (BIndex bi : binds_[m])
-            PASTA_CHECK_MSG(bi < max_bind, "block index out of range");
+            PASTA_CHECK_MSG(static_cast<Size>(bi) < max_bind,
+                            "block index out of range");
         for (EIndex ei : einds_[m])
             PASTA_CHECK_MSG(ei <= max_eind, "element index out of range");
     }

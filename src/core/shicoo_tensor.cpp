@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "core/block_math.hpp"
 
 namespace pasta {
 
@@ -29,6 +30,8 @@ SHiCooTensor::SHiCooTensor(std::vector<Index> dims,
     for (Size m = 0; m < dims_.size(); ++m)
         if (!std::binary_search(dense_modes_.begin(), dense_modes_.end(), m))
             sparse_modes_.push_back(m);
+    for (Size m : sparse_modes_)
+        check_blockable(dims_[m], block_bits_, m);
     binds_.resize(sparse_modes_.size());
     einds_.resize(sparse_modes_.size());
 }

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "gpusim/device.hpp"
+#include "validate/validate.hpp"
 
 namespace pasta::gpusim {
 
@@ -26,6 +27,17 @@ uniform_block_bytes(Size total_bytes, Size num_blocks)
         static_cast<double>(total_bytes) / static_cast<double>(num_blocks));
 }
 
+/// Arms per-launch access checking under PASTA_VALIDATE=full.  Reported
+/// timing comes from the analytical LaunchProfile, so the armed branch in
+/// Span never perturbs the figures; disarmed, Span is a pointer index.
+bool
+arm_access_checks()
+{
+    const bool guard = validate::full_checks_enabled();
+    AccessMonitor::arm(guard);
+    return guard;
+}
+
 }  // namespace
 
 LaunchProfile
@@ -34,9 +46,13 @@ tew_gpu_coo(const CooTensor& x, const CooTensor& y, EwOp op, CooTensor& z)
     PASTA_CHECK_MSG(x.same_pattern(y), "tew_gpu_coo requires same pattern");
     PASTA_CHECK_MSG(z.nnz() == x.nnz(), "output nnz mismatch");
     const Size m = x.nnz();
-    const Value* xv = x.values().data();
-    const Value* yv = y.values().data();
-    Value* zv = z.values().data();
+    const DeviceBuffer dx(x.storage_bytes(), "tew_gpu_coo.x");
+    const DeviceBuffer dy(y.storage_bytes(), "tew_gpu_coo.y");
+    const DeviceBuffer dz(z.storage_bytes(), "tew_gpu_coo.z");
+    arm_access_checks();
+    const auto xv = make_span(x.values().data(), m);
+    const auto yv = make_span(y.values().data(), m);
+    const auto zv = make_span(z.values().data(), m);
     const Dim3 grid{grid_blocks(m, kDefaultBlockThreads), 1, 1};
     const Dim3 block{kDefaultBlockThreads, 1, 1};
     launch(grid, block, [&](const ThreadCtx& ctx) {
@@ -44,6 +60,7 @@ tew_gpu_coo(const CooTensor& x, const CooTensor& y, EwOp op, CooTensor& z)
         if (tid < m)
             zv[tid] = apply_ew(op, xv[tid], yv[tid]);
     });
+    AccessMonitor::throw_if_access_violations("tew_gpu_coo");
 
     LaunchProfile prof;
     prof.flops = m;
@@ -60,9 +77,13 @@ tew_gpu_hicoo(const HiCooTensor& x, const HiCooTensor& y, EwOp op,
     PASTA_CHECK_MSG(x.nnz() == y.nnz() && x.nnz() == z.nnz(),
                     "tew_gpu_hicoo nnz mismatch");
     const Size m = x.nnz();
-    const Value* xv = x.values().data();
-    const Value* yv = y.values().data();
-    Value* zv = z.values().data();
+    const DeviceBuffer dx(x.storage_bytes(), "tew_gpu_hicoo.x");
+    const DeviceBuffer dy(y.storage_bytes(), "tew_gpu_hicoo.y");
+    const DeviceBuffer dz(z.storage_bytes(), "tew_gpu_hicoo.z");
+    arm_access_checks();
+    const auto xv = make_span(x.values().data(), m);
+    const auto yv = make_span(y.values().data(), m);
+    const auto zv = make_span(z.values().data(), m);
     const Dim3 grid{grid_blocks(m, kDefaultBlockThreads), 1, 1};
     const Dim3 block{kDefaultBlockThreads, 1, 1};
     launch(grid, block, [&](const ThreadCtx& ctx) {
@@ -70,6 +91,7 @@ tew_gpu_hicoo(const HiCooTensor& x, const HiCooTensor& y, EwOp op,
         if (tid < m)
             zv[tid] = apply_ew(op, xv[tid], yv[tid]);
     });
+    AccessMonitor::throw_if_access_violations("tew_gpu_hicoo");
 
     LaunchProfile prof;
     prof.flops = m;
@@ -82,8 +104,14 @@ tew_gpu_hicoo(const HiCooTensor& x, const HiCooTensor& y, EwOp op,
 namespace {
 
 LaunchProfile
-ts_gpu_values(const Value* xv, Value* yv, Size m, TsOp op, Value s)
+ts_gpu_values(const Value* xp, Value* yp, Size m, TsOp op, Value s,
+              const char* name)
 {
+    const DeviceBuffer dx(m * kValueBytes, "ts_gpu.x");
+    const DeviceBuffer dy(m * kValueBytes, "ts_gpu.y");
+    arm_access_checks();
+    const auto xv = make_span(xp, m);
+    const auto yv = make_span(yp, m);
     const Dim3 grid{grid_blocks(m, kDefaultBlockThreads), 1, 1};
     const Dim3 block{kDefaultBlockThreads, 1, 1};
     launch(grid, block, [&](const ThreadCtx& ctx) {
@@ -91,6 +119,7 @@ ts_gpu_values(const Value* xv, Value* yv, Size m, TsOp op, Value s)
         if (tid < m)
             yv[tid] = apply_ts(op, xv[tid], s);
     });
+    AccessMonitor::throw_if_access_violations(name);
     LaunchProfile prof;
     prof.flops = m;
     prof.dram_bytes = kTsBytesPerNnz * m;
@@ -106,7 +135,7 @@ ts_gpu_coo(const CooTensor& x, TsOp op, Value s, CooTensor& y)
 {
     PASTA_CHECK_MSG(y.nnz() == x.nnz(), "output nnz mismatch");
     return ts_gpu_values(x.values().data(), y.values().data(), x.nnz(), op,
-                         s);
+                         s, "ts_gpu_coo");
 }
 
 LaunchProfile
@@ -114,7 +143,7 @@ ts_gpu_hicoo(const HiCooTensor& x, TsOp op, Value s, HiCooTensor& y)
 {
     PASTA_CHECK_MSG(y.nnz() == x.nnz(), "output nnz mismatch");
     return ts_gpu_values(x.values().data(), y.values().data(), x.nnz(), op,
-                         s);
+                         s, "ts_gpu_hicoo");
 }
 
 namespace {
@@ -146,10 +175,18 @@ ttv_gpu_coo(const CooTtvPlan& plan, const DenseVector& v, CooTensor& out)
     PASTA_CHECK_MSG(out.nnz() == num_fibers, "output nnz mismatch");
     PASTA_CHECK_MSG(v.size() == plan.sorted.dim(plan.mode),
                     "vector length mismatch");
-    const Value* xv = plan.sorted.values().data();
-    const Index* kind = plan.sorted.mode_indices(plan.mode).data();
-    const Value* vv = v.data();
-    Value* yv = out.values().data();
+    const Size m = plan.sorted.nnz();
+    const DeviceBuffer dx(plan.sorted.storage_bytes(), "ttv_gpu_coo.x");
+    const DeviceBuffer dv(v.storage_bytes(), "ttv_gpu_coo.v");
+    const DeviceBuffer dout(out.storage_bytes(), "ttv_gpu_coo.out");
+    const DeviceBuffer dfptr(plan.fibers.fptr.size() * sizeof(Size),
+                             "ttv_gpu_coo.fptr");
+    arm_access_checks();
+    const auto xv = make_span(plan.sorted.values().data(), m);
+    const auto kind =
+        make_span(plan.sorted.mode_indices(plan.mode).data(), m);
+    const auto vv = make_span(v.data(), v.size());
+    const auto yv = make_span(out.values().data(), num_fibers);
     const auto& fptr = plan.fibers.fptr;
 
     const Dim3 grid{grid_blocks(num_fibers, kDefaultBlockThreads), 1, 1};
@@ -163,8 +200,8 @@ ttv_gpu_coo(const CooTtvPlan& plan, const DenseVector& v, CooTensor& out)
             acc += xv[p] * vv[kind[p]];
         yv[tid] = acc;
     });
+    AccessMonitor::throw_if_access_violations("ttv_gpu_coo");
 
-    const Size m = plan.sorted.nnz();
     LaunchProfile prof;
     prof.flops = 2 * m;
     prof.dram_bytes = 12 * m + 12 * num_fibers;
@@ -182,9 +219,16 @@ ttv_gpu_hicoo(const HicooTtvPlan& plan, const DenseVector& v,
     const Size num_fibers = plan.fptr.size() - 1;
     PASTA_CHECK_MSG(out.nnz() == num_fibers, "output nnz mismatch");
     PASTA_CHECK_MSG(v.size() == g.dim(plan.mode), "vector length mismatch");
-    const Value* xv = g.values().data();
-    const Value* vv = v.data();
-    Value* yv = out.values().data();
+    const Size m = g.nnz();
+    const DeviceBuffer dx(g.storage_bytes(), "ttv_gpu_hicoo.x");
+    const DeviceBuffer dv(v.storage_bytes(), "ttv_gpu_hicoo.v");
+    const DeviceBuffer dout(out.storage_bytes(), "ttv_gpu_hicoo.out");
+    const DeviceBuffer dfptr(plan.fptr.size() * sizeof(Size),
+                             "ttv_gpu_hicoo.fptr");
+    arm_access_checks();
+    const auto xv = make_span(g.values().data(), m);
+    const auto vv = make_span(v.data(), v.size());
+    const auto yv = make_span(out.values().data(), num_fibers);
     const auto& fptr = plan.fptr;
     const Size mode = plan.mode;
 
@@ -199,8 +243,8 @@ ttv_gpu_hicoo(const HicooTtvPlan& plan, const DenseVector& v,
             acc += xv[p] * vv[g.raw_index(mode, p)];
         yv[tid] = acc;
     });
+    AccessMonitor::throw_if_access_violations("ttv_gpu_hicoo");
 
-    const Size m = g.nnz();
     LaunchProfile prof;
     prof.flops = 2 * m;
     prof.dram_bytes = 12 * m + 12 * num_fibers;
@@ -236,10 +280,20 @@ ttm_gpu_coo(const CooTtmPlan& plan, const DenseMatrix& u, ScooTensor& out)
     PASTA_CHECK_MSG(out.num_sparse() == num_fibers,
                     "output stripe count mismatch");
     std::fill(out.values().begin(), out.values().end(), 0.0f);
-    const std::vector<Index> fiber_of = nnz_to_fiber(plan.fibers.fptr, m);
+    const std::vector<Index> fiber_map = nnz_to_fiber(plan.fibers.fptr, m);
 
-    const Value* xv = plan.sorted.values().data();
-    const Index* kind = plan.sorted.mode_indices(plan.mode).data();
+    const DeviceBuffer dx(plan.sorted.storage_bytes(), "ttm_gpu_coo.x");
+    const DeviceBuffer du(u.storage_bytes(), "ttm_gpu_coo.u");
+    const DeviceBuffer dout(out.storage_bytes(), "ttm_gpu_coo.out");
+    const DeviceBuffer dfiber(m * sizeof(Index), "ttm_gpu_coo.fiber_of");
+    arm_access_checks();
+    const auto xv = make_span(plan.sorted.values().data(), m);
+    const auto kind =
+        make_span(plan.sorted.mode_indices(plan.mode).data(), m);
+    const auto fiber_of = make_span(fiber_map.data(), m);
+    const auto uv = make_span(u.data(), u.rows() * rank);
+    const auto outv = make_span(out.values().data(), out.values().size());
+    const Size sv = out.stripe_volume();
 
     // 2-D thread blocks: x walks matrix columns (coalesced), y walks
     // non-zeros (paper §III-B2; Ma et al. [34]).
@@ -251,9 +305,11 @@ ttm_gpu_coo(const CooTtmPlan& plan, const DenseMatrix& u, ScooTensor& out)
         const Size r = ctx.thread_idx.x;
         if (p >= m)
             return;
-        const Value contrib = xv[p] * u(kind[p], r);
-        atomic_add(out.stripe(fiber_of[p]) + r, contrib);
+        const Value contrib =
+            xv[p] * uv[static_cast<Size>(kind[p]) * rank + r];
+        atomic_add(&outv[static_cast<Size>(fiber_of[p]) * sv + r], contrib);
     });
+    AccessMonitor::throw_if_access_violations("ttm_gpu_coo");
 
     LaunchProfile prof;
     prof.flops = 2 * m * rank;
@@ -279,9 +335,18 @@ ttm_gpu_hicoo(const HicooTtmPlan& plan, const DenseMatrix& u,
     PASTA_CHECK_MSG(out.num_sparse() == num_fibers,
                     "output stripe count mismatch");
     std::fill(out.values().begin(), out.values().end(), 0.0f);
-    const std::vector<Index> fiber_of = nnz_to_fiber(plan.fptr, m);
+    const std::vector<Index> fiber_map = nnz_to_fiber(plan.fptr, m);
 
-    const Value* xv = g.values().data();
+    const DeviceBuffer dx(g.storage_bytes(), "ttm_gpu_hicoo.x");
+    const DeviceBuffer du(u.storage_bytes(), "ttm_gpu_hicoo.u");
+    const DeviceBuffer dout(out.storage_bytes(), "ttm_gpu_hicoo.out");
+    const DeviceBuffer dfiber(m * sizeof(Index), "ttm_gpu_hicoo.fiber_of");
+    arm_access_checks();
+    const auto xv = make_span(g.values().data(), m);
+    const auto fiber_of = make_span(fiber_map.data(), m);
+    const auto uv = make_span(u.data(), u.rows() * rank);
+    const auto outv = make_span(out.values().data(), out.values().size());
+    const Size sv = out.stripe_volume();
     const Size mode = plan.mode;
 
     const Size by = std::max<Size>(1, kDefaultBlockThreads / rank);
@@ -292,9 +357,12 @@ ttm_gpu_hicoo(const HicooTtmPlan& plan, const DenseMatrix& u,
         const Size r = ctx.thread_idx.x;
         if (p >= m)
             return;
-        const Value contrib = xv[p] * u(g.raw_index(mode, p), r);
-        atomic_add(out.stripe(fiber_of[p]) + r, contrib);
+        const Value contrib =
+            xv[p] *
+            uv[static_cast<Size>(g.raw_index(mode, p)) * rank + r];
+        atomic_add(&outv[static_cast<Size>(fiber_of[p]) * sv + r], contrib);
     });
+    AccessMonitor::throw_if_access_violations("ttm_gpu_hicoo");
 
     LaunchProfile prof;
     prof.flops = 2 * m * rank;
@@ -319,7 +387,20 @@ mttkrp_gpu_coo(const CooTensor& x, const FactorList& factors, Size mode,
     out.fill(0);
     const Size m = x.nnz();
     const Size order = x.order();
-    const Value* xv = x.values().data();
+
+    const DeviceBuffer dx(x.storage_bytes(), "mttkrp_gpu_coo.x");
+    Size factor_bytes = 0;
+    for (Size mm = 0; mm < order; ++mm)
+        factor_bytes += factors[mm]->storage_bytes();
+    const DeviceBuffer df(factor_bytes, "mttkrp_gpu_coo.factors");
+    const DeviceBuffer dout(out.storage_bytes(), "mttkrp_gpu_coo.out");
+    arm_access_checks();
+    const auto xv = make_span(x.values().data(), m);
+    std::vector<Span<const Value>> fs(order);
+    for (Size mm = 0; mm < order; ++mm)
+        fs[mm] = make_span(factors[mm]->data(),
+                           factors[mm]->rows() * rank);
+    const auto outv = make_span(out.data(), out.rows() * rank);
 
     const Size by = std::max<Size>(1, kDefaultBlockThreads / rank);
     const Dim3 block{rank, by, 1};
@@ -333,20 +414,22 @@ mttkrp_gpu_coo(const CooTensor& x, const FactorList& factors, Size mode,
         for (Size mm = 0; mm < order; ++mm) {
             if (mm == mode)
                 continue;
-            prod *= (*factors[mm])(x.index(mm, p), r);
+            prod *= fs[mm][static_cast<Size>(x.index(mm, p)) * rank + r];
         }
-        atomic_add(out.row(x.index(mode, p)) + r, prod);
+        atomic_add(&outv[static_cast<Size>(x.index(mode, p)) * rank + r],
+                   prod);
     });
+    AccessMonitor::throw_if_access_violations("mttkrp_gpu_coo");
 
     LaunchProfile prof;
     prof.flops = order * m * rank;
     // Table I, COO-MTTKRP row generalized: 4 N M R + 4(N+1) M.
     prof.dram_bytes = 4 * order * m * rank + 4 * (order + 1) * m;
-    Size factor_bytes = 0;
+    Size ws_factor_bytes = 0;
     for (Size mm = 0; mm < order; ++mm)
-        factor_bytes += factors[mm]->rows() * rank * kValueBytes;
+        ws_factor_bytes += factors[mm]->rows() * rank * kValueBytes;
     prof.working_set_bytes =
-        (order + 1) * kIndexBytes * m + factor_bytes +
+        (order + 1) * kIndexBytes * m + ws_factor_bytes +
         out.rows() * rank * kValueBytes;
     prof.atomics = m * rank;
     prof.block_bytes = uniform_block_bytes(prof.dram_bytes, grid.x);
@@ -366,8 +449,21 @@ mttkrp_gpu_hicoo(const HiCooTensor& x, const FactorList& factors, Size mode,
     const Size order = x.order();
     const unsigned bits = x.block_bits();
     const Size nb = x.num_blocks();
-    const Value* xv = x.values().data();
     const auto& bptr = x.bptr();
+
+    const DeviceBuffer dx(x.storage_bytes(), "mttkrp_gpu_hicoo.x");
+    Size factor_bytes = 0;
+    for (Size mm = 0; mm < order; ++mm)
+        factor_bytes += factors[mm]->storage_bytes();
+    const DeviceBuffer df(factor_bytes, "mttkrp_gpu_hicoo.factors");
+    const DeviceBuffer dout(out.storage_bytes(), "mttkrp_gpu_hicoo.out");
+    arm_access_checks();
+    const auto xv = make_span(x.values().data(), x.nnz());
+    std::vector<Span<const Value>> fs(order);
+    for (Size mm = 0; mm < order; ++mm)
+        fs[mm] = make_span(factors[mm]->data(),
+                           factors[mm]->rows() * rank);
+    const auto outv = make_span(out.data(), out.rows() * rank);
 
     // One tensor block per thread block (paper §III-D2): the x dimension
     // walks the rank, the y dimension walks the block's non-zeros.
@@ -377,12 +473,12 @@ mttkrp_gpu_hicoo(const HiCooTensor& x, const FactorList& factors, Size mode,
     launch(grid, block, [&](const ThreadCtx& ctx) {
         const Size b = ctx.block_idx.x;
         const Size r = ctx.thread_idx.x;
-        const Value* base[8];
+        Size base[8];
         for (Size mm = 0; mm < order; ++mm)
-            base[mm] = factors[mm]->row(
-                static_cast<Size>(x.block_index(mm, b)) << bits);
-        Value* out_base =
-            out.row(static_cast<Size>(x.block_index(mode, b)) << bits);
+            base[mm] = (static_cast<Size>(x.block_index(mm, b)) << bits) *
+                       rank;
+        const Size out_base =
+            (static_cast<Size>(x.block_index(mode, b)) << bits) * rank;
         const Size stride = rank;
         // Each y-thread strides over the block's non-zeros.
         for (Size p = bptr[b] + ctx.thread_idx.y; p < bptr[b + 1];
@@ -391,17 +487,19 @@ mttkrp_gpu_hicoo(const HiCooTensor& x, const FactorList& factors, Size mode,
             for (Size mm = 0; mm < order; ++mm) {
                 if (mm == mode)
                     continue;
-                prod *= base[mm][static_cast<Size>(x.element_index(mm, p)) *
-                                     stride +
-                                 r];
+                prod *= fs[mm][base[mm] +
+                               static_cast<Size>(x.element_index(mm, p)) *
+                                   stride +
+                               r];
             }
-            atomic_add(out_base +
-                           static_cast<Size>(x.element_index(mode, p)) *
-                               stride +
-                           r,
-                       prod);
+            atomic_add(
+                &outv[out_base +
+                      static_cast<Size>(x.element_index(mode, p)) * stride +
+                      r],
+                prod);
         }
     });
+    AccessMonitor::throw_if_access_violations("mttkrp_gpu_hicoo");
 
     const Size m = x.nnz();
     LaunchProfile prof;
@@ -411,10 +509,10 @@ mttkrp_gpu_hicoo(const HiCooTensor& x, const FactorList& factors, Size mode,
     const Size block_edge = x.block_size();
     prof.dram_bytes = 4 * order * rank * std::min(nb * block_edge, m) +
                       (4 + order) * m + (4 * order + 8) * nb;
-    Size factor_bytes = 0;
+    Size ws_factor_bytes = 0;
     for (Size mm = 0; mm < order; ++mm)
-        factor_bytes += factors[mm]->rows() * rank * kValueBytes;
-    prof.working_set_bytes = x.storage_bytes() + factor_bytes +
+        ws_factor_bytes += factors[mm]->rows() * rank * kValueBytes;
+    prof.working_set_bytes = x.storage_bytes() + ws_factor_bytes +
                              out.rows() * rank * kValueBytes;
     prof.atomics = m * rank;
     // Per-thread-block traffic is proportional to the block's population

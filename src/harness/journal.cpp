@@ -183,7 +183,8 @@ to_json_line(const JournalEntry& entry)
         << ",\"ok\":" << (entry.ok ? "true" : "false")
         << ",\"seconds\":" << entry.seconds << ",\"flops\":" << entry.flops
         << ",\"bytes\":" << entry.bytes << ",\"attempts\":" << entry.attempts
-        << ",\"error\":\"" << escape(entry.error) << "\"}";
+        << ",\"error\":\"" << escape(entry.error) << "\""
+        << ",\"class\":\"" << escape(entry.failure_class) << "\"}";
     return oss.str();
 }
 
@@ -209,6 +210,7 @@ parse_json_line(const std::string& line, JournalEntry& entry)
     entry.attempts =
         numbers.count("attempts") ? static_cast<int>(numbers["attempts"]) : 0;
     entry.error = strings.count("error") ? strings["error"] : "";
+    entry.failure_class = strings.count("class") ? strings["class"] : "";
     return true;
 }
 

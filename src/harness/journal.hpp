@@ -12,7 +12,7 @@
 /// Line format (flat JSON, string/number/bool fields only):
 ///   {"tensor":"r1","kernel":"TTV","format":"COO","ok":true,
 ///    "seconds":1.25e-4,"flops":4.2e6,"bytes":8.1e6,"attempts":1,
-///    "error":""}
+///    "error":"","class":""}
 #pragma once
 
 #include <cstddef>
@@ -32,6 +32,10 @@ struct JournalEntry {
     double bytes = 0;
     int attempts = 0;
     std::string error;
+    /// Failure class: "" (success), "error", "timeout", or "validation".
+    /// Serialized as the optional "class" field; absent in pre-PR-2
+    /// journals, which parse as "".
+    std::string failure_class;
 };
 
 /// Serializes an entry as one JSON line (no trailing newline).

@@ -12,6 +12,7 @@
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "validate/validate.hpp"
 
 namespace pasta::harness {
 
@@ -51,14 +52,17 @@ struct AttemptState {
     std::condition_variable cv;
     bool done = false;
     bool ok = false;
+    bool validation = false;
     double seconds = 0.0;
     std::string error;
 
-    void finish(bool is_ok, double secs, std::string err)
+    void finish(bool is_ok, double secs, std::string err,
+                bool is_validation = false)
     {
         std::lock_guard<std::mutex> lock(mutex);
         done = true;
         ok = is_ok;
+        validation = is_validation;
         seconds = secs;
         error = std::move(err);
         cv.notify_all();
@@ -77,12 +81,16 @@ struct AttemptState {
 /// Returns false when the watchdog abandoned the attempt.
 bool
 run_attempt(const std::function<double()>& body, double timeout_seconds,
-            bool& ok, double& seconds, std::string& error)
+            bool& ok, bool& validation, double& seconds, std::string& error)
 {
     if (timeout_seconds <= 0) {
         try {
             seconds = body();
             ok = true;
+        } catch (const validate::ValidationError& e) {
+            ok = false;
+            validation = true;
+            error = e.what();
         } catch (const PastaError& e) {
             ok = false;
             error = e.what();
@@ -101,6 +109,8 @@ run_attempt(const std::function<double()>& body, double timeout_seconds,
         try {
             const double s = body();
             state->finish(true, s, {});
+        } catch (const validate::ValidationError& e) {
+            state->finish(false, 0, e.what(), true);
         } catch (const PastaError& e) {
             state->finish(false, 0, e.what());
         } catch (const std::bad_alloc&) {
@@ -120,6 +130,7 @@ run_attempt(const std::function<double()>& body, double timeout_seconds,
     worker.join();
     std::lock_guard<std::mutex> lock(state->mutex);
     ok = state->ok;
+    validation = state->validation;
     seconds = state->seconds;
     error = state->error;
     return true;
@@ -150,9 +161,11 @@ run_guarded_trial(const std::string& label,
     for (int attempt = 1; attempt <= max_attempts; ++attempt) {
         result.attempts = attempt;
         bool ok = false;
+        bool validation = false;
         double seconds = 0;
         std::string error;
-        if (!run_attempt(body, policy.timeout_seconds, ok, seconds, error)) {
+        if (!run_attempt(body, policy.timeout_seconds, ok, validation,
+                         seconds, error)) {
             std::ostringstream oss;
             oss << "watchdog timeout after " << policy.timeout_seconds
                 << " s";
@@ -170,6 +183,15 @@ run_guarded_trial(const std::string& label,
             return result;
         }
         result.error = error;
+        if (validation) {
+            // Deterministic wrong answer: retrying re-runs the same
+            // kernel on the same data and fails the same check.
+            result.skipped = true;
+            result.validation = true;
+            PASTA_LOG_WARN << label << ": validation failure (" << error
+                           << "); trial skipped";
+            return result;
+        }
         if (attempt < max_attempts) {
             PASTA_LOG_WARN << label << ": attempt " << attempt << "/"
                            << max_attempts << " failed (" << error

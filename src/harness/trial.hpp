@@ -37,6 +37,7 @@ struct TrialResult {
     bool ok = false;        ///< trial produced a measurement
     bool skipped = false;   ///< abandoned: timed out or retries exhausted
     bool timed_out = false; ///< skipped specifically by the watchdog
+    bool validation = false; ///< failed a structural/differential check
     std::string error;      ///< last failure message when !ok
     int attempts = 0;       ///< attempts actually made
     double seconds = 0.0;   ///< trial body's return value when ok
@@ -44,8 +45,10 @@ struct TrialResult {
 
 /// Runs `body` under `policy`.  Never throws for trial failures; the
 /// returned TrialResult carries success or the last error.  A watchdog
-/// timeout is terminal (no retry — a hung kernel will hang again);
-/// thrown errors are retried with capped exponential backoff.
+/// timeout is terminal (no retry — a hung kernel will hang again), and so
+/// is a validate::ValidationError (deterministic: the same wrong answer
+/// would come back on every retry); other thrown errors are retried with
+/// capped exponential backoff.
 TrialResult run_guarded_trial(const std::string& label,
                               const std::function<double()>& body,
                               const TrialPolicy& policy);

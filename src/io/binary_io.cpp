@@ -1,11 +1,13 @@
 #include "io/binary_io.hpp"
 
+#include <cmath>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
 
 #include "common/error.hpp"
 #include "harness/fault.hpp"
+#include "validate/validate.hpp"
 
 namespace pasta {
 
@@ -107,6 +109,25 @@ read_binary_file(const std::string& path)
         read_pod(in, d);
         checksum = fnv1a64(&d, sizeof(d), checksum);
     }
+    // Before trusting nnz with an allocation, bound it against the bytes
+    // actually present: a truncated-but-plausible header must not drive a
+    // multi-GB resize only to fail the checksum afterwards.
+    const std::streamoff payload_start = in.tellg();
+    in.seekg(0, std::ios::end);
+    const std::streamoff file_end = in.tellg();
+    in.seekg(payload_start, std::ios::beg);
+    PASTA_CHECK_MSG(in.good() && payload_start >= 0 &&
+                        file_end >= payload_start,
+                    "cannot size " << path);
+    const std::uint64_t remaining =
+        static_cast<std::uint64_t>(file_end - payload_start);
+    const std::uint64_t expected =
+        nnz * (order * sizeof(Index) + sizeof(Value)) + sizeof(checksum);
+    PASTA_CHECK_MSG(remaining >= expected,
+                    "truncated PSTB file "
+                        << path << ": header promises " << expected
+                        << " payload bytes, " << remaining
+                        << " present (refusing allocation)");
     CooTensor x(dims);
     x.resize_nnz(nnz);
     for (Size m = 0; m < x.order(); ++m) {
@@ -129,7 +150,13 @@ read_binary_file(const std::string& path)
                                             << ", computed 0x" << checksum
                                             << std::dec
                                             << "): corrupt cache entry");
+    for (Size p = 0; p < x.nnz(); ++p)
+        PASTA_CHECK_MSG(std::isfinite(static_cast<double>(x.value(p))),
+                        "non-finite value " << x.value(p) << " at non-zero "
+                                            << p << " in " << path);
     x.validate();
+    if (validate::convert_checks_enabled())
+        validate::validate(x).require();
     return x;
 }
 

@@ -8,6 +8,7 @@
 #include "common/log.hpp"
 #include "harness/fault.hpp"
 #include "io/binary_io.hpp"
+#include "validate/validate.hpp"
 
 namespace pasta {
 
@@ -53,6 +54,10 @@ TensorRegistry::load(const std::string& id_or_name)
         }
     }
     CooTensor tensor = synthesize_dataset(spec, scale_);
+    // Generators promise sorted duplicate-free output; check it at this
+    // boundary (cache loads are covered inside read_binary_file).
+    if (validate::convert_checks_enabled())
+        validate::validate(tensor).require();
     if (!path.empty()) {
         std::error_code ec;
         std::filesystem::create_directories(cache_dir_, ec);

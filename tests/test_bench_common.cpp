@@ -329,17 +329,19 @@ TEST(CsvEnv, SuiteResultExportWritesFailuresCsv)
     fs::create_directories(dir);
     ::setenv("PASTA_CSV_DIR", dir.c_str(), 1);
     SuiteResult result;
-    result.failures.push_back(
-        {"r1", "TTV", "COO", "injected fault, with comma", true, 2});
+    result.failures.push_back({"r1", "TTV", "COO",
+                               "injected fault, with comma", true, 2,
+                               "timeout"});
     maybe_export_csv("faulty", result, bluesky());
     EXPECT_TRUE(fs::exists(dir / "faulty.csv"));
     ASSERT_TRUE(fs::exists(dir / "faulty_failures.csv"));
     std::ifstream in(dir / "faulty_failures.csv");
     std::string header, row;
     std::getline(in, header);
-    EXPECT_EQ(header, "tensor,kernel,format,timed_out,attempts,error");
+    EXPECT_EQ(header,
+              "tensor,kernel,format,class,timed_out,attempts,error");
     std::getline(in, row);
-    EXPECT_NE(row.find("r1,TTV,COO,1,2"), std::string::npos);
+    EXPECT_NE(row.find("r1,TTV,COO,timeout,1,2"), std::string::npos);
     ::unsetenv("PASTA_CSV_DIR");
     fs::remove_all(dir);
 }
