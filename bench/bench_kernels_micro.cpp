@@ -4,6 +4,10 @@
 /// table/figure harnesses with statistically managed per-kernel timings.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <numeric>
+#include <random>
+
 #include "common/rng.hpp"
 #include "core/convert.hpp"
 #include "gen/powerlaw.hpp"
@@ -26,6 +30,28 @@ bench_tensor(Size nnz)
     config.uniform_mode = {false, false, true};
     config.seed = 42;
     return generate_powerlaw(config);
+}
+
+/// Deterministically shuffled copy: sort benchmarks must not start from
+/// already-ordered input or they measure the pre-sorted fast path.
+CooTensor
+shuffled_tensor(Size nnz)
+{
+    CooTensor x = bench_tensor(nnz);
+    std::vector<Size> perm(x.nnz());
+    std::iota(perm.begin(), perm.end(), 0);
+    std::shuffle(perm.begin(), perm.end(), std::mt19937(12345));
+    x.apply_permutation(perm);
+    return x;
+}
+
+/// Rate counter in FLOP/s; bench_smoke.sh divides by 1e9 for GFLOPs.
+void
+set_flops(benchmark::State& state, double flops_per_iter)
+{
+    state.counters["flops"] = benchmark::Counter(
+        flops_per_iter * static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
 }
 
 void
@@ -121,13 +147,47 @@ BM_MttkrpCoo(benchmark::State& state)
         mats.push_back(DenseMatrix::random(x.dim(m), 16, rng));
     FactorList factors = {&mats[0], &mats[1], &mats[2]};
     DenseMatrix out(x.dim(0), 16);
+    MttkrpVariant variant = MttkrpVariant::kAtomic;
     for (auto _ : state) {
-        mttkrp_coo(x, factors, 0, out);
+        variant = mttkrp_coo(x, factors, 0, out);
         benchmark::DoNotOptimize(out.data());
     }
+    state.SetLabel(mttkrp_variant_name(variant));
     state.SetItemsProcessed(state.iterations() * 3 * x.nnz() * 16);
+    set_flops(state, 3.0 * static_cast<double>(x.nnz()) * 16);
 }
 BENCHMARK(BM_MttkrpCoo)->Arg(1 << 12)->Arg(1 << 15)->Arg(1 << 18);
+
+/// Crossover ablation: sweep the output-mode dimension at fixed nnz so
+/// the auto-dispatch flips from privatized (small I_mode) to atomic
+/// (replicated buffers too large / too sparse in output rows).  The
+/// label records the variant mttkrp_coo_pick chose at each point.
+void
+BM_MttkrpCooDimSweep(benchmark::State& state)
+{
+    const Index dim0 = Index{1} << static_cast<unsigned>(state.range(0));
+    PowerLawConfig config;
+    config.dims = {dim0, 1u << 12, 128};
+    config.nnz = 1 << 15;
+    config.uniform_mode = {false, false, true};
+    config.seed = 42;
+    const CooTensor x = generate_powerlaw(config);
+    Rng rng(4);
+    std::vector<DenseMatrix> mats;
+    for (Size m = 0; m < x.order(); ++m)
+        mats.push_back(DenseMatrix::random(x.dim(m), 16, rng));
+    FactorList factors = {&mats[0], &mats[1], &mats[2]};
+    DenseMatrix out(x.dim(0), 16);
+    MttkrpVariant variant = MttkrpVariant::kAtomic;
+    for (auto _ : state) {
+        variant = mttkrp_coo(x, factors, 0, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetLabel(mttkrp_variant_name(variant));
+    state.SetItemsProcessed(state.iterations() * 3 * x.nnz() * 16);
+    set_flops(state, 3.0 * static_cast<double>(x.nnz()) * 16);
+}
+BENCHMARK(BM_MttkrpCooDimSweep)->Arg(8)->Arg(12)->Arg(16)->Arg(20)->Arg(24);
 
 void
 BM_MttkrpHicooBlockSweep(benchmark::State& state)
@@ -141,14 +201,49 @@ BM_MttkrpHicooBlockSweep(benchmark::State& state)
         mats.push_back(DenseMatrix::random(x.dim(m), 16, rng));
     FactorList factors = {&mats[0], &mats[1], &mats[2]};
     DenseMatrix out(x.dim(0), 16);
+    MttkrpVariant variant = MttkrpVariant::kAtomic;
     for (auto _ : state) {
-        mttkrp_hicoo(h, factors, 0, out);
+        variant = mttkrp_hicoo(h, factors, 0, out);
         benchmark::DoNotOptimize(out.data());
     }
+    state.SetLabel(mttkrp_variant_name(variant));
     state.SetItemsProcessed(state.iterations() * 3 * x.nnz() * 16);
     state.counters["blocks"] = static_cast<double>(h.num_blocks());
+    set_flops(state, 3.0 * static_cast<double>(x.nnz()) * 16);
 }
 BENCHMARK(BM_MttkrpHicooBlockSweep)->Arg(3)->Arg(5)->Arg(7)->Arg(8);
+
+void
+BM_CooSortLex(benchmark::State& state)
+{
+    const CooTensor shuffled =
+        shuffled_tensor(static_cast<Size>(state.range(0)));
+    for (auto _ : state) {
+        state.PauseTiming();
+        CooTensor work = shuffled;
+        state.ResumeTiming();
+        work.sort_lexicographic();
+        benchmark::DoNotOptimize(work.values().data());
+    }
+    state.SetItemsProcessed(state.iterations() * shuffled.nnz());
+}
+BENCHMARK(BM_CooSortLex)->Arg(1 << 12)->Arg(1 << 15)->Arg(1 << 18);
+
+void
+BM_CooSortMorton(benchmark::State& state)
+{
+    const CooTensor shuffled =
+        shuffled_tensor(static_cast<Size>(state.range(0)));
+    for (auto _ : state) {
+        state.PauseTiming();
+        CooTensor work = shuffled;
+        state.ResumeTiming();
+        work.sort_morton(7);
+        benchmark::DoNotOptimize(work.values().data());
+    }
+    state.SetItemsProcessed(state.iterations() * shuffled.nnz());
+}
+BENCHMARK(BM_CooSortMorton)->Arg(1 << 12)->Arg(1 << 15)->Arg(1 << 18);
 
 void
 BM_CooToHicooConversion(benchmark::State& state)

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Builds the suite in Release mode and runs the bench_kernels_micro sweep
+# on the small synthetic power-law workload, emitting a JSON profile
+# (google-benchmark format, one entry per kernel/format point with
+# items_per_second and a "flops" rate counter -- divide by 1e9 for
+# GFLOPs).  Use it to smoke-check that a change did not regress kernel
+# throughput: compare BENCH_kernels.json against a baseline run.
+#
+# Usage: scripts/bench_smoke.sh [build-dir] [output-json]
+#   build-dir    defaults to build-release
+#   output-json  defaults to BENCH_kernels.json (in the repo root)
+#
+# Environment:
+#   OMP_NUM_THREADS  worker count for the parallel kernels (default 4)
+#   BENCH_FILTER     regex passed to --benchmark_filter (default: all)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-release}"
+OUT_JSON="${2:-BENCH_kernels.json}"
+export OMP_NUM_THREADS="${OMP_NUM_THREADS:-4}"
+
+cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "${BUILD_DIR}" -j "$(nproc)" --target bench_kernels_micro
+
+"${BUILD_DIR}/bench/bench_kernels_micro" \
+    --benchmark_filter="${BENCH_FILTER:-.*}" \
+    --benchmark_out="${OUT_JSON}" \
+    --benchmark_out_format=json \
+    --benchmark_repetitions=1
+
+echo "wrote ${OUT_JSON} (OMP_NUM_THREADS=${OMP_NUM_THREADS})"

@@ -1,8 +1,5 @@
 #include "common/parallel.hpp"
 
-#include <omp.h>
-
-#include <algorithm>
 #include <atomic>
 
 namespace pasta {
@@ -11,99 +8,19 @@ namespace {
 
 std::atomic<int> g_thread_override{0};
 
-int
-effective_threads()
-{
-    int n = g_thread_override.load(std::memory_order_relaxed);
-    return n > 0 ? n : omp_get_max_threads();
-}
-
 }  // namespace
 
 int
 num_threads()
 {
-    return effective_threads();
+    int n = g_thread_override.load(std::memory_order_relaxed);
+    return n > 0 ? n : omp_get_max_threads();
 }
 
 void
 set_num_threads(int n)
 {
     g_thread_override.store(n, std::memory_order_relaxed);
-}
-
-void
-parallel_for(Size begin, Size end, Schedule schedule,
-             const std::function<void(Size)>& body, Size chunk)
-{
-    if (begin >= end)
-        return;
-    const auto b = static_cast<long long>(begin);
-    const auto e = static_cast<long long>(end);
-    const int nt = effective_threads();
-    const auto c = static_cast<long long>(chunk);
-    switch (schedule) {
-      case Schedule::kStatic:
-#pragma omp parallel for num_threads(nt) schedule(static)
-        for (long long i = b; i < e; ++i)
-            body(static_cast<Size>(i));
-        break;
-      case Schedule::kDynamic:
-        if (c > 0) {
-#pragma omp parallel for num_threads(nt) schedule(dynamic, 64)
-            for (long long i = b; i < e; ++i)
-                body(static_cast<Size>(i));
-        } else {
-#pragma omp parallel for num_threads(nt) schedule(dynamic)
-            for (long long i = b; i < e; ++i)
-                body(static_cast<Size>(i));
-        }
-        break;
-      case Schedule::kGuided:
-#pragma omp parallel for num_threads(nt) schedule(guided)
-        for (long long i = b; i < e; ++i)
-            body(static_cast<Size>(i));
-        break;
-    }
-}
-
-void
-parallel_for_ranges(Size begin, Size end,
-                    const std::function<void(Size, Size)>& body)
-{
-    if (begin >= end)
-        return;
-    const Size total = end - begin;
-    const int nt = effective_threads();
-    const Size chunks = std::min<Size>(static_cast<Size>(nt), total);
-    const Size per = (total + chunks - 1) / chunks;
-#pragma omp parallel for num_threads(nt) schedule(static)
-    for (long long c = 0; c < static_cast<long long>(chunks); ++c) {
-        const Size first = begin + static_cast<Size>(c) * per;
-        const Size last = std::min(end, first + per);
-        if (first < last)
-            body(first, last);
-    }
-}
-
-void
-atomic_add(Value* target, Value delta)
-{
-#pragma omp atomic
-    *target += delta;
-}
-
-double
-parallel_sum(Size begin, Size end, const std::function<double(Size)>& term)
-{
-    double total = 0.0;
-    const auto b = static_cast<long long>(begin);
-    const auto e = static_cast<long long>(end);
-    const int nt = effective_threads();
-#pragma omp parallel for num_threads(nt) schedule(static) reduction(+ : total)
-    for (long long i = b; i < e; ++i)
-        total += term(static_cast<Size>(i));
-    return total;
 }
 
 }  // namespace pasta

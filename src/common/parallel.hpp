@@ -1,14 +1,19 @@
 /// \file
-/// Thin parallel runtime over OpenMP.
+/// Zero-overhead parallel runtime over OpenMP.
 ///
 /// The paper's CPU kernels are OpenMP-parallel with configurable schedules
-/// (§V-A2).  This wrapper keeps the scheduling decision explicit at each
-/// call site, exposes the atomic update the COO-MTTKRP algorithm relies on,
-/// and lets tests pin the thread count for deterministic runs.
+/// (§V-A2).  This layer is a set of header-only templates: each entry point
+/// takes its callable by value as a template parameter, so the body inlines
+/// into the OpenMP loop and the hot path compiles down to a plain
+/// `#pragma omp parallel for` — no type-erased dispatch per index.  The
+/// scheduling decision stays explicit at each call site, and tests can pin
+/// the thread count for deterministic runs.
 #pragma once
 
+#include <omp.h>
+
+#include <algorithm>
 #include <cstddef>
-#include <functional>
 
 #include "common/types.hpp"
 
@@ -23,23 +28,123 @@ int num_threads();
 /// Overrides the worker count (0 restores the OpenMP default).
 void set_num_threads(int n);
 
+/// Id of the calling worker inside a parallel region, in
+/// [0, num_threads()); 0 outside any region.  Kernels that keep
+/// per-thread private buffers (privatized MTTKRP, CSF scratch) index
+/// them with this — worker identity, unlike chunk identity, is stable
+/// under every schedule.
+inline int
+worker_id()
+{
+    return omp_get_thread_num();
+}
+
 /// Runs `body(i)` for i in [begin, end) in parallel with the requested
 /// schedule.  `chunk` of 0 uses the schedule's default chunking.
-void parallel_for(Size begin, Size end, Schedule schedule,
-                  const std::function<void(Size)>& body, Size chunk = 0);
+template <typename Body>
+void
+parallel_for(Size begin, Size end, Schedule schedule, Body body,
+             Size chunk = 0)
+{
+    if (begin >= end)
+        return;
+    const auto b = static_cast<long long>(begin);
+    const auto e = static_cast<long long>(end);
+    const int nt = num_threads();
+    const auto c = static_cast<long long>(chunk);
+    switch (schedule) {
+      case Schedule::kStatic:
+#pragma omp parallel for num_threads(nt) schedule(static)
+        for (long long i = b; i < e; ++i)
+            body(static_cast<Size>(i));
+        break;
+      case Schedule::kDynamic:
+        if (c > 0) {
+#pragma omp parallel for num_threads(nt) schedule(dynamic, c)
+            for (long long i = b; i < e; ++i)
+                body(static_cast<Size>(i));
+        } else {
+#pragma omp parallel for num_threads(nt) schedule(dynamic)
+            for (long long i = b; i < e; ++i)
+                body(static_cast<Size>(i));
+        }
+        break;
+      case Schedule::kGuided:
+#pragma omp parallel for num_threads(nt) schedule(guided)
+        for (long long i = b; i < e; ++i)
+            body(static_cast<Size>(i));
+        break;
+    }
+}
 
 /// Runs `body(first, last)` over contiguous index ranges, one call per
 /// chunk, in parallel.  Lower overhead than per-index dispatch; used by the
 /// streaming kernels (TEW, TS) where the body is a few flops.
-void parallel_for_ranges(Size begin, Size end,
-                         const std::function<void(Size, Size)>& body);
+template <typename Body>
+void
+parallel_for_ranges(Size begin, Size end, Body body)
+{
+    if (begin >= end)
+        return;
+    const Size total = end - begin;
+    const int nt = num_threads();
+    const Size chunks = std::min<Size>(static_cast<Size>(nt), total);
+    const Size per = (total + chunks - 1) / chunks;
+#pragma omp parallel for num_threads(nt) schedule(static)
+    for (long long c = 0; c < static_cast<long long>(chunks); ++c) {
+        const Size first = begin + static_cast<Size>(c) * per;
+        const Size last = std::min(end, first + per);
+        if (first < last)
+            body(first, last);
+    }
+}
+
+/// Like parallel_for_ranges, but the body also receives the id of the
+/// worker executing the chunk: `body(worker, first, last)`.  The worker id
+/// — not the chunk id — is the safe key for private buffers: should the
+/// runtime deliver fewer threads than requested, one worker may execute
+/// several chunks, and chunk-keyed buffers would alias.
+template <typename Body>
+void
+parallel_for_worker_ranges(Size begin, Size end, Body body)
+{
+    if (begin >= end)
+        return;
+    const Size total = end - begin;
+    const int nt = num_threads();
+    const Size chunks = std::min<Size>(static_cast<Size>(nt), total);
+    const Size per = (total + chunks - 1) / chunks;
+#pragma omp parallel for num_threads(nt) schedule(static)
+    for (long long c = 0; c < static_cast<long long>(chunks); ++c) {
+        const Size first = begin + static_cast<Size>(c) * per;
+        const Size last = std::min(end, first + per);
+        if (first < last)
+            body(worker_id(), first, last);
+    }
+}
 
 /// Atomically adds `delta` to `*target` (the paper's "omp atomic" /
 /// "atomicAdd" used to protect the MTTKRP output matrix).
-void atomic_add(Value* target, Value delta);
+inline void
+atomic_add(Value* target, Value delta)
+{
+#pragma omp atomic
+    *target += delta;
+}
 
 /// Parallel sum reduction of `term(i)` over [begin, end).
-double parallel_sum(Size begin, Size end,
-                    const std::function<double(Size)>& term);
+template <typename Term>
+double
+parallel_sum(Size begin, Size end, Term term)
+{
+    double total = 0.0;
+    const auto b = static_cast<long long>(begin);
+    const auto e = static_cast<long long>(end);
+    const int nt = num_threads();
+#pragma omp parallel for num_threads(nt) schedule(static) reduction(+ : total)
+    for (long long i = b; i < e; ++i)
+        total += term(static_cast<Size>(i));
+    return total;
+}
 
 }  // namespace pasta

@@ -7,6 +7,7 @@
 
 #include "common/error.hpp"
 #include "common/morton.hpp"
+#include "core/sort_radix.hpp"
 #include "validate/validate.hpp"
 
 namespace {
@@ -19,6 +20,38 @@ checked(const Tensor& out)
     if (pasta::validate::convert_checks_enabled())
         pasta::validate::validate(out).require();
     return out;
+}
+
+using pasta::BIndex;
+using pasta::Index;
+using pasta::Size;
+
+/// Widest block-coordinate field across `modes` of `dims` at the given
+/// block edge — the per-mode bit count of a truncated Morton interleave.
+unsigned
+max_block_field_bits(const std::vector<Index>& dims,
+                     const std::vector<Size>& modes, unsigned block_bits)
+{
+    unsigned bits = 0;
+    for (Size m : modes) {
+        const Index blocks =
+            static_cast<Index>(((dims[m] - 1) >> block_bits) + 1);
+        bits = std::max(bits, pasta::radix::bits_for(blocks));
+    }
+    return bits;
+}
+
+/// Interleaves `coords[0..count)` at `field_bits` bits per mode, matching
+/// morton.hpp's bit placement for all in-range coordinates.
+std::uint64_t
+interleave_bits(const Index* coords, Size count, unsigned field_bits)
+{
+    std::uint64_t key = 0;
+    for (unsigned bit = 0; bit < field_bits; ++bit)
+        for (Size m = 0; m < count; ++m)
+            key |= ((static_cast<std::uint64_t>(coords[m]) >> bit) & 1ULL)
+                   << (bit * count + m);
+    return key;
 }
 
 }  // namespace
@@ -56,6 +89,10 @@ coo_to_hicoo(const CooTensor& x, unsigned block_bits)
                 static_cast<EIndex>(sorted.index(m, p) & mask);
         out.append_entry(element_coords.data(), sorted.value(p));
     }
+    // Build the per-mode block-owner MTTKRP schedules now, so the timed
+    // kernels find them cached on the tensor.
+    for (Size m = 0; m < n; ++m)
+        out.owner_schedule(m);
     return checked(out);
 }
 
@@ -93,27 +130,59 @@ coo_to_ghicoo(const CooTensor& x, std::vector<bool> compressed,
     // coordinates, then uncompressed coordinates (lexicographic).
     CooTensor sorted = x;
     {
-        std::vector<MortonKey> keys(sorted.nnz());
-        std::vector<Index> bc(comp.size());
-        for (Size p = 0; p < sorted.nnz(); ++p) {
-            for (Size s = 0; s < comp.size(); ++s)
-                bc[s] = sorted.index(comp[s], p) >> block_bits;
-            keys[p] = morton_encode(bc.data(), bc.size());
+        // Packed-key radix path: [morton(comp blocks)][comp element
+        // offsets][uncomp coords].  Equal Morton keys imply equal comp
+        // blocks, so ordering by element offsets reproduces the full
+        // compressed-coordinate tie-break.
+        const unsigned bbits =
+            max_block_field_bits(x.dims(), comp, block_bits);
+        unsigned total = static_cast<unsigned>(comp.size()) *
+                         (bbits + block_bits);
+        for (Size m : uncomp)
+            total += radix::bits_for(x.dims()[m]);
+        if (total <= 64) {
+            std::vector<std::uint64_t> keys(sorted.nnz());
+            std::vector<Index> bc(comp.size());
+            for (Size p = 0; p < sorted.nnz(); ++p) {
+                for (Size s = 0; s < comp.size(); ++s)
+                    bc[s] = sorted.index(comp[s], p) >> block_bits;
+                std::uint64_t key =
+                    interleave_bits(bc.data(), bc.size(), bbits);
+                for (Size s = 0; s < comp.size(); ++s)
+                    key = (key << block_bits) |
+                          (sorted.index(comp[s], p) & mask);
+                for (Size m : uncomp) {
+                    const unsigned w = radix::bits_for(x.dims()[m]);
+                    key = (key << w) | sorted.index(m, p);
+                }
+                keys[p] = key;
+            }
+            std::vector<Size> perm;
+            radix::sort_perm(keys, perm);
+            sorted.apply_permutation(perm);
+        } else {
+            std::vector<MortonKey> keys(sorted.nnz());
+            std::vector<Index> bc(comp.size());
+            for (Size p = 0; p < sorted.nnz(); ++p) {
+                for (Size s = 0; s < comp.size(); ++s)
+                    bc[s] = sorted.index(comp[s], p) >> block_bits;
+                keys[p] = morton_encode(bc.data(), bc.size());
+            }
+            std::vector<Size> perm(sorted.nnz());
+            std::iota(perm.begin(), perm.end(), 0);
+            std::sort(perm.begin(), perm.end(), [&](Size a, Size b) {
+                if (!(keys[a] == keys[b]))
+                    return keys[a] < keys[b];
+                for (Size m : comp)
+                    if (sorted.index(m, a) != sorted.index(m, b))
+                        return sorted.index(m, a) < sorted.index(m, b);
+                for (Size m : uncomp)
+                    if (sorted.index(m, a) != sorted.index(m, b))
+                        return sorted.index(m, a) < sorted.index(m, b);
+                return false;
+            });
+            sorted.apply_permutation(perm);
         }
-        std::vector<Size> perm(sorted.nnz());
-        std::iota(perm.begin(), perm.end(), 0);
-        std::sort(perm.begin(), perm.end(), [&](Size a, Size b) {
-            if (!(keys[a] == keys[b]))
-                return keys[a] < keys[b];
-            for (Size m : comp)
-                if (sorted.index(m, a) != sorted.index(m, b))
-                    return sorted.index(m, a) < sorted.index(m, b);
-            for (Size m : uncomp)
-                if (sorted.index(m, a) != sorted.index(m, b))
-                    return sorted.index(m, a) < sorted.index(m, b);
-            return false;
-        });
-        sorted.apply_permutation(perm);
     }
 
     std::vector<BIndex> block_coords(n, 0);
@@ -209,23 +278,43 @@ scoo_to_shicoo(const ScooTensor& x, unsigned block_bits)
         return out;
 
     // Morton-sort the sparse coordinates by block.
-    std::vector<MortonKey> keys(count);
-    std::vector<Index> bc(ns);
-    for (Size pos = 0; pos < count; ++pos) {
-        for (Size s = 0; s < ns; ++s)
-            bc[s] = x.sparse_index(s, pos) >> block_bits;
-        keys[pos] = morton_encode(bc.data(), ns);
+    std::vector<Size> perm;
+    const unsigned bbits =
+        max_block_field_bits(x.dims(), x.sparse_modes(), block_bits);
+    if (static_cast<unsigned>(ns) * (bbits + block_bits) <= 64) {
+        // Packed-key radix path: [morton(blocks)][element offsets].
+        const Index emask = out.block_size() - 1;
+        std::vector<std::uint64_t> pkeys(count);
+        std::vector<Index> bc(ns);
+        for (Size pos = 0; pos < count; ++pos) {
+            for (Size s = 0; s < ns; ++s)
+                bc[s] = x.sparse_index(s, pos) >> block_bits;
+            std::uint64_t key = interleave_bits(bc.data(), ns, bbits);
+            for (Size s = 0; s < ns; ++s)
+                key = (key << block_bits) |
+                      (x.sparse_index(s, pos) & emask);
+            pkeys[pos] = key;
+        }
+        radix::sort_perm(pkeys, perm);
+    } else {
+        std::vector<MortonKey> keys(count);
+        std::vector<Index> bc(ns);
+        for (Size pos = 0; pos < count; ++pos) {
+            for (Size s = 0; s < ns; ++s)
+                bc[s] = x.sparse_index(s, pos) >> block_bits;
+            keys[pos] = morton_encode(bc.data(), ns);
+        }
+        perm.resize(count);
+        std::iota(perm.begin(), perm.end(), 0);
+        std::sort(perm.begin(), perm.end(), [&](Size a, Size b) {
+            if (!(keys[a] == keys[b]))
+                return keys[a] < keys[b];
+            for (Size s = 0; s < ns; ++s)
+                if (x.sparse_index(s, a) != x.sparse_index(s, b))
+                    return x.sparse_index(s, a) < x.sparse_index(s, b);
+            return false;
+        });
     }
-    std::vector<Size> perm(count);
-    std::iota(perm.begin(), perm.end(), 0);
-    std::sort(perm.begin(), perm.end(), [&](Size a, Size b) {
-        if (!(keys[a] == keys[b]))
-            return keys[a] < keys[b];
-        for (Size s = 0; s < ns; ++s)
-            if (x.sparse_index(s, a) != x.sparse_index(s, b))
-                return x.sparse_index(s, a) < x.sparse_index(s, b);
-        return false;
-    });
 
     const Index mask = out.block_size() - 1;
     std::vector<BIndex> block_coords(ns);

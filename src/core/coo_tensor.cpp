@@ -7,6 +7,8 @@
 
 #include "common/error.hpp"
 #include "common/morton.hpp"
+#include "common/parallel.hpp"
+#include "core/sort_radix.hpp"
 
 namespace pasta {
 
@@ -61,14 +63,18 @@ CooTensor::apply_permutation(const std::vector<Size>& perm)
 {
     PASTA_ASSERT(perm.size() == nnz());
     std::vector<Value> new_vals(nnz());
-    for (Size p = 0; p < nnz(); ++p)
-        new_vals[p] = values_[perm[p]];
+    parallel_for_ranges(0, nnz(), [&](Size first, Size last) {
+        for (Size p = first; p < last; ++p)
+            new_vals[p] = values_[perm[p]];
+    });
     values_ = std::move(new_vals);
     std::vector<Index> scratch(nnz());
     for (Size m = 0; m < order(); ++m) {
-        for (Size p = 0; p < nnz(); ++p)
-            scratch[p] = indices_[m][perm[p]];
-        indices_[m] = scratch;
+        parallel_for_ranges(0, nnz(), [&](Size first, Size last) {
+            for (Size p = first; p < last; ++p)
+                scratch[p] = indices_[m][perm[p]];
+        });
+        indices_[m].swap(scratch);
     }
 }
 
@@ -85,6 +91,18 @@ CooTensor::sort_by_mode_order(const std::vector<Size>& mode_order)
 {
     PASTA_CHECK_MSG(mode_order.size() == order(),
                     "mode order arity mismatch");
+    if (nnz() < 2)
+        return;
+    if (radix::lex_key_fits(dims_, mode_order)) {
+        std::vector<std::uint64_t> keys;
+        radix::build_lex_keys(indices_, dims_, mode_order, keys);
+        std::vector<Size> perm;
+        radix::sort_perm(keys, perm);
+        apply_permutation(perm);
+        return;
+    }
+    // Coordinate space too wide for a packed 64-bit key (e.g. three full
+    // 32-bit modes): comparator sort fallback.
     std::vector<Size> perm(nnz());
     std::iota(perm.begin(), perm.end(), 0);
     std::sort(perm.begin(), perm.end(), [&](Size a, Size b) {
@@ -116,6 +134,17 @@ void
 CooTensor::sort_morton(unsigned block_bits)
 {
     const Size n = order();
+    if (nnz() < 2)
+        return;
+    if (radix::morton_key_fits(dims_, block_bits)) {
+        std::vector<std::uint64_t> packed;
+        radix::build_morton_keys(indices_, dims_, block_bits, packed);
+        std::vector<Size> perm;
+        radix::sort_perm(packed, perm);
+        apply_permutation(perm);
+        return;
+    }
+    // Key too wide (high order or huge dims): 128-bit comparator fallback.
     std::vector<MortonKey> keys(nnz());
     std::vector<Index> block_coord(n);
     for (Size p = 0; p < nnz(); ++p) {

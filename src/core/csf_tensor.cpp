@@ -1,6 +1,5 @@
 #include "core/csf_tensor.hpp"
 
-#include <functional>
 #include <numeric>
 #include <sstream>
 
@@ -96,8 +95,9 @@ CsfTensor::to_coo() const
     // Depth-first expansion using an explicit per-level cursor walk: for
     // each leaf, find its ancestor at each level via the ptr arrays.
     // Iterative approach: maintain the current node id per level.
-    std::vector<Size> node(n, 0);
-    std::function<void(Size, Size)> walk = [&](Size level, Size id) {
+    // Self-passing generic lambda keeps the recursive walk directly
+    // callable (no type-erased dispatch per tree node).
+    auto walk = [&](auto&& self, Size level, Size id) -> void {
         c[mode_order_[level]] = levels_[level].idx[id];
         if (level + 1 == n) {
             out.append(c, values_[id]);
@@ -105,10 +105,10 @@ CsfTensor::to_coo() const
         }
         for (Size child = levels_[level].ptr[id];
              child < levels_[level].ptr[id + 1]; ++child)
-            walk(level + 1, child);
+            self(self, level + 1, child);
     };
     for (Size root = 0; root < level_size(0); ++root)
-        walk(0, root);
+        walk(walk, 0, root);
     out.sort_lexicographic();
     return out;
 }

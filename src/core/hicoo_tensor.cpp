@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "core/block_math.hpp"
+#include "core/sort_radix.hpp"
 
 namespace pasta {
 
@@ -24,6 +25,9 @@ HiCooTensor::HiCooTensor(std::vector<Index> dims, unsigned block_bits)
 Size
 HiCooTensor::append_block(const BIndex* block_coords)
 {
+    // Structural change invalidates any cached owner schedules.
+    owner_cache_.clear();
+    owner_built_.clear();
     if (bptr_.empty())
         bptr_.push_back(0);
     for (Size m = 0; m < order(); ++m)
@@ -97,6 +101,40 @@ HiCooTensor::validate() const
                                 "reconstructed coordinate out of range");
         }
     }
+}
+
+const OwnerSchedule&
+HiCooTensor::owner_schedule(Size mode) const
+{
+    PASTA_CHECK_MSG(mode < order(), "mode " << mode << " out of range");
+    if (owner_built_.empty()) {
+        owner_cache_.assign(order(), OwnerSchedule{});
+        owner_built_.assign(order(), false);
+    }
+    if (owner_built_[mode])
+        return owner_cache_[mode];
+
+    OwnerSchedule& sched = owner_cache_[mode];
+    const Size nb = num_blocks();
+    if (nb > 0) {
+        // Stable radix sort of block ids by output block index: groups
+        // come out contiguous and Morton-ordered within.
+        std::vector<std::uint64_t> keys(nb);
+        for (Size b = 0; b < nb; ++b)
+            keys[b] = binds_[mode][b];
+        radix::sort_perm(keys, sched.blocks);
+        sched.group_ptr.push_back(0);
+        for (Size s = 1; s < nb; ++s)
+            if (keys[s] != keys[s - 1])
+                sched.group_ptr.push_back(s);
+        sched.group_ptr.push_back(nb);
+        for (Size g = 0; g + 1 < sched.group_ptr.size(); ++g)
+            sched.max_group_blocks =
+                std::max(sched.max_group_blocks,
+                         sched.group_ptr[g + 1] - sched.group_ptr[g]);
+    }
+    owner_built_[mode] = true;
+    return sched;
 }
 
 std::string

@@ -19,6 +19,23 @@ namespace pasta {
 
 class CooTensor;
 
+/// Atomic-free MTTKRP schedule for one mode: block ids grouped by their
+/// output block index along that mode.  Blocks inside one group all write
+/// the same B x R output tile; blocks in different groups write disjoint
+/// tiles, so one thread per group needs no atomics.  Groups keep the
+/// tensor's Morton block order internally (the grouping sort is stable),
+/// preserving HiCOO's locality within a group.
+struct OwnerSchedule {
+    std::vector<Size> blocks;     ///< block ids, grouped by owner tile
+    std::vector<Size> group_ptr;  ///< group boundaries, size groups()+1
+    Size max_group_blocks = 0;    ///< largest group (load-balance signal)
+
+    Size groups() const
+    {
+        return group_ptr.empty() ? 0 : group_ptr.size() - 1;
+    }
+};
+
 /// Arbitrary-order sparse tensor in HiCOO format.
 class HiCooTensor {
   public:
@@ -93,6 +110,12 @@ class HiCooTensor {
     /// Storage bytes: n_b(4N+8) + M(N+4).
     Size storage_bytes() const;
 
+    /// The block-owner MTTKRP schedule for `mode`.  Built on first use
+    /// (coo_to_hicoo prebuilds every mode so timed kernels never pay the
+    /// construction) and cached on the tensor; append_block invalidates
+    /// the cache.
+    const OwnerSchedule& owner_schedule(Size mode) const;
+
     /// Validates invariants; throws PastaError on violation.
     void validate() const;
 
@@ -105,6 +128,10 @@ class HiCooTensor {
     std::vector<Size> bptr_;                  ///< block boundaries, n_b+1
     std::vector<std::vector<EIndex>> einds_;  ///< [mode][pos]
     std::vector<Value> values_;
+
+    /// Lazily built per-mode owner schedules (empty until first use).
+    mutable std::vector<OwnerSchedule> owner_cache_;
+    mutable std::vector<bool> owner_built_;
 };
 
 }  // namespace pasta

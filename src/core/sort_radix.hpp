@@ -1,0 +1,67 @@
+/// \file
+/// Parallel LSD radix sort on packed 64-bit coordinate keys.
+///
+/// Every format conversion the suite benchmarks begins with a sort of the
+/// COO stream — lexicographic for CSF/sCOO, Morton for HiCOO and its
+/// variants (paper §III-C/D).  A comparator sort pays a multi-mode
+/// lambda comparison per element move; instead, when the per-mode index
+/// ranges fit a 64-bit key, the sorts here pack each non-zero's
+/// coordinate into one integer (lexicographic concatenation, or a Morton
+/// block interleave with a lexicographic in-block suffix) and run a
+/// stable least-significant-digit radix sort over 8-bit digits:
+/// per-chunk histograms in parallel, one serial 256 x chunks exclusive
+/// scan, then a stable parallel scatter.  A stable sort's output
+/// permutation is unique, so results are bit-identical for every thread
+/// count.  Callers fall back to std::sort when the key does not fit
+/// (e.g. three full 32-bit modes need 96 bits).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pasta::radix {
+
+/// Number of key bits needed to represent coordinates in [0, dim).
+unsigned bits_for(Index dim);
+
+/// True when the lexicographic key over `mode_order` (most significant
+/// first) packs into 64 bits.
+bool lex_key_fits(const std::vector<Index>& dims,
+                  const std::vector<Size>& mode_order);
+
+/// True when the Morton-block key (block coordinates interleaved) plus
+/// the lexicographic in-block element offsets pack into 64 bits.
+bool morton_key_fits(const std::vector<Index>& dims, unsigned block_bits);
+
+/// Packs coordinate `pos` of per-mode index arrays into the
+/// lexicographic key; `shifts[k]` is the bit offset of mode_order[k]'s
+/// field.  Exposed for callers that assemble hybrid keys (gHiCOO).
+std::vector<unsigned> lex_shifts(const std::vector<Index>& dims,
+                                 const std::vector<Size>& mode_order);
+
+/// Builds one lexicographic key per non-zero of the given per-mode index
+/// arrays (indices[m][pos]); mode_order[0] is the most significant mode.
+void build_lex_keys(const std::vector<std::vector<Index>>& indices,
+                    const std::vector<Index>& dims,
+                    const std::vector<Size>& mode_order,
+                    std::vector<std::uint64_t>& keys);
+
+/// Builds one Morton key per non-zero: block coordinates (index >>
+/// block_bits) bit-interleaved in the high field, element offsets
+/// (index & mask) concatenated lexicographically (mode 0 most
+/// significant) in the low field.  Sorting these keys reproduces
+/// CooTensor::sort_morton's order exactly: Morton across blocks,
+/// lexicographic within a block.
+void build_morton_keys(const std::vector<std::vector<Index>>& indices,
+                       const std::vector<Index>& dims, unsigned block_bits,
+                       std::vector<std::uint64_t>& keys);
+
+/// Stable parallel LSD radix sort of `keys` (ascending); `perm` receives
+/// the applied permutation (perm[p] = original position of the element
+/// now at p).  Skips high-order passes that every key leaves zero.
+/// Deterministic: output is independent of the worker count.
+void sort_perm(std::vector<std::uint64_t>& keys, std::vector<Size>& perm);
+
+}  // namespace pasta::radix

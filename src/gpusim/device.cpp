@@ -14,31 +14,6 @@ atomic_add(Value* address, Value value)
     ::pasta::atomic_add(address, value);
 }
 
-void
-launch(Dim3 grid, Dim3 block,
-       const std::function<void(const ThreadCtx&)>& kernel)
-{
-    const Size num_blocks = grid.volume();
-    if (num_blocks == 0)
-        return;
-    parallel_for(0, num_blocks, Schedule::kDynamic, [&](Size linear_block) {
-        ThreadCtx ctx;
-        ctx.grid_dim = grid;
-        ctx.block_dim = block;
-        ctx.block_idx.x = linear_block % grid.x;
-        ctx.block_idx.y = (linear_block / grid.x) % grid.y;
-        ctx.block_idx.z = linear_block / (grid.x * grid.y);
-        for (Size tz = 0; tz < block.z; ++tz) {
-            for (Size ty = 0; ty < block.y; ++ty) {
-                for (Size tx = 0; tx < block.x; ++tx) {
-                    ctx.thread_idx = {tx, ty, tz};
-                    kernel(ctx);
-                }
-            }
-        }
-    });
-}
-
 namespace {
 
 /// 16 GiB: the HBM2 capacity of the Tesla P100/V100 parts the timing

@@ -24,10 +24,10 @@
 
 #include <atomic>
 #include <cstdint>
-#include <functional>
 #include <string>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "common/types.hpp"
 
 namespace pasta::gpusim {
@@ -81,9 +81,33 @@ inline constexpr Size kDefaultBlockThreads = 256;
 /// Executes `kernel` once per simulated thread of a `grid` x `block`
 /// launch.  Thread blocks may run concurrently on host threads; threads
 /// within one block run sequentially (no intra-block synchronization is
-/// used by this suite's kernels).
-void launch(Dim3 grid, Dim3 block,
-            const std::function<void(const ThreadCtx&)>& kernel);
+/// used by this suite's kernels).  Template: the kernel functor inlines
+/// into the simulated thread loop, so a launch costs no type-erased
+/// dispatch per simulated thread.
+template <typename Kernel>
+void
+launch(Dim3 grid, Dim3 block, Kernel kernel)
+{
+    const Size num_blocks = grid.volume();
+    if (num_blocks == 0)
+        return;
+    parallel_for(0, num_blocks, Schedule::kDynamic, [&](Size linear_block) {
+        ThreadCtx ctx;
+        ctx.grid_dim = grid;
+        ctx.block_dim = block;
+        ctx.block_idx.x = linear_block % grid.x;
+        ctx.block_idx.y = (linear_block / grid.x) % grid.y;
+        ctx.block_idx.z = linear_block / (grid.x * grid.y);
+        for (Size tz = 0; tz < block.z; ++tz) {
+            for (Size ty = 0; ty < block.y; ++ty) {
+                for (Size tx = 0; tx < block.x; ++tx) {
+                    ctx.thread_idx = {tx, ty, tz};
+                    kernel(ctx);
+                }
+            }
+        }
+    });
+}
 
 /// Thrown when a simulated device allocation exceeds the configured
 /// capacity.  Derives from PastaError so the trial guard catches and

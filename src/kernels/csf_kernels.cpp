@@ -19,7 +19,7 @@ namespace {
 void
 accumulate_subtree(const CsfTensor& x, const FactorList& factors,
                    Size level, Size id, Value* acc, Size rank,
-                   std::vector<Value>& scratch)
+                   Value* scratch)
 {
     const Size n = x.order();
     if (level + 1 == n) {
@@ -33,7 +33,7 @@ accumulate_subtree(const CsfTensor& x, const FactorList& factors,
     }
     for (Size r = 0; r < rank; ++r)
         acc[r] = 0;
-    Value* child_acc = scratch.data() + level * rank;
+    Value* child_acc = scratch + level * rank;
     for (Size child = x.level(level).ptr[id];
          child < x.level(level).ptr[id + 1]; ++child) {
         accumulate_subtree(x, factors, level + 1, child, child_acc, rank,
@@ -49,6 +49,18 @@ accumulate_subtree(const CsfTensor& x, const FactorList& factors,
                 acc[r] += child_acc[r] * row[r];
         }
     }
+}
+
+/// Per-worker accumulation scratch, reused across every fiber a worker
+/// processes: one allocation per thread for the whole kernel instead of
+/// one per tree root inside the parallel body.
+Value*
+csf_worker_scratch(Size needed)
+{
+    static thread_local std::vector<Value> buf;
+    if (buf.size() < needed)
+        buf.resize(needed);
+    return buf.data();
 }
 
 }  // namespace
@@ -75,8 +87,10 @@ mttkrp_csf(const CsfTensor& x, const FactorList& factors, Size mode,
         0, x.level_size(0), schedule,
         [&](Size root) {
             // Each root owns one distinct output row: race-free.
-            std::vector<Value> scratch(n * rank);
-            std::vector<Value> acc(rank);
+            // Layout of the worker scratch: n*rank child accumulators
+            // followed by the rank-wide root accumulator.
+            Value* scratch = csf_worker_scratch((n + 1) * rank);
+            Value* acc = scratch + n * rank;
             if (n == 1) {
                 // Degenerate order-1 MTTKRP: out(i, r) += value.
                 Value* out_row = out.row(x.level(0).idx[root]);
@@ -84,8 +98,7 @@ mttkrp_csf(const CsfTensor& x, const FactorList& factors, Size mode,
                     out_row[r] += x.values()[root];
                 return;
             }
-            accumulate_subtree(x, factors, 0, root, acc.data(), rank,
-                               scratch);
+            accumulate_subtree(x, factors, 0, root, acc, rank, scratch);
             // acc holds sum over children c of (subtree(c) * U(idx_c)):
             // accumulate_subtree at level 0 already applied the level-1
             // factor rows, so acc is the full Khatri-Rao partial.

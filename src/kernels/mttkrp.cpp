@@ -25,105 +25,242 @@ check_factors(const std::vector<Index>& dims, const FactorList& factors)
     return rank;
 }
 
+const char*
+mttkrp_variant_name(MttkrpVariant v)
+{
+    switch (v) {
+      case MttkrpVariant::kAtomic:
+        return "atomic";
+      case MttkrpVariant::kPrivatized:
+        return "privatized";
+      case MttkrpVariant::kBlockOwner:
+        return "block-owner";
+    }
+    return "?";
+}
+
 namespace {
 
 /// Stack budget for the per-non-zero accumulator row.  The paper uses
 /// R = 16 as the low-rank default; 256 covers every rank the benches sweep.
 constexpr Size kMaxStackRank = 256;
 
-}  // namespace
+/// Cap on the total replicated-output footprint the privatized COO
+/// schedule may allocate (values, not bytes): 2^24 floats = 64 MiB.
+constexpr Size kPrivatizedBudgetValues = Size{1} << 24;
 
 void
-mttkrp_coo(const CooTensor& x, const FactorList& factors, Size mode,
-           DenseMatrix& out, Schedule schedule)
+check_mttkrp_args(const std::vector<Index>& dims, Size order_mode,
+                  Size rank, const DenseMatrix& out, Size mode)
 {
-    const Size rank = check_factors(x.dims(), factors);
-    PASTA_CHECK_MSG(mode < x.order(), "mode out of range");
-    PASTA_CHECK_MSG(out.rows() == x.dim(mode) && out.cols() == rank,
+    PASTA_CHECK_MSG(mode < dims.size(), "mode out of range");
+    PASTA_CHECK_MSG(out.rows() == dims[mode] && out.cols() == rank,
                     "output matrix shape mismatch");
     PASTA_CHECK_MSG(rank <= kMaxStackRank,
                     "rank " << rank << " exceeds kernel limit "
                             << kMaxStackRank);
+    (void)order_mode;
+}
+
+}  // namespace
+
+MttkrpVariant
+mttkrp_coo_pick(Index dim_mode, Size nnz, Size rank)
+{
+    const Size threads = static_cast<Size>(num_threads());
+    if (threads * static_cast<Size>(dim_mode) * rank >
+        kPrivatizedBudgetValues)
+        return MttkrpVariant::kAtomic;
+    // The replicated buffers cost a zero + reduce sweep over
+    // threads x dim_mode rows; the atomic path (with run fusion) costs
+    // roughly one atomic set per distinct output row per chunk.
+    // Privatize only when the stream is dense enough in output rows for
+    // the sweep to be clearly amortized.
+    if (2 * threads * static_cast<Size>(dim_mode) > nnz)
+        return MttkrpVariant::kAtomic;
+    return MttkrpVariant::kPrivatized;
+}
+
+MttkrpVariant
+mttkrp_coo(const CooTensor& x, const FactorList& factors, Size mode,
+           DenseMatrix& out, Schedule schedule)
+{
+    const Size rank = check_factors(x.dims(), factors);
+    check_mttkrp_args(x.dims(), x.order(), rank, out, mode);
+    const MttkrpVariant pick = mttkrp_coo_pick(x.dim(mode), x.nnz(), rank);
+    if (pick == MttkrpVariant::kPrivatized)
+        mttkrp_coo_privatized(x, factors, mode, out);
+    else
+        mttkrp_coo_atomic(x, factors, mode, out, schedule);
+    return pick;
+}
+
+void
+mttkrp_coo_atomic(const CooTensor& x, const FactorList& factors, Size mode,
+                  DenseMatrix& out, Schedule schedule)
+{
+    const Size rank = check_factors(x.dims(), factors);
+    check_mttkrp_args(x.dims(), x.order(), rank, out, mode);
     out.fill(0);
+    (void)schedule;  // contiguous static ranges preserve index runs
 
     const Size order = x.order();
     const Value* xv = x.values().data();
-    parallel_for(
-        0, x.nnz(), schedule,
-        [&](Size p) {
-            Value acc[kMaxStackRank];
+    const Index* out_idx = x.mode_indices(mode).data();
+    // Runs of equal output index (ubiquitous when the stream is sorted
+    // with `mode` leading, frequent otherwise) are accumulated locally
+    // and flushed with one atomic set per run, not one per non-zero.
+    // Correct for arbitrary streams: an unsorted stream just flushes
+    // more often.
+    parallel_for_ranges(0, x.nnz(), [&](Size first, Size last) {
+        Value acc[kMaxStackRank];
+        Value tmp[kMaxStackRank];
+        Index run_row = 0;
+        bool in_run = false;
+        const auto flush = [&] {
+            Value* out_row = out.row(run_row);
+            for (Size r = 0; r < rank; ++r)
+                atomic_add(out_row + r, acc[r]);
+        };
+        for (Size p = first; p < last; ++p) {
             const Value xval = xv[p];
 #pragma omp simd
             for (Size r = 0; r < rank; ++r)
-                acc[r] = xval;
+                tmp[r] = xval;
             for (Size m = 0; m < order; ++m) {
                 if (m == mode)
                     continue;
                 const Value* row = factors[m]->row(x.index(m, p));
 #pragma omp simd
                 for (Size r = 0; r < rank; ++r)
-                    acc[r] *= row[r];
+                    tmp[r] *= row[r];
             }
-            Value* out_row = out.row(x.index(mode, p));
-            for (Size r = 0; r < rank; ++r)
-                atomic_add(out_row + r, acc[r]);
-        },
-        256);
+            if (in_run && out_idx[p] == run_row) {
+#pragma omp simd
+                for (Size r = 0; r < rank; ++r)
+                    acc[r] += tmp[r];
+            } else {
+                if (in_run)
+                    flush();
+                run_row = out_idx[p];
+                in_run = true;
+#pragma omp simd
+                for (Size r = 0; r < rank; ++r)
+                    acc[r] = tmp[r];
+            }
+        }
+        if (in_run)
+            flush();
+    });
 }
 
-void
-mttkrp_hicoo(const HiCooTensor& x, const FactorList& factors, Size mode,
-             DenseMatrix& out, Schedule schedule)
-{
-    const Size rank = check_factors(x.dims(), factors);
-    PASTA_CHECK_MSG(mode < x.order(), "mode out of range");
-    PASTA_CHECK_MSG(out.rows() == x.dim(mode) && out.cols() == rank,
-                    "output matrix shape mismatch");
-    PASTA_CHECK_MSG(rank <= kMaxStackRank,
-                    "rank " << rank << " exceeds kernel limit "
-                            << kMaxStackRank);
-    PASTA_CHECK_MSG(x.order() <= 8, "HiCOO MTTKRP supports order <= 8");
-    out.fill(0);
+namespace {
 
+/// Shared per-block body of the HiCOO kernels (Algorithm 3, line 3):
+/// per-block factor base rows so the inner loop decodes only 8-bit
+/// element offsets.  `add(out_row, r, delta)` is the output-update
+/// policy — plain store for owner-partitioned blocks, omp atomic for the
+/// contended schedule — inlined via template, not dispatched.
+template <typename AddFn>
+inline void
+hicoo_process_block(const HiCooTensor& x, const FactorList& factors,
+                    Size mode, DenseMatrix& out, Size rank, Size b,
+                    AddFn add)
+{
     const Size order = x.order();
     const unsigned bits = x.block_bits();
     const Value* xv = x.values().data();
     const auto& bptr = x.bptr();
+    const Value* base[8];
+    Value* out_base =
+        out.row(static_cast<Size>(x.block_index(mode, b)) << bits);
+    for (Size m = 0; m < order; ++m)
+        base[m] = factors[m]->row(
+            static_cast<Size>(x.block_index(m, b)) << bits);
+    const Size rank_stride = out.cols();
+    for (Size p = bptr[b]; p < bptr[b + 1]; ++p) {
+        Value acc[kMaxStackRank];
+        const Value xval = xv[p];
+#pragma omp simd
+        for (Size r = 0; r < rank; ++r)
+            acc[r] = xval;
+        for (Size m = 0; m < order; ++m) {
+            if (m == mode)
+                continue;
+            const Value* row =
+                base[m] +
+                static_cast<Size>(x.element_index(m, p)) * rank_stride;
+#pragma omp simd
+            for (Size r = 0; r < rank; ++r)
+                acc[r] *= row[r];
+        }
+        Value* out_row =
+            out_base +
+            static_cast<Size>(x.element_index(mode, p)) * rank_stride;
+        for (Size r = 0; r < rank; ++r)
+            add(out_row + r, acc[r]);
+    }
+}
+
+/// Owner partitioning pays off when the groups can keep the workers
+/// busy; with fewer groups than workers the dynamic loop serializes and
+/// atomics win back.  A single worker always prefers owner (it removes
+/// the atomics with zero downside).
+bool
+hicoo_use_owner(const OwnerSchedule& sched, int threads)
+{
+    if (threads <= 1)
+        return true;
+    return sched.groups() >= 2 * static_cast<Size>(threads);
+}
+
+}  // namespace
+
+MttkrpVariant
+mttkrp_hicoo(const HiCooTensor& x, const FactorList& factors, Size mode,
+             DenseMatrix& out, Schedule schedule)
+{
+    const Size rank = check_factors(x.dims(), factors);
+    check_mttkrp_args(x.dims(), x.order(), rank, out, mode);
+    PASTA_CHECK_MSG(x.order() <= 8, "HiCOO MTTKRP supports order <= 8");
+
+    const OwnerSchedule& sched = x.owner_schedule(mode);
+    if (!hicoo_use_owner(sched, num_threads())) {
+        mttkrp_hicoo_atomic(x, factors, mode, out, schedule);
+        return MttkrpVariant::kAtomic;
+    }
+    out.fill(0);
+    // One thread owns every block of a group, and a group's blocks are
+    // the only writers of its output tile: no atomics needed.  Dynamic
+    // schedule absorbs the group-size skew.
+    parallel_for(
+        0, sched.groups(), schedule,
+        [&](Size g) {
+            for (Size s = sched.group_ptr[g]; s < sched.group_ptr[g + 1];
+                 ++s)
+                hicoo_process_block(
+                    x, factors, mode, out, rank, sched.blocks[s],
+                    [](Value* slot, Value delta) { *slot += delta; });
+        },
+        1);
+    return MttkrpVariant::kBlockOwner;
+}
+
+void
+mttkrp_hicoo_atomic(const HiCooTensor& x, const FactorList& factors,
+                    Size mode, DenseMatrix& out, Schedule schedule)
+{
+    const Size rank = check_factors(x.dims(), factors);
+    check_mttkrp_args(x.dims(), x.order(), rank, out, mode);
+    PASTA_CHECK_MSG(x.order() <= 8, "HiCOO MTTKRP supports order <= 8");
+    out.fill(0);
+
     parallel_for(
         0, x.num_blocks(), schedule,
         [&](Size b) {
-            // Per-block factor base rows (Algorithm 3, line 3): the block
-            // index selects a B x R tile of each matrix, so the inner loop
-            // decodes only 8-bit element offsets.
-            const Value* base[8];
-            Value* out_base =
-                out.row(static_cast<Size>(x.block_index(mode, b)) << bits);
-            for (Size m = 0; m < order; ++m)
-                base[m] = factors[m]->row(
-                    static_cast<Size>(x.block_index(m, b)) << bits);
-            const Size rank_stride = out.cols();
-            for (Size p = bptr[b]; p < bptr[b + 1]; ++p) {
-                Value acc[kMaxStackRank];
-                const Value xval = xv[p];
-#pragma omp simd
-                for (Size r = 0; r < rank; ++r)
-                    acc[r] = xval;
-                for (Size m = 0; m < order; ++m) {
-                    if (m == mode)
-                        continue;
-                    const Value* row =
-                        base[m] + static_cast<Size>(x.element_index(m, p)) *
-                                      rank_stride;
-#pragma omp simd
-                    for (Size r = 0; r < rank; ++r)
-                        acc[r] *= row[r];
-                }
-                Value* out_row =
-                    out_base + static_cast<Size>(x.element_index(mode, p)) *
-                                   rank_stride;
-                for (Size r = 0; r < rank; ++r)
-                    atomic_add(out_row + r, acc[r]);
-            }
+            hicoo_process_block(
+                x, factors, mode, out, rank, b,
+                [](Value* slot, Value delta) { atomic_add(slot, delta); });
         },
         8);
 }
@@ -133,46 +270,37 @@ mttkrp_coo_privatized(const CooTensor& x, const FactorList& factors,
                       Size mode, DenseMatrix& out)
 {
     const Size rank = check_factors(x.dims(), factors);
-    PASTA_CHECK_MSG(mode < x.order(), "mode out of range");
-    PASTA_CHECK_MSG(out.rows() == x.dim(mode) && out.cols() == rank,
-                    "output matrix shape mismatch");
-    PASTA_CHECK_MSG(rank <= kMaxStackRank,
-                    "rank " << rank << " exceeds kernel limit "
-                            << kMaxStackRank);
+    check_mttkrp_args(x.dims(), x.order(), rank, out, mode);
     out.fill(0);
 
     const int threads = num_threads();
     const Size order = x.order();
     const Value* xv = x.values().data();
-    // One private output copy per worker, merged after the sweep.
+    // One private output copy per worker, merged after the sweep.  The
+    // buffer is keyed by worker id — chunk identity would alias if the
+    // runtime delivered fewer threads than requested.
     std::vector<DenseMatrix> privates(
         threads, DenseMatrix(out.rows(), rank, 0));
-    parallel_for_ranges(0, x.nnz(), [&](Size first, Size last) {
-        // parallel_for_ranges hands each worker one contiguous chunk;
-        // identify the chunk by its start to pick a private buffer.
-        const Size chunk =
-            first / (((x.nnz() + threads - 1) / threads) == 0
-                         ? 1
-                         : (x.nnz() + threads - 1) / threads);
-        DenseMatrix& local =
-            privates[std::min<Size>(chunk, privates.size() - 1)];
-        for (Size p = first; p < last; ++p) {
-            Value acc[kMaxStackRank];
-            const Value xval = xv[p];
-            for (Size r = 0; r < rank; ++r)
-                acc[r] = xval;
-            for (Size m = 0; m < order; ++m) {
-                if (m == mode)
-                    continue;
-                const Value* row = factors[m]->row(x.index(m, p));
+    parallel_for_worker_ranges(
+        0, x.nnz(), [&](int worker, Size first, Size last) {
+            DenseMatrix& local = privates[worker];
+            for (Size p = first; p < last; ++p) {
+                Value acc[kMaxStackRank];
+                const Value xval = xv[p];
                 for (Size r = 0; r < rank; ++r)
-                    acc[r] *= row[r];
+                    acc[r] = xval;
+                for (Size m = 0; m < order; ++m) {
+                    if (m == mode)
+                        continue;
+                    const Value* row = factors[m]->row(x.index(m, p));
+                    for (Size r = 0; r < rank; ++r)
+                        acc[r] *= row[r];
+                }
+                Value* out_row = local.row(x.index(mode, p));
+                for (Size r = 0; r < rank; ++r)
+                    out_row[r] += acc[r];
             }
-            Value* out_row = local.row(x.index(mode, p));
-            for (Size r = 0; r < rank; ++r)
-                out_row[r] += acc[r];
-        }
-    });
+        });
     // Reduction (parallel over output rows, race-free).
     parallel_for(0, out.rows(), Schedule::kStatic, [&](Size i) {
         Value* dst = out.row(i);

@@ -8,14 +8,22 @@
 /// The Khatri-Rao product is never materialized (paper §II-E): the kernel
 /// fuses it into the sparse traversal.
 ///
-/// COO-MTTKRP-OMP parallelizes over non-zeros and protects the output
-/// rows with atomics (the ParTI strategy).  HiCOO-MTTKRP-OMP (Algorithm 3)
-/// parallelizes over tensor blocks, addressing factor matrices through
-/// per-block base pointers so that only 8-bit element offsets are decoded
-/// in the inner loop.  Blocks sharing an output row block can still
-/// collide, so the block kernel uses the same atomic update — the paper's
-/// reference implementations deliberately avoid privatization and other
-/// advanced tuning (§III-D).
+/// Output-contention strategy.  The paper's reference kernels protect the
+/// shared output matrix with atomics (the ParTI strategy); this suite
+/// additionally provides atomic-free schedules and picks between them
+/// automatically, because contention policy dominates MTTKRP throughput
+/// (Nguyen et al., arXiv:2201.12523):
+///   - COO: thread-private output copies merged by a race-free parallel
+///     reduction (kPrivatized), chosen when the extra
+///     threads x I_mode x R buffer is cheap relative to the per-non-zero
+///     atomic traffic it eliminates;
+///   - HiCOO: a block-owner partition (kBlockOwner) — blocks grouped by
+///     block_index(mode), one thread per group, so no two threads ever
+///     share an output tile.  The grouping is built once at conversion
+///     and cached on the tensor (HiCooTensor::owner_schedule).
+/// The explicit *_atomic entry points remain for ablations, and every
+/// kernel returns the MttkrpVariant it executed so benchmark profiles can
+/// report the crossover.
 #pragma once
 
 #include <vector>
@@ -35,26 +43,64 @@ using FactorList = std::vector<const DenseMatrix*>;
 /// Returns the common rank R.
 Size check_factors(const std::vector<Index>& dims, const FactorList& factors);
 
-/// COO-MTTKRP-OMP timed kernel: zeroes `out` (I_mode x R) then accumulates.
-/// Parallel over non-zeros with atomic output updates.
-void mttkrp_coo(const CooTensor& x, const FactorList& factors, Size mode,
-                DenseMatrix& out, Schedule schedule = Schedule::kStatic);
+/// Which output-contention strategy an MTTKRP call executed.
+enum class MttkrpVariant {
+    kAtomic,      ///< shared output, per-update omp atomic
+    kPrivatized,  ///< per-thread private outputs + parallel reduction
+    kBlockOwner,  ///< HiCOO owner-partitioned blocks, no atomics
+};
+
+/// Short stable name for profiles/benchmark labels ("atomic",
+/// "privatized", "block-owner").
+const char* mttkrp_variant_name(MttkrpVariant v);
+
+/// The COO contention heuristic: privatize when the replicated output
+/// (threads x dim_mode x rank) stays within budget and the non-zero
+/// stream touches output rows densely enough to amortize the zero+reduce
+/// sweep; atomics otherwise.  Exposed so benches can report the
+/// crossover without running both variants.
+MttkrpVariant mttkrp_coo_pick(Index dim_mode, Size nnz, Size rank);
+
+/// COO-MTTKRP-OMP timed kernel: zeroes `out` (I_mode x R) then
+/// accumulates.  Dispatches between the atomic and privatized schedules
+/// via mttkrp_coo_pick; returns the variant it ran.
+MttkrpVariant mttkrp_coo(const CooTensor& x, const FactorList& factors,
+                         Size mode, DenseMatrix& out,
+                         Schedule schedule = Schedule::kStatic);
+
+/// Parallel-over-non-zeros COO MTTKRP with atomic output updates (the
+/// paper's reference strategy), available directly for ablations.
+/// Contiguous per-worker ranges fuse runs of equal output index into a
+/// local accumulator flushed by one atomic set per run, so a stream
+/// sorted with `mode` leading pays roughly one atomic set per distinct
+/// output row instead of one per non-zero; the schedule argument is
+/// accepted for signature compatibility but unused.
+void mttkrp_coo_atomic(const CooTensor& x, const FactorList& factors,
+                       Size mode, DenseMatrix& out,
+                       Schedule schedule = Schedule::kStatic);
 
 /// HiCOO-MTTKRP-OMP timed kernel (Algorithm 3): parallel over blocks.
-void mttkrp_hicoo(const HiCooTensor& x, const FactorList& factors, Size mode,
-                  DenseMatrix& out, Schedule schedule = Schedule::kDynamic);
+/// Uses the cached block-owner schedule when it offers enough parallel
+/// groups, atomics otherwise; returns the variant it ran.
+MttkrpVariant mttkrp_hicoo(const HiCooTensor& x, const FactorList& factors,
+                           Size mode, DenseMatrix& out,
+                           Schedule schedule = Schedule::kDynamic);
+
+/// Block-parallel HiCOO MTTKRP with atomic output updates, available
+/// directly for ablations.
+void mttkrp_hicoo_atomic(const HiCooTensor& x, const FactorList& factors,
+                         Size mode, DenseMatrix& out,
+                         Schedule schedule = Schedule::kDynamic);
 
 /// Sequential COO-MTTKRP (no atomics), used as a deterministic baseline by
 /// tests and by the single-thread crossover ablation.
 void mttkrp_coo_seq(const CooTensor& x, const FactorList& factors, Size mode,
                     DenseMatrix& out);
 
-/// Privatized COO-MTTKRP-OMP: each thread accumulates into a private
-/// copy of the output matrix, reduced at the end — the lock-avoiding
-/// strategy the paper's reference implementations deliberately omit
-/// (§III-D: "advanced techniques such as privatization ... are not
-/// adopted").  Provided as the ablation counterpart: it trades
-/// O(threads x I_mode x R) extra memory for atomic-free updates.
+/// Privatized COO-MTTKRP-OMP: each worker accumulates into a private
+/// copy of the output matrix (indexed by worker id, so buffers can never
+/// alias under any schedule), merged by a race-free parallel reduction.
+/// Trades O(threads x I_mode x R) extra memory for atomic-free updates.
 void mttkrp_coo_privatized(const CooTensor& x, const FactorList& factors,
                            Size mode, DenseMatrix& out);
 

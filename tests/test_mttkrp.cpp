@@ -171,6 +171,60 @@ TEST(MttkrpCoo, PrivatizedHandlesSkewedOutputRows)
     EXPECT_LT(max_abs_diff(a, b), 1e-3);
 }
 
+TEST(MttkrpCoo, PickHeuristicRespectsBudgetAndDensity)
+{
+    // Tiny output + dense stream: privatize.  A replicated buffer that
+    // would blow the 64 MiB budget, or a stream far sparser than the
+    // output rows, must fall back to atomics.
+    EXPECT_EQ(mttkrp_coo_pick(1 << 10, 1 << 20, 16),
+              MttkrpVariant::kPrivatized);
+    EXPECT_EQ(mttkrp_coo_pick(kMaxIndex, 1 << 20, 64),
+              MttkrpVariant::kAtomic);
+    // dim >> nnz: the zero+reduce sweep would dominate.
+    EXPECT_EQ(mttkrp_coo_pick(1 << 20, 16, 1), MttkrpVariant::kAtomic);
+}
+
+TEST(MttkrpHicoo, BlockOwnerScheduleGroupsBlocksByOutputIndex)
+{
+    Problem prob = make_problem({64, 64, 64}, 800, 4, 21);
+    HiCooTensor hx = coo_to_hicoo(prob.x, 3);
+    for (Size mode = 0; mode < 3; ++mode) {
+        const OwnerSchedule& sched = hx.owner_schedule(mode);
+        ASSERT_EQ(sched.blocks.size(), hx.num_blocks());
+        ASSERT_GE(sched.group_ptr.size(), 2u);
+        EXPECT_EQ(sched.group_ptr.front(), 0u);
+        EXPECT_EQ(sched.group_ptr.back(), hx.num_blocks());
+        // Within a group every block shares the output block index;
+        // across group boundaries the index strictly increases.
+        for (Size g = 0; g + 1 < sched.group_ptr.size(); ++g) {
+            const BIndex key =
+                hx.block_index(mode, sched.blocks[sched.group_ptr[g]]);
+            for (Size s = sched.group_ptr[g]; s < sched.group_ptr[g + 1];
+                 ++s)
+                EXPECT_EQ(hx.block_index(mode, sched.blocks[s]), key);
+            if (g > 0) {
+                EXPECT_GT(key, hx.block_index(
+                                   mode,
+                                   sched.blocks[sched.group_ptr[g - 1]]));
+            }
+        }
+    }
+}
+
+TEST(MttkrpHicoo, OwnerAndAtomicVariantsAgree)
+{
+    Problem prob = make_problem({64, 64, 64}, 1000, 8, 22);
+    HiCooTensor hx = coo_to_hicoo(prob.x, 3);
+    for (Size mode = 0; mode < 3; ++mode) {
+        DenseMatrix auto_out(64, 8);
+        DenseMatrix atomic_out(64, 8);
+        mttkrp_hicoo(hx, prob.factors(), mode, auto_out);
+        mttkrp_hicoo_atomic(hx, prob.factors(), mode, atomic_out);
+        EXPECT_LT(max_abs_diff(auto_out, atomic_out), 1e-3)
+            << "mode " << mode;
+    }
+}
+
 TEST(MttkrpHicoo, SmallBlockSizesStillCorrect)
 {
     Problem prob = make_problem({16, 16, 16}, 300, 4, 7);

@@ -1,0 +1,295 @@
+// Tests for the parallel LSD radix sort: key packing, permutation
+// correctness, equivalence with comparator sorts on random and
+// adversarial tensors (duplicates, 64-bit-overflowing dims that force the
+// std::sort fallback), and thread-count determinism.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "common/morton.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "core/coo_tensor.hpp"
+#include "core/sort_radix.hpp"
+
+namespace pasta {
+namespace {
+
+/// RAII thread-count override so a test can force a worker count without
+/// leaking it into later tests.
+class ScopedThreads {
+  public:
+    explicit ScopedThreads(int n) : saved_(num_threads())
+    {
+        set_num_threads(n);
+    }
+    ~ScopedThreads() { set_num_threads(saved_); }
+
+  private:
+    int saved_;
+};
+
+std::vector<std::uint64_t>
+random_keys(Size n, std::uint64_t max_key, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::uint64_t> keys(n);
+    for (auto& k : keys) {
+        k = static_cast<std::uint64_t>(rng.next_index(kMaxIndex)) << 32 |
+            rng.next_index(kMaxIndex);
+        if (max_key != ~std::uint64_t{0})
+            k %= max_key + 1;
+    }
+    return keys;
+}
+
+TEST(RadixBits, BitsForCoversEdgeCases)
+{
+    EXPECT_EQ(radix::bits_for(0), 0u);
+    EXPECT_EQ(radix::bits_for(1), 0u);
+    EXPECT_EQ(radix::bits_for(2), 1u);
+    EXPECT_EQ(radix::bits_for(3), 2u);
+    EXPECT_EQ(radix::bits_for(256), 8u);
+    EXPECT_EQ(radix::bits_for(257), 9u);
+    EXPECT_EQ(radix::bits_for(kMaxIndex), 32u);
+}
+
+TEST(RadixBits, LexKeyFitDetection)
+{
+    // 3 x 21 bits = 63: fits.  Three full 32-bit modes = 96 bits: no.
+    std::vector<Index> small = {1u << 21, 1u << 21, 1u << 21};
+    std::vector<Index> huge = {kMaxIndex, kMaxIndex, kMaxIndex};
+    std::vector<Size> order = {0, 1, 2};
+    EXPECT_TRUE(radix::lex_key_fits(small, order));
+    EXPECT_FALSE(radix::lex_key_fits(huge, order));
+    EXPECT_FALSE(radix::morton_key_fits(huge, 7));
+}
+
+TEST(RadixSortPerm, SortsAndPermutesConsistently)
+{
+    std::vector<std::uint64_t> keys =
+        random_keys(5000, ~std::uint64_t{0}, 1);
+    const std::vector<std::uint64_t> original = keys;
+    std::vector<Size> perm;
+    radix::sort_perm(keys, perm);
+
+    ASSERT_EQ(perm.size(), original.size());
+    EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+    // perm[p] names the original slot of the element now at p.
+    for (Size p = 0; p < keys.size(); ++p)
+        EXPECT_EQ(keys[p], original[perm[p]]);
+    // perm is a permutation: every source index exactly once.
+    std::vector<Size> seen = perm;
+    std::sort(seen.begin(), seen.end());
+    for (Size p = 0; p < seen.size(); ++p)
+        EXPECT_EQ(seen[p], p);
+}
+
+TEST(RadixSortPerm, StableOnDuplicates)
+{
+    // Heavy duplication: stability means equal keys keep their original
+    // relative order, which the perm exposes directly.
+    std::vector<std::uint64_t> keys = random_keys(4000, 7, 2);
+    std::vector<Size> perm;
+    radix::sort_perm(keys, perm);
+    for (Size p = 1; p < keys.size(); ++p) {
+        ASSERT_LE(keys[p - 1], keys[p]);
+        if (keys[p - 1] == keys[p]) {
+            EXPECT_LT(perm[p - 1], perm[p]) << "instability at " << p;
+        }
+    }
+}
+
+TEST(RadixSortPerm, MatchesStdStableSortAcrossKeyWidths)
+{
+    // Sweep key widths so pass-skipping (1..8 passes) is all exercised.
+    for (unsigned shift : {0u, 7u, 15u, 31u, 47u, 63u}) {
+        const std::uint64_t max_key =
+            shift == 63 ? ~std::uint64_t{0}
+                        : (std::uint64_t{1} << (shift + 1)) - 1;
+        std::vector<std::uint64_t> keys = random_keys(3000, max_key, shift);
+        std::vector<std::uint64_t> expected = keys;
+        std::stable_sort(expected.begin(), expected.end());
+        std::vector<Size> perm;
+        radix::sort_perm(keys, perm);
+        EXPECT_EQ(keys, expected) << "max_key " << max_key;
+    }
+}
+
+TEST(RadixSortPerm, DeterministicAcrossThreadCounts)
+{
+    const std::vector<std::uint64_t> original = random_keys(6000, 1000, 3);
+    std::vector<std::uint64_t> keys1 = original;
+    std::vector<std::uint64_t> keys4 = original;
+    std::vector<Size> perm1;
+    std::vector<Size> perm4;
+    {
+        ScopedThreads one(1);
+        radix::sort_perm(keys1, perm1);
+    }
+    {
+        ScopedThreads four(4);
+        radix::sort_perm(keys4, perm4);
+    }
+    EXPECT_EQ(keys1, keys4);
+    EXPECT_EQ(perm1, perm4);
+}
+
+TEST(RadixSortPerm, HandlesEmptyAndSingleton)
+{
+    std::vector<std::uint64_t> keys;
+    std::vector<Size> perm;
+    radix::sort_perm(keys, perm);
+    EXPECT_TRUE(perm.empty());
+    keys = {42};
+    radix::sort_perm(keys, perm);
+    ASSERT_EQ(perm.size(), 1u);
+    EXPECT_EQ(perm[0], 0u);
+}
+
+/// Comparator reference for lexicographic COO order under `mode_order`.
+CooTensor
+reference_sorted(const CooTensor& x, const std::vector<Size>& mode_order)
+{
+    CooTensor ref = x;
+    std::vector<Size> perm(ref.nnz());
+    std::iota(perm.begin(), perm.end(), 0);
+    std::stable_sort(perm.begin(), perm.end(), [&](Size a, Size b) {
+        for (Size m : mode_order) {
+            if (ref.index(m, a) != ref.index(m, b))
+                return ref.index(m, a) < ref.index(m, b);
+        }
+        return false;
+    });
+    ref.apply_permutation(perm);
+    return ref;
+}
+
+void
+expect_same_tensor(const CooTensor& a, const CooTensor& b)
+{
+    ASSERT_EQ(a.nnz(), b.nnz());
+    for (Size p = 0; p < a.nnz(); ++p) {
+        for (Size m = 0; m < a.order(); ++m)
+            ASSERT_EQ(a.index(m, p), b.index(m, p)) << "pos " << p;
+        // Values must ride along with their coordinates.
+        ASSERT_EQ(a.value(p), b.value(p)) << "pos " << p;
+    }
+}
+
+TEST(CooRadixSort, LexicographicMatchesComparatorReference)
+{
+    Rng rng(7);
+    CooTensor x = CooTensor::random({100, 37, 64}, 2000, rng);
+    // Distinct values tie each value to its coordinate.
+    for (Size p = 0; p < x.nnz(); ++p)
+        x.values()[p] = static_cast<Value>(p);
+    const CooTensor expected = reference_sorted(x, {0, 1, 2});
+    CooTensor sorted = x;
+    sorted.sort_lexicographic();
+    expect_same_tensor(sorted, expected);
+}
+
+TEST(CooRadixSort, ModeOrderPermutationsMatchReference)
+{
+    Rng rng(8);
+    CooTensor x = CooTensor::random({31, 90, 17}, 1500, rng);
+    for (Size p = 0; p < x.nnz(); ++p)
+        x.values()[p] = static_cast<Value>(p);
+    const std::vector<std::vector<Size>> orders = {
+        {2, 1, 0}, {1, 0, 2}, {0, 2, 1}};
+    for (const auto& order : orders) {
+        CooTensor sorted = x;
+        sorted.sort_by_mode_order(order);
+        expect_same_tensor(sorted, reference_sorted(x, order));
+    }
+}
+
+TEST(CooRadixSort, DuplicateCoordinatesSurviveSorting)
+{
+    // Adversarial: every non-zero in one of two coordinates.  Sum of
+    // values (an order-independent invariant) must be preserved and the
+    // stream must come out grouped.
+    CooTensor x({4, 4, 4});
+    for (int i = 0; i < 300; ++i)
+        x.append({static_cast<Index>(i % 2 == 0 ? 3 : 1), 2, 1},
+                 static_cast<Value>(i));
+    CooTensor sorted = x;
+    sorted.sort_lexicographic();
+    expect_same_tensor(sorted, reference_sorted(x, {0, 1, 2}));
+}
+
+TEST(CooRadixSort, MaxIndexDimsFallBackToComparator)
+{
+    // Three full 32-bit modes need 96 key bits: exercises the std::sort
+    // fallback paths while demanding identical ordering semantics.
+    Rng rng(9);
+    CooTensor x({kMaxIndex, kMaxIndex, kMaxIndex});
+    for (int i = 0; i < 500; ++i)
+        x.append({rng.next_index(kMaxIndex), rng.next_index(kMaxIndex),
+                  rng.next_index(kMaxIndex)},
+                 static_cast<Value>(i));
+    CooTensor sorted = x;
+    sorted.sort_lexicographic();
+    expect_same_tensor(sorted, reference_sorted(x, {0, 1, 2}));
+}
+
+TEST(CooRadixSort, MortonMatchesComparatorReference)
+{
+    Rng rng(10);
+    CooTensor x = CooTensor::random({512, 300, 128}, 3000, rng);
+    for (Size p = 0; p < x.nnz(); ++p)
+        x.values()[p] = static_cast<Value>(p);
+    const unsigned bits = 5;
+
+    // Reference: 128-bit MortonKey over block coords, lexicographic
+    // tie-break on the full coordinate (the pre-radix implementation).
+    CooTensor ref = x;
+    {
+        std::vector<MortonKey> keys(ref.nnz());
+        Coordinate blocks(ref.order());
+        for (Size p = 0; p < ref.nnz(); ++p) {
+            for (Size m = 0; m < ref.order(); ++m)
+                blocks[m] = ref.index(m, p) >> bits;
+            keys[p] = morton_encode(blocks);
+        }
+        std::vector<Size> perm(ref.nnz());
+        std::iota(perm.begin(), perm.end(), 0);
+        std::stable_sort(perm.begin(), perm.end(), [&](Size a, Size b) {
+            if (!(keys[a] == keys[b]))
+                return keys[a] < keys[b];
+            for (Size m = 0; m < ref.order(); ++m)
+                if (ref.index(m, a) != ref.index(m, b))
+                    return ref.index(m, a) < ref.index(m, b);
+            return false;
+        });
+        ref.apply_permutation(perm);
+    }
+
+    CooTensor sorted = x;
+    sorted.sort_morton(bits);
+    expect_same_tensor(sorted, ref);
+}
+
+TEST(CooRadixSort, SortDeterministicAcrossThreadCounts)
+{
+    Rng rng(11);
+    const CooTensor x = CooTensor::random({256, 256, 64}, 4000, rng);
+    CooTensor a = x;
+    CooTensor b = x;
+    {
+        ScopedThreads one(1);
+        a.sort_lexicographic();
+    }
+    {
+        ScopedThreads four(4);
+        b.sort_lexicographic();
+    }
+    expect_same_tensor(a, b);
+}
+
+}  // namespace
+}  // namespace pasta

@@ -428,6 +428,64 @@ TEST(Diff, MttkrpAcceptsKernelOutputRejectsCorruption)
     EXPECT_FALSE(validate::diff_mttkrp(x, factors, 1, out).ok());
 }
 
+TEST(Diff, MttkrpAllSchedulingVariantsPassTheOracle)
+{
+    // Every output-contention schedule must agree with the dense oracle:
+    // auto-dispatched COO, forced atomic, forced privatized, and both
+    // HiCOO paths (block-owner and atomic).
+    ScopedMode guard(validate::Mode::kFull);
+    CooTensor x = random_tensor(3, 24, 500, 79);
+    HiCooTensor h = coo_to_hicoo(x, 3);
+    Rng rng(83);
+    std::vector<DenseMatrix> mats;
+    for (Size m = 0; m < x.order(); ++m)
+        mats.push_back(DenseMatrix::random(x.dim(m), 8, rng));
+    FactorList factors;
+    for (const auto& m : mats)
+        factors.push_back(&m);
+
+    for (Size mode = 0; mode < x.order(); ++mode) {
+        DenseMatrix out(x.dim(mode), 8);
+        mttkrp_coo(x, factors, mode, out);
+        EXPECT_TRUE(validate::diff_mttkrp(x, factors, mode, out).ok())
+            << "coo auto, mode " << mode;
+        mttkrp_coo_atomic(x, factors, mode, out);
+        EXPECT_TRUE(validate::diff_mttkrp(x, factors, mode, out).ok())
+            << "coo atomic, mode " << mode;
+        mttkrp_coo_privatized(x, factors, mode, out);
+        EXPECT_TRUE(validate::diff_mttkrp(x, factors, mode, out).ok())
+            << "coo privatized, mode " << mode;
+        mttkrp_hicoo(h, factors, mode, out);
+        EXPECT_TRUE(validate::diff_mttkrp(x, factors, mode, out).ok())
+            << "hicoo auto, mode " << mode;
+        mttkrp_hicoo_atomic(h, factors, mode, out);
+        EXPECT_TRUE(validate::diff_mttkrp(x, factors, mode, out).ok())
+            << "hicoo atomic, mode " << mode;
+    }
+}
+
+TEST(ValidateFull, RadixSortedConversionsPassStructuralChecks)
+{
+    // Under PASTA_VALIDATE=full every conversion re-validates its output;
+    // the radix-sorted orderings (lexicographic, Morton, gHiCOO hybrid,
+    // sHiCOO sparse-block) must all satisfy the structural checkers.
+    ScopedMode guard(validate::Mode::kFull);
+    CooTensor x = random_tensor(3, 128, 2000, 89);
+
+    HiCooTensor h = coo_to_hicoo(x, 4);  // sort_morton radix path
+    EXPECT_TRUE(validate::validate(h).ok());
+    CooTensor back = hicoo_to_coo(h);  // sort_lexicographic radix path
+    EXPECT_TRUE(tensors_almost_equal(x, back, 1e-5));
+
+    GHiCooTensor g = coo_to_ghicoo(x, {true, false, true}, 3);
+    EXPECT_TRUE(validate::validate(g).ok());
+    EXPECT_TRUE(tensors_almost_equal(x, ghicoo_to_coo(g), 1e-5));
+
+    ScooTensor s = coo_to_scoo(x, 2);
+    SHiCooTensor sh = scoo_to_shicoo(s, 3);
+    EXPECT_TRUE(validate::validate(sh).ok());
+}
+
 // ------------------------------------------------ simulated device
 
 TEST(DeviceMemory, AccountsAllocationsAndRaisesOom)
