@@ -73,6 +73,74 @@ BM_TewCoo(benchmark::State& state)
 }
 BENCHMARK(BM_TewCoo)->Arg(1 << 12)->Arg(1 << 15)->Arg(1 << 18);
 
+/// Second operand for general TEW with a controlled pattern overlap:
+/// reuses `pct` percent of x's coordinates and draws the remainder from
+/// an independent power-law stream (values always fresh).
+CooTensor
+overlap_operand(const CooTensor& x, unsigned pct)
+{
+    PowerLawConfig config;
+    config.dims = {1u << 16, 1u << 16, 128};
+    config.nnz = x.nnz();
+    config.uniform_mode = {false, false, true};
+    config.seed = 43;
+    const CooTensor fresh = generate_powerlaw(config);
+    Rng rng(6);
+    CooTensor y(x.dims());
+    const Size shared = x.nnz() * pct / 100;
+    for (Size p = 0; p < shared; ++p)
+        y.append(x.coordinate(p), rng.next_float() + 0.5f);
+    for (Size p = shared; p < x.nnz(); ++p)
+        y.append(fresh.coordinate(p), rng.next_float() + 0.5f);
+    y.canonicalize(DuplicatePolicy::kSum);
+    return y;
+}
+
+/// General-pattern TEW through the parallel merge engine, swept over the
+/// fraction of coordinates the two patterns share (Arg(1), percent).
+/// The label records the comparison path the engine picked.
+void
+BM_TewCooGeneral(benchmark::State& state)
+{
+    const CooTensor x = bench_tensor(static_cast<Size>(state.range(0)));
+    const CooTensor y =
+        overlap_operand(x, static_cast<unsigned>(state.range(1)));
+    merge::MergePath path = merge::MergePath::kMerged64Key;
+    Size out_nnz = 0;
+    for (auto _ : state) {
+        CooTensor z = tew_coo_general(x, y, EwOp::kAdd, &path);
+        out_nnz = z.nnz();
+        benchmark::DoNotOptimize(z.values().data());
+    }
+    state.SetLabel(merge::merge_path_name(path));
+    state.counters["out_nnz"] = static_cast<double>(out_nnz);
+    state.SetItemsProcessed(state.iterations() * (x.nnz() + y.nnz()));
+}
+BENCHMARK(BM_TewCooGeneral)
+    ->Args({1 << 15, 0})
+    ->Args({1 << 15, 50})
+    ->Args({1 << 15, 100})
+    ->Args({1 << 18, 50});
+
+/// Serial two-pointer reference on the same workload: the baseline the
+/// merge engine is measured against (items/s ratio = speedup).
+void
+BM_TewCooGeneralSerial(benchmark::State& state)
+{
+    const CooTensor x = bench_tensor(static_cast<Size>(state.range(0)));
+    const CooTensor y =
+        overlap_operand(x, static_cast<unsigned>(state.range(1)));
+    for (auto _ : state) {
+        CooTensor z = tew_coo_general_serial(x, y, EwOp::kAdd);
+        benchmark::DoNotOptimize(z.values().data());
+    }
+    state.SetLabel("serial-2ptr");
+    state.SetItemsProcessed(state.iterations() * (x.nnz() + y.nnz()));
+}
+BENCHMARK(BM_TewCooGeneralSerial)
+    ->Args({1 << 15, 50})
+    ->Args({1 << 18, 50});
+
 void
 BM_TsCoo(benchmark::State& state)
 {
@@ -103,6 +171,24 @@ BM_TtvCoo(benchmark::State& state)
     state.SetItemsProcessed(state.iterations() * 2 * x.nnz());
 }
 BENCHMARK(BM_TtvCoo)->Arg(1 << 12)->Arg(1 << 15)->Arg(1 << 18);
+
+/// Plan construction cost (sort + fiber detection + bulk-filled output
+/// pattern): the pre-processing side of TTV the merge-engine PR moved
+/// from per-fiber appends to count/scan/fill.
+void
+BM_TtvPlanBuild(benchmark::State& state)
+{
+    const CooTensor x = bench_tensor(static_cast<Size>(state.range(0)));
+    Size fibers = 0;
+    for (auto _ : state) {
+        CooTtvPlan plan = ttv_plan_coo(x, 2);
+        fibers = plan.fibers.num_fibers();
+        benchmark::DoNotOptimize(plan.out_pattern.values().data());
+    }
+    state.counters["fibers"] = static_cast<double>(fibers);
+    state.SetItemsProcessed(state.iterations() * x.nnz());
+}
+BENCHMARK(BM_TtvPlanBuild)->Arg(1 << 12)->Arg(1 << 15)->Arg(1 << 18);
 
 void
 BM_TtvHicoo(benchmark::State& state)

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Compare two bench_smoke.sh profiles and flag throughput regressions.
+
+Usage: scripts/bench_compare.py BASELINE.json CANDIDATE.json [--threshold PCT]
+
+Both inputs are google-benchmark JSON files (BENCH_kernels.json as
+written by scripts/bench_smoke.sh).  Benchmarks are matched by name;
+for each pair the relative change in items_per_second is reported.  The
+script exits non-zero when any benchmark's throughput dropped by more
+than --threshold percent (default 10), making it usable as a CI gate:
+
+    scripts/bench_smoke.sh build-release baseline.json
+    ... apply change ...
+    scripts/bench_smoke.sh build-release candidate.json
+    scripts/bench_compare.py baseline.json candidate.json
+
+Benchmarks present in only one file are listed but never fail the
+check, and aggregate entries (mean/median/stddev rows emitted under
+--benchmark_repetitions > 1) are skipped.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_throughputs(path):
+    """Map benchmark name -> items_per_second for one JSON profile."""
+    with open(path) as f:
+        doc = json.load(f)
+    build_type = doc.get("context", {}).get("library_build_type", "")
+    if build_type == "debug":
+        print(f"warning: {path} used a debug google-benchmark library; "
+              "timings may be noisy", file=sys.stderr)
+    rates = {}
+    for entry in doc.get("benchmarks", []):
+        # Skip mean/median/stddev aggregates; compare raw iterations.
+        if entry.get("run_type") == "aggregate":
+            continue
+        rate = entry.get("items_per_second")
+        if rate:
+            rates[entry["name"]] = float(rate)
+    return rates
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff two bench_smoke.sh JSON profiles")
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--threshold", type=float, default=10.0,
+                        help="max tolerated items_per_second drop, "
+                             "percent (default 10)")
+    args = parser.parse_args()
+
+    base = load_throughputs(args.baseline)
+    cand = load_throughputs(args.candidate)
+    if not base:
+        print(f"error: no items_per_second entries in {args.baseline}",
+              file=sys.stderr)
+        return 2
+
+    regressions = []
+    width = max((len(n) for n in base), default=0)
+    for name in sorted(base):
+        if name not in cand:
+            print(f"{name:<{width}}  only in baseline")
+            continue
+        old, new = base[name], cand[name]
+        change = (new - old) / old * 100.0
+        marker = ""
+        if change < -args.threshold:
+            marker = "  <-- REGRESSION"
+            regressions.append((name, change))
+        print(f"{name:<{width}}  {old:14.3e} -> {new:14.3e}  "
+              f"{change:+7.2f}%{marker}")
+    for name in sorted(set(cand) - set(base)):
+        print(f"{name:<{width}}  only in candidate")
+
+    if regressions:
+        print(f"\n{len(regressions)} benchmark(s) regressed more than "
+              f"{args.threshold:.1f}%:", file=sys.stderr)
+        for name, change in regressions:
+            print(f"  {name}: {change:+.2f}%", file=sys.stderr)
+        return 1
+    print(f"\nno regression beyond {args.threshold:.1f}% "
+          f"({len(base)} baseline benchmarks)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

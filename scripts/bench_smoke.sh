@@ -13,6 +13,10 @@
 # Environment:
 #   OMP_NUM_THREADS  worker count for the parallel kernels (default 4)
 #   BENCH_FILTER     regex passed to --benchmark_filter (default: all)
+#   BENCH_STRICT     when 1, fail (exit 1) if the google-benchmark
+#                    library itself was built in debug mode; otherwise a
+#                    loud warning is printed (debug-library timings are
+#                    not comparable across runs)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -29,5 +33,20 @@ cmake --build "${BUILD_DIR}" -j "$(nproc)" --target bench_kernels_micro
     --benchmark_out="${OUT_JSON}" \
     --benchmark_out_format=json \
     --benchmark_repetitions=1
+
+# A debug google-benchmark library skews every timing; refuse to treat
+# such a profile as a baseline silently.
+if grep -q '"library_build_type": "debug"' "${OUT_JSON}"; then
+    echo "=======================================================" >&2
+    echo "WARNING: ${OUT_JSON} was produced with a DEBUG build of" >&2
+    echo "the google-benchmark library (library_build_type=debug)." >&2
+    echo "Timings are not comparable with release-library runs."    >&2
+    echo "Set BENCH_STRICT=1 to make this an error."                >&2
+    echo "=======================================================" >&2
+    if [ "${BENCH_STRICT:-0}" = "1" ]; then
+        echo "BENCH_STRICT=1: failing on debug benchmark library" >&2
+        exit 1
+    fi
+fi
 
 echo "wrote ${OUT_JSON} (OMP_NUM_THREADS=${OMP_NUM_THREADS})"

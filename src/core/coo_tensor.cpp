@@ -8,9 +8,28 @@
 #include "common/error.hpp"
 #include "common/morton.hpp"
 #include "common/parallel.hpp"
+#include "core/merge.hpp"
 #include "core/sort_radix.hpp"
 
 namespace pasta {
+
+namespace {
+
+/// Fixed chunking shared by the coalesce phases: identical boundaries in
+/// the count and fill passes keep the scanned offsets valid.
+struct Chunking {
+    Size chunks = 0;
+    Size per = 0;
+
+    explicit Chunking(Size n)
+    {
+        chunks = std::min<Size>(
+            static_cast<Size>(std::max(1, num_threads())), n);
+        per = chunks == 0 ? 0 : (n + chunks - 1) / chunks;
+    }
+};
+
+}  // namespace
 
 CooTensor::CooTensor(std::vector<Index> dims) : dims_(std::move(dims))
 {
@@ -47,6 +66,19 @@ CooTensor::resize_nnz(Size n)
     for (auto& idx : indices_)
         idx.resize(n, 0);
     values_.resize(n, 0);
+}
+
+CooBulkFill
+CooTensor::bulk_fill(Size n)
+{
+    resize_nnz(n);
+    CooBulkFill out;
+    out.modes.resize(order());
+    for (Size m = 0; m < order(); ++m)
+        out.modes[m] = indices_[m].data();
+    out.values = values_.data();
+    out.nnz = n;
+    return out;
 }
 
 Coordinate
@@ -188,45 +220,75 @@ CooTensor::is_sorted_lexicographic() const
 void
 CooTensor::coalesce()
 {
-    if (nnz() == 0)
+    const Size n = nnz();
+    if (n == 0)
         return;
-    Size out = 0;
-    for (Size p = 1; p < nnz(); ++p) {
-        bool same = true;
-        for (Size m = 0; m < order(); ++m) {
-            if (indices_[m][p] != indices_[m][out]) {
-                same = false;
-                break;
-            }
-        }
-        if (same) {
-            values_[out] += values_[p];
-        } else {
-            ++out;
+    // A position is a run head when its coordinate differs from its
+    // predecessor's; each head owns its whole duplicate run, even when
+    // the run crosses a chunk boundary.
+    auto is_head = [&](Size p) {
+        if (p == 0)
+            return true;
+        for (Size m = 0; m < order(); ++m)
+            if (indices_[m][p] != indices_[m][p - 1])
+                return true;
+        return false;
+    };
+    const Chunking ck(n);
+    std::vector<Size> heads(ck.chunks);
+    parallel_for(0, ck.chunks, Schedule::kStatic, [&](Size c) {
+        const Size first = c * ck.per;
+        const Size last = std::min(n, first + ck.per);
+        Size count = 0;
+        for (Size p = first; p < last; ++p)
+            count += is_head(p);
+        heads[c] = count;
+    });
+    const Size out_n = merge::exclusive_scan(heads);
+    if (out_n == n)
+        return;  // already duplicate-free
+    // Out-of-place fill: compacting in place would have one worker write
+    // slots another still reads as sources.
+    std::vector<std::vector<Index>> out_idx(order());
+    for (auto& idx : out_idx)
+        idx.resize(out_n);
+    std::vector<Value> out_vals(out_n);
+    parallel_for(0, ck.chunks, Schedule::kStatic, [&](Size c) {
+        const Size first = c * ck.per;
+        const Size last = std::min(n, first + ck.per);
+        Size out = heads[c];
+        for (Size p = first; p < last; ++p) {
+            if (!is_head(p))
+                continue;
+            // Runs are summed serially in stream order, so the result is
+            // bit-identical for every worker count.
+            Value v = values_[p];
+            for (Size q = p + 1; q < n && !is_head(q); ++q)
+                v += values_[q];
             for (Size m = 0; m < order(); ++m)
-                indices_[m][out] = indices_[m][p];
-            values_[out] = values_[p];
+                out_idx[m][out] = indices_[m][p];
+            out_vals[out] = v;
+            ++out;
         }
-    }
-    resize_nnz(out + 1);
+    });
+    indices_.swap(out_idx);
+    values_.swap(out_vals);
 }
 
 Size
 CooTensor::count_duplicates() const
 {
-    Size dups = 0;
-    for (Size p = 1; p < nnz(); ++p) {
-        bool same = true;
-        for (Size m = 0; m < order(); ++m) {
-            if (indices_[m][p] != indices_[m][p - 1]) {
-                same = false;
-                break;
-            }
-        }
-        if (same)
-            ++dups;
-    }
-    return dups;
+    const Size n = nnz();
+    if (n < 2)
+        return 0;
+    // Counts fit a double exactly (< 2^53 non-zeros).
+    const double dups = parallel_sum(1, n, [&](Size p) {
+        for (Size m = 0; m < order(); ++m)
+            if (indices_[m][p] != indices_[m][p - 1])
+                return 0.0;
+        return 1.0;
+    });
+    return static_cast<Size>(dups + 0.5);
 }
 
 void
@@ -237,6 +299,9 @@ CooTensor::canonicalize(DuplicatePolicy policy)
         coalesce();
         return;
     }
+    if (count_duplicates() == 0)
+        return;  // parallel fast path; the serial scan below only names
+                 // the first offender for the error message
     for (Size p = 1; p < nnz(); ++p) {
         bool same = true;
         for (Size m = 0; m < order(); ++m) {

@@ -25,6 +25,16 @@ enum class DuplicatePolicy {
     kSum,     ///< merge duplicates by summing their values (coalesce)
 };
 
+/// Raw mutable views into one tensor's arrays for bulk parallel fills:
+/// one pointer per mode plus the value pointer, all `nnz` long.  Obtained
+/// from CooTensor::bulk_fill; every slot must be written before the
+/// tensor is used (contents are unspecified until then).
+struct CooBulkFill {
+    std::vector<Index*> modes;
+    Value* values = nullptr;
+    Size nnz = 0;
+};
+
 /// Arbitrary-order sparse tensor in coordinate format.
 class CooTensor {
   public:
@@ -58,6 +68,14 @@ class CooTensor {
     /// Used by pre-processing stages that fill indices afterwards.
     void resize_nnz(Size n);
 
+    /// Resizes to exactly `n` non-zeros and returns raw pointers for a
+    /// bulk parallel fill.  This is the append-free materialization path
+    /// used by the merge engine and the TTV/TTM plan builders: workers
+    /// write disjoint slots directly instead of serializing on append.
+    /// The caller is responsible for writing every slot with in-range
+    /// indices (validate() checks after the fact).
+    CooBulkFill bulk_fill(Size n);
+
     /// Index of non-zero `pos` along `mode`.
     Index index(Size mode, Size pos) const { return indices_[mode][pos]; }
 
@@ -66,6 +84,13 @@ class CooTensor {
     const std::vector<Index>& mode_indices(Size mode) const
     {
         return indices_[mode];
+    }
+
+    /// All index arrays at once ([mode][pos]), the layout the radix key
+    /// builders and the merge engine consume.
+    const std::vector<std::vector<Index>>& indices_view() const
+    {
+        return indices_;
     }
 
     /// Value of non-zero `pos`.
@@ -102,7 +127,10 @@ class CooTensor {
     bool is_sorted_lexicographic() const;
 
     /// Merges duplicate coordinates by summing their values.  Requires the
-    /// tensor to be lexicographically sorted first.
+    /// tensor to be lexicographically sorted first.  Parallel two-pass
+    /// (count run heads -> exclusive scan -> fill); each duplicate run is
+    /// summed serially in stream order, so the result is bit-identical
+    /// for every worker count.
     void coalesce();
 
     /// Number of non-zeros sharing a coordinate with an earlier non-zero.

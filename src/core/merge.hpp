@@ -1,0 +1,230 @@
+/// \file
+/// Parallel merge engine for pattern-combining operations.
+///
+/// Several pre-processing and kernel paths combine two sorted, duplicate-
+/// free non-zero streams into one: general TEW (paper §II-A, different
+/// non-zero patterns), duplicate coalescing, and output-pattern
+/// materialization.  The natural two-pointer merge is inherently serial
+/// and the naive parallel cure — per-element append under a lock or into
+/// growable vectors — is worse.  This engine makes the merge parallel and
+/// deterministic in three steps:
+///
+///  1. *Key packing*.  When every coordinate of both streams fits the
+///     64-bit lexicographic key `sort_radix` already produces (per-mode
+///     widths from the common output dims), comparisons are one integer
+///     compare (`merged-64key`).  Wider coordinate spaces fall back to a
+///     per-mode comparator over the raw index arrays (`merged-cmp`) —
+///     semantics, not speed, are the invariant.
+///  2. *Merge-path partition* (Green et al., "GPU Merge Path").  A binary
+///     search along evenly spaced cross diagonals of the merge matrix
+///     splits the two streams into per-worker (a, b) ranges of near-equal
+///     total work.  Boundaries are nudged so a coordinate matched in both
+///     streams never splits across workers, which keeps every segment an
+///     independent joint merge.
+///  3. *Count → exclusive scan → parallel fill*.  Each worker first counts
+///     the outputs its segment emits, a serial scan of the per-segment
+///     counts assigns disjoint output ranges, then workers fill
+///     preallocated index/value arrays directly — no per-element append
+///     anywhere on the hot path.
+///
+/// The merged output sequence is a pure function of the two inputs (the
+/// partition only decides who writes which slice), so results are
+/// bit-identical for every worker count.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "core/coo_tensor.hpp"
+
+namespace pasta::merge {
+
+/// Which comparison machinery the engine selected for a merge.
+enum class MergePath {
+    kMerged64Key,  ///< coordinates packed into 64-bit radix keys
+    kMergedCmp,    ///< per-mode comparator (key wider than 64 bits)
+};
+
+/// Short stable name for profiles/benchmark labels ("merged-64key",
+/// "merged-cmp"), mirroring mttkrp_variant_name.
+const char* merge_path_name(MergePath path);
+
+/// Union keeps entries present in only one stream (TEW add/sub: absent
+/// entries are zero); intersection drops them (TEW mul/div).
+enum class MergeSemantics { kUnion, kIntersect };
+
+/// In-place exclusive prefix sum; returns the total.  Shared by the
+/// engine's scan phase and other count/fill consumers (coalesce, GPU
+/// two-phase TEW).
+Size exclusive_scan(std::vector<Size>& counts);
+
+/// Per-segment boundaries of a two-stream merge: segment s owns
+/// x[a[s], a[s+1]) and y[b[s], b[s+1]).  Boundaries never split a
+/// coordinate present in both streams.
+struct MergePartition {
+    std::vector<Size> a;  ///< stream-x starts, size segments()+1
+    std::vector<Size> b;  ///< stream-y starts, size segments()+1
+
+    Size segments() const { return a.empty() ? 0 : a.size() - 1; }
+};
+
+/// Comparison state for merging two lexicographically sorted,
+/// duplicate-free COO streams under a common coordinate space
+/// (`out_dims`, the per-mode max of the operand dims).  Packs both
+/// streams into 64-bit keys when the space fits; otherwise compares the
+/// raw index arrays mode by mode.
+class MergeKeys {
+  public:
+    MergeKeys(const CooTensor& x, const CooTensor& y,
+              const std::vector<Index>& out_dims);
+
+    MergePath path() const { return path_; }
+
+    Size na() const { return na_; }
+    Size nb() const { return nb_; }
+
+    /// Three-way comparison of x's non-zero `a` against y's non-zero `b`.
+    int compare(Size a, Size b) const
+    {
+        if (path_ == MergePath::kMerged64Key) {
+            const std::uint64_t ka = kx_[a];
+            const std::uint64_t kb = ky_[b];
+            return ka < kb ? -1 : (ka > kb ? 1 : 0);
+        }
+        for (Size m = 0; m < order_; ++m) {
+            const Index ia = xi_[m][a];
+            const Index ib = yi_[m][b];
+            if (ia != ib)
+                return ia < ib ? -1 : 1;
+        }
+        return 0;
+    }
+
+    /// The (a, b) split of cross diagonal `d` (0 <= d <= na+nb): a is the
+    /// number of x elements among the first d merged elements (ties to x),
+    /// adjusted so a pair matched across streams never splits.  A pure
+    /// function of d, so concurrent callers agree without coordination.
+    std::pair<Size, Size> diagonal_split(Size d) const;
+
+    /// Evenly spaced diagonal partition into (at most) `segments` ranges.
+    MergePartition partition(Size segments) const;
+
+    /// Outputs the joint merge of segment s of `part` emits under the
+    /// given semantics (count phase).
+    Size count_segment(const MergePartition& part, Size s,
+                       MergeSemantics semantics) const;
+
+    /// Fill phase for segment s of `part`: walks the segment's joint
+    /// merge, invoking one emitter per output with the running output
+    /// position starting at `base` (the scanned count prefix):
+    ///   both(pos, a, b)   coordinate present in both streams
+    ///   left(pos, a)      x-only coordinate (kUnion only)
+    ///   right(pos, b)     y-only coordinate (kUnion only)
+    template <typename Both, typename Left, typename Right>
+    void fill_segment(const MergePartition& part, Size s,
+                      MergeSemantics semantics, Size base, Both both,
+                      Left left, Right right) const
+    {
+        Size a = part.a[s];
+        Size b = part.b[s];
+        const Size a_end = part.a[s + 1];
+        const Size b_end = part.b[s + 1];
+        const bool keep = semantics == MergeSemantics::kUnion;
+        Size pos = base;
+        while (a < a_end && b < b_end) {
+            const int cmp = compare(a, b);
+            if (cmp < 0) {
+                if (keep)
+                    left(pos++, a);
+                ++a;
+            } else if (cmp > 0) {
+                if (keep)
+                    right(pos++, b);
+                ++b;
+            } else {
+                both(pos++, a, b);
+                ++a;
+                ++b;
+            }
+        }
+        if (!keep)
+            return;
+        for (; a < a_end; ++a)
+            left(pos++, a);
+        for (; b < b_end; ++b)
+            right(pos++, b);
+    }
+
+  private:
+    MergePath path_ = MergePath::kMergedCmp;
+    Size na_ = 0;
+    Size nb_ = 0;
+    Size order_ = 0;
+    std::vector<std::uint64_t> kx_;  ///< packed keys (kMerged64Key)
+    std::vector<std::uint64_t> ky_;
+    std::vector<const Index*> xi_;   ///< raw index arrays (kMergedCmp)
+    std::vector<const Index*> yi_;
+};
+
+/// Full two-pass merged materialization of two sorted duplicate-free COO
+/// streams into a fresh tensor with dims `out_dims`.  Value emitters:
+///   both(a, b) -> Value    for coordinates present in both streams
+///   left(a) -> Value       x-only (used under kUnion)
+///   right(b) -> Value      y-only (used under kUnion)
+/// Coordinates are copied from the source index arrays in bulk; no
+/// per-element append.  Output order is the merged (lexicographic)
+/// order, bit-identical for every worker count.
+template <typename Both, typename Left, typename Right>
+CooTensor
+merge_materialize(const CooTensor& x, const CooTensor& y,
+                  std::vector<Index> out_dims, MergeSemantics semantics,
+                  Both both, Left left, Right right,
+                  MergePath* path_out = nullptr)
+{
+    const Size order = out_dims.size();
+    const MergeKeys keys(x, y, out_dims);
+    if (path_out)
+        *path_out = keys.path();
+    const Size workers = static_cast<Size>(num_threads());
+    const MergePartition part = keys.partition(workers);
+    const Size segments = part.segments();
+
+    std::vector<Size> counts(segments);
+    parallel_for(0, segments, Schedule::kStatic, [&](Size s) {
+        counts[s] = keys.count_segment(part, s, semantics);
+    });
+    const Size total = exclusive_scan(counts);
+
+    CooTensor z(std::move(out_dims));
+    CooBulkFill out = z.bulk_fill(total);
+    std::vector<const Index*> xi(order);
+    std::vector<const Index*> yi(order);
+    for (Size m = 0; m < order; ++m) {
+        xi[m] = x.mode_indices(m).data();
+        yi[m] = y.mode_indices(m).data();
+    }
+    parallel_for(0, segments, Schedule::kStatic, [&](Size s) {
+        keys.fill_segment(
+            part, s, semantics, counts[s],
+            [&](Size pos, Size a, Size b) {
+                for (Size m = 0; m < order; ++m)
+                    out.modes[m][pos] = xi[m][a];
+                out.values[pos] = both(a, b);
+            },
+            [&](Size pos, Size a) {
+                for (Size m = 0; m < order; ++m)
+                    out.modes[m][pos] = xi[m][a];
+                out.values[pos] = left(a);
+            },
+            [&](Size pos, Size b) {
+                for (Size m = 0; m < order; ++m)
+                    out.modes[m][pos] = yi[m][b];
+                out.values[pos] = right(b);
+            });
+    });
+    return z;
+}
+
+}  // namespace pasta::merge

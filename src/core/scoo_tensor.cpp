@@ -51,6 +51,20 @@ ScooTensor::append_stripe(const Index* sparse_coords)
     return sparse_indices_[0].size() - 1;
 }
 
+ScooBulkFill
+ScooTensor::bulk_fill_stripes(Size n)
+{
+    ScooBulkFill out;
+    out.sparse.resize(sparse_indices_.size());
+    for (Size s = 0; s < sparse_indices_.size(); ++s) {
+        sparse_indices_[s].assign(n, 0);
+        out.sparse[s] = sparse_indices_[s].data();
+    }
+    values_.assign(n * stripe_volume_, 0);
+    out.num_sparse = n;
+    return out;
+}
+
 Value
 ScooTensor::at(const Coordinate& coords) const
 {

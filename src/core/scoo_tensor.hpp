@@ -17,6 +17,14 @@
 
 namespace pasta {
 
+/// Raw mutable views for bulk parallel stripe fills: one pointer per
+/// sparse-mode slot, `num_sparse` coordinates each, stripes zero-filled.
+/// Obtained from ScooTensor::bulk_fill_stripes.
+struct ScooBulkFill {
+    std::vector<Index*> sparse;
+    Size num_sparse = 0;
+};
+
 /// Arbitrary-order semi-sparse tensor with dense mode(s).
 class ScooTensor {
   public:
@@ -50,6 +58,12 @@ class ScooTensor {
     /// Appends one sparse coordinate (arity = sparse_modes().size()) with a
     /// zero-filled stripe; returns its position.
     Size append_stripe(const Index* sparse_coords);
+
+    /// Resizes to exactly `n` sparse coordinates (stripes zero-filled)
+    /// and returns raw index pointers for a bulk parallel fill — the
+    /// append-free path the TTM plan builder uses.  Every slot must be
+    /// written with in-range indices.
+    ScooBulkFill bulk_fill_stripes(Size n);
 
     /// Index of sparse coordinate `pos` along sparse mode slot `s`
     /// (s indexes into sparse_modes()).

@@ -40,10 +40,125 @@ arm_access_checks()
 
 }  // namespace
 
+namespace {
+
+/// General-pattern COO TEW on the simulated device: the GPU analogue of
+/// the CPU merge engine.  Each simulated thread owns one ~256-element
+/// diagonal segment of the joint merge; the count launch sizes the
+/// output, the host scans, the fill launch materializes pattern and
+/// values.  diagonal_split is a pure function of the diagonal, so
+/// neighbouring threads agree on their shared boundary without
+/// synchronization, and the output is identical to the CPU merged and
+/// serial reference results.
 LaunchProfile
-tew_gpu_coo(const CooTensor& x, const CooTensor& y, EwOp op, CooTensor& z)
+tew_gpu_coo_general(const CooTensor& x, const CooTensor& y, EwOp op,
+                    CooTensor& z, merge::MergePath* path_out)
 {
-    PASTA_CHECK_MSG(x.same_pattern(y), "tew_gpu_coo requires same pattern");
+    PASTA_CHECK_MSG(x.order() == y.order(),
+                    "tew_gpu_coo requires equal tensor order");
+    std::vector<Index> out_dims(x.order());
+    for (Size m = 0; m < x.order(); ++m)
+        out_dims[m] = std::max(x.dim(m), y.dim(m));
+    const merge::MergeKeys keys(x, y, out_dims);
+    if (path_out)
+        *path_out = keys.path();
+    const merge::MergeSemantics semantics =
+        (op == EwOp::kAdd || op == EwOp::kSub)
+            ? merge::MergeSemantics::kUnion
+            : merge::MergeSemantics::kIntersect;
+    const Size order = x.order();
+    const Size total_in = x.nnz() + y.nnz();
+    // One thread per merge tile of kDefaultBlockThreads diagonal steps.
+    const Size segments = grid_blocks(total_in, kDefaultBlockThreads);
+    const DeviceBuffer dx(x.storage_bytes(), "tew_gpu_coo.x");
+    const DeviceBuffer dy(y.storage_bytes(), "tew_gpu_coo.y");
+    const DeviceBuffer dcounts(segments * sizeof(Size), "tew_gpu_coo.counts");
+
+    auto thread_range = [&](Size tid) {
+        const Size d0 = std::min(total_in, tid * kDefaultBlockThreads);
+        const Size d1 = std::min(total_in, (tid + 1) * kDefaultBlockThreads);
+        merge::MergePartition part;
+        const auto [a0, b0] = keys.diagonal_split(d0);
+        const auto [a1, b1] = keys.diagonal_split(d1);
+        part.a = {a0, a1};
+        part.b = {b0, b1};
+        return part;
+    };
+
+    std::vector<Size> counts(segments);
+    const Dim3 grid{grid_blocks(segments, kDefaultBlockThreads), 1, 1};
+    const Dim3 block{kDefaultBlockThreads, 1, 1};
+    arm_access_checks();
+    const auto counts_span = make_span(counts.data(), segments);
+    launch(grid, block, [&](const ThreadCtx& ctx) {
+        const Size tid = ctx.global_x();
+        if (tid >= segments)
+            return;
+        const merge::MergePartition part = thread_range(tid);
+        counts_span[tid] = keys.count_segment(part, 0, semantics);
+    });
+    AccessMonitor::throw_if_access_violations("tew_gpu_coo.count");
+
+    const Size total_out = merge::exclusive_scan(counts);
+    z = CooTensor(out_dims);
+    CooBulkFill out = z.bulk_fill(total_out);
+    const DeviceBuffer dz(z.storage_bytes(), "tew_gpu_coo.z");
+    std::vector<const Index*> xi(order);
+    std::vector<const Index*> yi(order);
+    for (Size m = 0; m < order; ++m) {
+        xi[m] = x.mode_indices(m).data();
+        yi[m] = y.mode_indices(m).data();
+    }
+    const Value* xv = x.values().data();
+    const Value* yv = y.values().data();
+    const auto zv = make_span(out.values, total_out);
+    arm_access_checks();
+    launch(grid, block, [&](const ThreadCtx& ctx) {
+        const Size tid = ctx.global_x();
+        if (tid >= segments)
+            return;
+        const merge::MergePartition part = thread_range(tid);
+        keys.fill_segment(
+            part, 0, semantics, counts[tid],
+            [&](Size pos, Size a, Size b) {
+                for (Size m = 0; m < order; ++m)
+                    out.modes[m][pos] = xi[m][a];
+                zv[pos] = apply_ew(op, xv[a], yv[b]);
+            },
+            [&](Size pos, Size a) {
+                for (Size m = 0; m < order; ++m)
+                    out.modes[m][pos] = xi[m][a];
+                zv[pos] = apply_ew(op, xv[a], 0);
+            },
+            [&](Size pos, Size b) {
+                for (Size m = 0; m < order; ++m)
+                    out.modes[m][pos] = yi[m][b];
+                zv[pos] = apply_ew(op, 0, yv[b]);
+            });
+    });
+    AccessMonitor::throw_if_access_violations("tew_gpu_coo.fill");
+
+    LaunchProfile prof;
+    prof.flops = total_out;
+    // Both operand streams are read by the count and fill launches; the
+    // output pattern and values are written once; the segment counts
+    // cross the device twice (write, then scan-adjusted read).
+    prof.dram_bytes = 2 * (x.storage_bytes() + y.storage_bytes()) +
+                      z.storage_bytes() + 2 * segments * sizeof(Size);
+    prof.working_set_bytes =
+        x.storage_bytes() + y.storage_bytes() + z.storage_bytes();
+    prof.block_bytes = uniform_block_bytes(prof.dram_bytes, grid.x);
+    return prof;
+}
+
+}  // namespace
+
+LaunchProfile
+tew_gpu_coo(const CooTensor& x, const CooTensor& y, EwOp op, CooTensor& z,
+            merge::MergePath* path_out)
+{
+    if (!x.same_pattern(y))
+        return tew_gpu_coo_general(x, y, op, z, path_out);
     PASTA_CHECK_MSG(z.nnz() == x.nnz(), "output nnz mismatch");
     const Size m = x.nnz();
     const DeviceBuffer dx(x.storage_bytes(), "tew_gpu_coo.x");

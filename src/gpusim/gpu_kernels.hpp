@@ -21,6 +21,7 @@
 #include "core/coo_tensor.hpp"
 #include "core/dense.hpp"
 #include "core/hicoo_tensor.hpp"
+#include "core/merge.hpp"
 #include "core/scoo_tensor.hpp"
 #include "core/shicoo_tensor.hpp"
 #include "gpusim/timing_model.hpp"
@@ -31,9 +32,17 @@
 
 namespace pasta::gpusim {
 
-/// COO-TEW-GPU (same-pattern): one thread per non-zero.
+/// COO-TEW-GPU.  Same-pattern operands take the paper's one-thread-per-
+/// non-zero value sweep (z must be preallocated with x's pattern).
+/// General operands (different shapes/patterns, lexicographically sorted
+/// and duplicate-free) run a two-phase merge-path launch: a count kernel
+/// where each thread walks one diagonal segment of the joint merge, a
+/// host-side exclusive scan sizing the output, then a fill kernel writing
+/// the merged pattern and values; `z` is rebuilt.  `path_out`, when
+/// given, receives the comparison path the merge engine selected.
 LaunchProfile tew_gpu_coo(const CooTensor& x, const CooTensor& y, EwOp op,
-                          CooTensor& z);
+                          CooTensor& z,
+                          merge::MergePath* path_out = nullptr);
 
 /// HiCOO-TEW-GPU: identical value computation on the HiCOO value stream.
 LaunchProfile tew_gpu_hicoo(const HiCooTensor& x, const HiCooTensor& y,

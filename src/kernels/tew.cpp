@@ -1,6 +1,7 @@
 #include "kernels/tew.hpp"
 
 #include "common/error.hpp"
+#include "core/convert.hpp"
 
 namespace pasta {
 
@@ -66,7 +67,30 @@ compare_coords(const CooTensor& x, Size a, const CooTensor& y, Size b)
 }  // namespace
 
 CooTensor
-tew_coo_general(const CooTensor& x, const CooTensor& y, EwOp op)
+tew_coo_general(const CooTensor& x, const CooTensor& y, EwOp op,
+                merge::MergePath* path_out)
+{
+    PASTA_CHECK_MSG(x.order() == y.order(),
+                    "tew_coo_general requires equal tensor order");
+    std::vector<Index> out_dims(x.order());
+    for (Size m = 0; m < x.order(); ++m)
+        out_dims[m] = std::max(x.dim(m), y.dim(m));
+    const merge::MergeSemantics semantics =
+        (op == EwOp::kAdd || op == EwOp::kSub)
+            ? merge::MergeSemantics::kUnion
+            : merge::MergeSemantics::kIntersect;
+    // The value expressions match the serial reference exactly (no
+    // reductions are involved), so the merged output is bit-identical to
+    // it at every worker count.
+    return merge::merge_materialize(
+        x, y, std::move(out_dims), semantics,
+        [&](Size a, Size b) { return apply_ew(op, x.value(a), y.value(b)); },
+        [&](Size a) { return apply_ew(op, x.value(a), 0); },
+        [&](Size b) { return apply_ew(op, 0, y.value(b)); }, path_out);
+}
+
+CooTensor
+tew_coo_general_serial(const CooTensor& x, const CooTensor& y, EwOp op)
 {
     PASTA_CHECK_MSG(x.order() == y.order(),
                     "tew_coo_general requires equal tensor order");
@@ -116,6 +140,21 @@ tew_hicoo(const HiCooTensor& x, const HiCooTensor& y, EwOp op)
     tew_values(op, x.values().data(), y.values().data(), z.values().data(),
                x.nnz());
     return z;
+}
+
+HiCooTensor
+tew_hicoo_general(const HiCooTensor& x, const HiCooTensor& y, EwOp op,
+                  unsigned block_bits, merge::MergePath* path_out)
+{
+    PASTA_CHECK_MSG(x.order() == y.order(),
+                    "tew_hicoo_general requires equal tensor order");
+    if (block_bits == 0)
+        block_bits = x.block_bits();
+    // Unpack to sorted COO keys (hicoo_to_coo emits lexicographic,
+    // duplicate-free streams), merge on the parallel engine, re-block.
+    const CooTensor cz =
+        tew_coo_general(hicoo_to_coo(x), hicoo_to_coo(y), op, path_out);
+    return coo_to_hicoo(cz, block_bits);
 }
 
 }  // namespace pasta

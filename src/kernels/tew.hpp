@@ -7,14 +7,19 @@
 ///    a single parallel sweep over the value arrays (OI 1/12: three value
 ///    streams per non-zero).
 ///  * general: inputs share the order but may differ in shape and pattern.
-///    A sorted two-pointer merge produces the output: union semantics for
-///    add/sub (absent entries are zero), intersection semantics for mul
-///    (0 * y = 0) and div (defined only where the divisor is stored).
+///    A sorted merge produces the output: union semantics for add/sub
+///    (absent entries are zero), intersection semantics for mul (0 * y =
+///    0) and div (defined only where the divisor is stored).  The merge
+///    runs on the parallel merge engine (core/merge.hpp): merge-path
+///    partition, then count/scan/fill into preallocated arrays.  The
+///    engine reports which comparison path it ran (merged-64key packed
+///    keys vs merged-cmp comparator) the way MTTKRP reports its variant.
 #pragma once
 
 #include "common/parallel.hpp"
 #include "core/coo_tensor.hpp"
 #include "core/hicoo_tensor.hpp"
+#include "core/merge.hpp"
 #include "kernels/ops.hpp"
 
 namespace pasta {
@@ -27,10 +32,19 @@ void tew_values(EwOp op, const Value* x, const Value* y, Value* z,
 /// COO-TEW-OMP, same-pattern fast path.  Throws when patterns differ.
 CooTensor tew_coo(const CooTensor& x, const CooTensor& y, EwOp op);
 
-/// COO-TEW for general inputs (different shapes/patterns): sorted merge.
-/// Inputs must be lexicographically sorted and duplicate-free; output dims
-/// are the element-wise max of the input dims.
-CooTensor tew_coo_general(const CooTensor& x, const CooTensor& y, EwOp op);
+/// COO-TEW for general inputs (different shapes/patterns): parallel
+/// sorted merge.  Inputs must be lexicographically sorted and
+/// duplicate-free; output dims are the element-wise max of the input
+/// dims.  Output is bit-identical to tew_coo_general_serial for every
+/// worker count.  `path_out`, when given, receives the comparison path
+/// the merge engine selected (for benchmark labels).
+CooTensor tew_coo_general(const CooTensor& x, const CooTensor& y, EwOp op,
+                          merge::MergePath* path_out = nullptr);
+
+/// Serial two-pointer reference for tew_coo_general: the deterministic
+/// baseline tests and ablation benches compare the merged path against.
+CooTensor tew_coo_general_serial(const CooTensor& x, const CooTensor& y,
+                                 EwOp op);
 
 /// HiCOO-TEW-OMP, same-pattern fast path: identical value computation to
 /// COO (paper §III-D1); the pattern (blocks + element indices) is copied
@@ -38,5 +52,13 @@ CooTensor tew_coo_general(const CooTensor& x, const CooTensor& y, EwOp op);
 /// holds when both were converted from same-pattern COO tensors with the
 /// same block size.
 HiCooTensor tew_hicoo(const HiCooTensor& x, const HiCooTensor& y, EwOp op);
+
+/// HiCOO-TEW for non-identical blockings or patterns: unpacks both
+/// operands to sorted COO keys, merges them on the parallel engine, and
+/// re-blocks the result with block edge 2^block_bits (0 = x's blocking).
+/// Same union/intersection semantics as tew_coo_general.
+HiCooTensor tew_hicoo_general(const HiCooTensor& x, const HiCooTensor& y,
+                              EwOp op, unsigned block_bits = 0,
+                              merge::MergePath* path_out = nullptr);
 
 }  // namespace pasta

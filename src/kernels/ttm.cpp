@@ -24,16 +24,22 @@ ttm_plan_coo(const CooTensor& x, Size mode, Size rank)
     std::vector<Index> out_dims = x.dims();
     out_dims[mode] = static_cast<Index>(rank);
     plan.out_pattern = ScooTensor(out_dims, {mode});
-    plan.out_pattern.reserve(plan.fibers.num_fibers());
-    std::vector<Index> sparse_coords(x.order() - 1);
-    for (Size f = 0; f < plan.fibers.num_fibers(); ++f) {
-        const Size head = plan.fibers.fptr[f];
-        Size s = 0;
-        for (Size m = 0; m < x.order(); ++m)
-            if (m != mode)
-                sparse_coords[s++] = plan.sorted.index(m, head);
-        plan.out_pattern.append_stripe(sparse_coords.data());
-    }
+    std::vector<const Index*> src;
+    for (Size m = 0; m < x.order(); ++m)
+        if (m != mode)
+            src.push_back(plan.sorted.mode_indices(m).data());
+    // Bulk stripe materialization: one stripe per fiber, sparse
+    // coordinates filled in parallel from the fiber heads.
+    const Size num_fibers = plan.fibers.num_fibers();
+    ScooBulkFill out = plan.out_pattern.bulk_fill_stripes(num_fibers);
+    const auto& fptr = plan.fibers.fptr;
+    parallel_for_ranges(0, num_fibers, [&](Size first, Size last) {
+        for (Size f = first; f < last; ++f) {
+            const Size head = fptr[f];
+            for (Size s = 0; s < src.size(); ++s)
+                out.sparse[s][f] = src[s][head];
+        }
+    });
     return plan;
 }
 

@@ -18,20 +18,27 @@ ttv_plan_coo(const CooTensor& x, Size mode)
     plan.fibers = compute_fibers(plan.sorted, mode);
 
     std::vector<Index> out_dims;
-    for (Size m = 0; m < x.order(); ++m)
-        if (m != mode)
+    std::vector<const Index*> src;
+    for (Size m = 0; m < x.order(); ++m) {
+        if (m != mode) {
             out_dims.push_back(x.dim(m));
-    plan.out_pattern = CooTensor(out_dims);
-    plan.out_pattern.reserve(plan.fibers.num_fibers());
-    Coordinate oc(out_dims.size());
-    for (Size f = 0; f < plan.fibers.num_fibers(); ++f) {
-        const Size head = plan.fibers.fptr[f];
-        Size s = 0;
-        for (Size m = 0; m < x.order(); ++m)
-            if (m != mode)
-                oc[s++] = plan.sorted.index(m, head);
-        plan.out_pattern.append(oc, 0);
+            src.push_back(plan.sorted.mode_indices(m).data());
+        }
     }
+    // Bulk pattern materialization: one slot per fiber, filled in
+    // parallel from the fiber heads — no per-element append.
+    const Size num_fibers = plan.fibers.num_fibers();
+    plan.out_pattern = CooTensor(std::move(out_dims));
+    CooBulkFill out = plan.out_pattern.bulk_fill(num_fibers);
+    const auto& fptr = plan.fibers.fptr;
+    parallel_for_ranges(0, num_fibers, [&](Size first, Size last) {
+        for (Size f = first; f < last; ++f) {
+            const Size head = fptr[f];
+            for (Size s = 0; s < src.size(); ++s)
+                out.modes[s][f] = src[s][head];
+            out.values[f] = 0;
+        }
+    });
     return plan;
 }
 

@@ -213,6 +213,60 @@ diff_tew(EwOp op, const Value* x, const Value* y, const Value* z, Size n)
 }
 
 DiffReport
+diff_tew_general(EwOp op, const CooTensor& x, const CooTensor& y,
+                 const CooTensor& z)
+{
+    DiffReport report;
+    report.label = "TEW-general vs merge-serial oracle";
+    const bool keep_unmatched = (op == EwOp::kAdd || op == EwOp::kSub);
+    SparseOracle oracle;
+    auto emit = [&](const Coordinate& coord, double a, double b) {
+        double value = 0.0;
+        switch (op) {
+          case EwOp::kAdd: value = a + b; break;
+          case EwOp::kSub: value = a - b; break;
+          case EwOp::kMul: value = a * b; break;
+          case EwOp::kDiv: value = a / b; break;
+        }
+        OracleEntry& e = oracle[coord];
+        e.value = value;
+        // Two operand magnitudes feed one output entry.
+        e.abs_sum = std::abs(a) + std::abs(b);
+        e.terms = 2;
+    };
+    // Serial two-pointer merge in double precision.
+    Size a = 0;
+    Size b = 0;
+    while (a < x.nnz() && b < y.nnz()) {
+        const Coordinate ca = x.coordinate(a);
+        const Coordinate cb = y.coordinate(b);
+        const int cmp = ca < cb ? -1 : (cb < ca ? 1 : 0);
+        if (cmp < 0) {
+            if (keep_unmatched)
+                emit(ca, static_cast<double>(x.value(a)), 0.0);
+            ++a;
+        } else if (cmp > 0) {
+            if (keep_unmatched)
+                emit(cb, 0.0, static_cast<double>(y.value(b)));
+            ++b;
+        } else {
+            emit(ca, static_cast<double>(x.value(a)),
+                 static_cast<double>(y.value(b)));
+            ++a;
+            ++b;
+        }
+    }
+    if (keep_unmatched) {
+        for (; a < x.nnz(); ++a)
+            emit(x.coordinate(a), static_cast<double>(x.value(a)), 0.0);
+        for (; b < y.nnz(); ++b)
+            emit(y.coordinate(b), 0.0, static_cast<double>(y.value(b)));
+    }
+    compare_sparse(report, oracle, canonicalized(z));
+    return report;
+}
+
+DiffReport
 diff_ts(TsOp op, const Value* x, Value s, const Value* out, Size n)
 {
     DiffReport report;

@@ -79,6 +79,14 @@ struct DiffReport {
 DiffReport diff_tew(EwOp op, const Value* x, const Value* y,
                     const Value* z, Size n);
 
+/// General-pattern TEW (different shapes/patterns): recomputes the sorted
+/// merge of x op y with a serial double-precision two-pointer oracle —
+/// union semantics for add/sub, intersection for mul/div — and compares
+/// the canonicalized `z` against it.  Covers every merged path (CPU
+/// merged-64key/merged-cmp, HiCOO re-blocked, simulated-GPU two-phase).
+DiffReport diff_tew_general(EwOp op, const CooTensor& x, const CooTensor& y,
+                            const CooTensor& z);
+
 /// Tensor-scalar (TS): checks out[i] ~= x[i] op s for n entries.
 DiffReport diff_ts(TsOp op, const Value* x, Value s, const Value* out,
                    Size n);
