@@ -16,6 +16,9 @@
 #include "harness/journal.hpp"
 #include "io/registry.hpp"
 #include "kernels/mttkrp.hpp"
+#include "obs/counters.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "kernels/tew.hpp"
 #include "kernels/ts.hpp"
 #include "kernels/ttm.hpp"
@@ -59,9 +62,10 @@ options_from_env()
     set_log_threshold_from_env();
     // Arm fault injection before anything the guards protect can run.
     harness::FaultInjector::instance().configure_from_env();
-    // Parse PASTA_VALIDATE up front so a malformed value fails the run
-    // immediately instead of mid-suite on the first checked trial.
+    // Parse PASTA_VALIDATE and PASTA_TRACE up front so a malformed value
+    // fails the run immediately instead of mid-suite on the first trial.
     (void)validate::current_mode();
+    (void)obs::current_mode();
 
     BenchOptions options;
     if (const char* s = std::getenv("PASTA_SCALE"))
@@ -197,6 +201,34 @@ sanitize_tag(const std::string& name)
     return tag;
 }
 
+/// Total occurrence count of one label key in a snapshot.
+std::uint64_t
+label_count(const obs::CountersSnapshot& snap, const char* key)
+{
+    for (const auto& label : snap.labels) {
+        if (label.key != key)
+            continue;
+        std::uint64_t total = 0;
+        for (const auto& kv : label.counts)
+            total += kv.second;
+        return total;
+    }
+    return 0;
+}
+
+/// The variant label this trial exercised: the highest-priority label
+/// key whose occurrence count grew during the trial.  Comparing counts
+/// (not last values) keeps a stale label from a previous trial out.
+std::string
+trial_variant(const obs::CountersSnapshot& before,
+              const obs::CountersSnapshot& after)
+{
+    for (const char* key : {"mttkrp.variant", "merge.path", "sort.path"})
+        if (label_count(after, key) > label_count(before, key))
+            return after.label(key);
+    return "";
+}
+
 /// Failure class recorded in the journal and failure CSVs: "" (ok),
 /// "timeout", "validation" (structural/differential check failed), or
 /// "error" (any other trial error).
@@ -248,6 +280,9 @@ class SuiteRunner {
                 run.seconds = done->seconds;
                 run.cost.flops = done->flops;
                 run.cost.bytes = done->bytes;
+                run.variant = done->variant;
+                run.obs_flops = done->obs_flops;
+                run.obs_bytes = done->obs_bytes;
                 result_.runs.push_back(run);
                 ++result_.resumed;
                 return;
@@ -260,6 +295,12 @@ class SuiteRunner {
             harness::fault_point("kernel.run");
             return body();
         };
+        // Counter deltas around the guarded trial give the trial's
+        // model-derived flops/bytes and the variant the kernel picked.
+        const bool counters = obs::counters_enabled();
+        obs::CountersSnapshot before;
+        if (counters)
+            before = obs::snapshot_counters();
         const harness::TrialResult trial =
             harness::run_guarded_trial(label, guarded, policy_);
 
@@ -279,8 +320,20 @@ class SuiteRunner {
             run.format = format;
             run.seconds = trial.seconds;
             run.cost = *cost;
+            if (counters) {
+                const obs::CountersSnapshot after =
+                    obs::snapshot_counters();
+                run.obs_flops =
+                    obs::delta_suffix_sum(before, after, ".flops");
+                run.obs_bytes =
+                    obs::delta_suffix_sum(before, after, ".bytes");
+                run.variant = trial_variant(before, after);
+            }
             record.flops = cost->flops;
             record.bytes = cost->bytes;
+            record.variant = run.variant;
+            record.obs_flops = run.obs_flops;
+            record.obs_bytes = run.obs_bytes;
             result_.runs.push_back(run);
         } else {
             result_.failures.push_back({entry.id, kname, fname, trial.error,
@@ -683,6 +736,10 @@ run_cpu_suite(const std::vector<NamedTensor>& suite,
                              });
         }
     }
+    maybe_export_trace(
+        (options.journal_stem.empty() ? std::string("pasta")
+                                      : options.journal_stem) +
+        ".cpu");
     return runner.take_result();
 }
 
@@ -964,6 +1021,10 @@ run_gpu_suite(const std::vector<NamedTensor>& suite,
                              });
         }
     }
+    maybe_export_trace(
+        (options.journal_stem.empty() ? std::string("pasta")
+                                      : options.journal_stem) +
+        ".gpu_" + sanitize_tag(device.name));
     return runner.take_result();
 }
 
@@ -1067,14 +1128,22 @@ export_csv(const std::string& path, const std::vector<MeasuredRun>& runs,
     }
     std::fprintf(f,
                  "tensor,kernel,format,seconds,gflops,roofline_gflops,"
-                 "efficiency\n");
+                 "efficiency,variant,obs_flops,obs_bytes,obs_ai,"
+                 "roofline_pct\n");
     for (const auto& run : runs) {
-        std::fprintf(f, "%s,%s,%s,%.9g,%.6g,%.6g,%.6g\n",
+        std::string variant = run.variant;
+        for (auto& c : variant)
+            if (c == ',' || c == '\n')
+                c = ';';
+        std::fprintf(f, "%s,%s,%s,%.9g,%.6g,%.6g,%.6g,%s,%.6g,%.6g,"
+                        "%.6g,%.6g\n",
                      run.tensor_id.c_str(), kernel_name(run.kernel),
                      format_name(run.format), run.seconds,
                      run_gflops(run),
                      run_roofline_gflops(run, platform),
-                     run_efficiency(run, platform));
+                     run_efficiency(run, platform), variant.c_str(),
+                     run.obs_flops, run.obs_bytes, run_ai(run),
+                     run_roofline_pct(run, platform));
     }
     std::fclose(f);
     PASTA_LOG_INFO << "wrote " << path;
@@ -1103,6 +1172,22 @@ export_failures_csv(const std::string& path,
     }
     std::fclose(f);
     PASTA_LOG_INFO << "wrote " << path;
+}
+
+void
+maybe_export_trace(const std::string& stem)
+{
+    if (!obs::spans_enabled())
+        return;
+    const char* dir = std::getenv("PASTA_TRACE_DIR");
+    if (!dir || !*dir)
+        dir = std::getenv("PASTA_CSV_DIR");
+    if (!dir || !*dir)
+        dir = ".";
+    obs::write_chrome_trace(std::string(dir) + "/" + stem +
+                            ".trace.json");
+    obs::write_spans_jsonl(std::string(dir) + "/" + stem +
+                           ".spans.jsonl");
 }
 
 void

@@ -38,6 +38,11 @@ namespace pasta::bench {
 ///   PASTA_JOURNAL        "0" disables checkpoint/resume journaling
 ///   PASTA_VALIDATE       off|convert|kernel|full structural and
 ///                        differential checking (see src/validate)
+///   PASTA_TRACE          off|counters|spans|full instrumentation (see
+///                        src/obs): counters feed the obs_* CSV columns
+///                        and the journal, spans feed the Chrome trace
+///   PASTA_TRACE_DIR      where trace.json/spans.jsonl land (falls back
+///                        to PASTA_CSV_DIR, then ".")
 /// Malformed numeric values throw PastaError instead of silently
 /// producing 0 runs or undefined behavior.
 struct BenchOptions {
@@ -110,8 +115,12 @@ void print_averages(const std::vector<MeasuredRun>& runs,
 void print_failure_summary(const SuiteResult& result);
 
 /// Writes the full run series as CSV (tensor, kernel, format, seconds,
-/// gflops, roofline_gflops, efficiency) for external plotting.  Figure
-/// binaries call this automatically when PASTA_CSV_DIR is set.
+/// gflops, roofline_gflops, efficiency, variant, obs_flops, obs_bytes,
+/// obs_ai, roofline_pct) for external plotting.  The last five columns
+/// come from the PASTA_TRACE counter registry and are ""/0 when the
+/// trial ran with counters off; roofline_pct then falls back to the
+/// Table I model's OI.  Figure binaries call this automatically when
+/// PASTA_CSV_DIR is set.
 void export_csv(const std::string& path,
                 const std::vector<MeasuredRun>& runs,
                 const MachineSpec& platform);
@@ -131,5 +140,11 @@ void maybe_export_csv(const std::string& stem,
 /// any exist) <stem>_failures.csv for the failure summary.
 void maybe_export_csv(const std::string& stem, const SuiteResult& result,
                       const MachineSpec& platform);
+
+/// When PASTA_TRACE arms spans, writes <stem>.trace.json (Chrome
+/// trace-event JSON, Perfetto-loadable) and <stem>.spans.jsonl into
+/// $PASTA_TRACE_DIR (falling back to $PASTA_CSV_DIR, then ".").  The
+/// suite runners call this after each campaign; no-op with spans off.
+void maybe_export_trace(const std::string& stem);
 
 }  // namespace pasta::bench

@@ -1,13 +1,24 @@
 #!/usr/bin/env python3
-"""Compare two bench_smoke.sh profiles and flag throughput regressions.
+"""Compare two bench profiles and flag throughput regressions.
 
-Usage: scripts/bench_compare.py BASELINE.json CANDIDATE.json [--threshold PCT]
+Usage: scripts/bench_compare.py BASELINE CANDIDATE [--threshold PCT]
 
-Both inputs are google-benchmark JSON files (BENCH_kernels.json as
-written by scripts/bench_smoke.sh).  Benchmarks are matched by name;
-for each pair the relative change in items_per_second is reported.  The
-script exits non-zero when any benchmark's throughput dropped by more
-than --threshold percent (default 10), making it usable as a CI gate:
+Inputs may be google-benchmark JSON files (BENCH_kernels.json as written
+by scripts/bench_smoke.sh) or pasta suite CSVs (written by the figure
+binaries under PASTA_CSV_DIR); the format is chosen by file extension.
+Benchmarks are matched by name (JSON) or by tensor/kernel/format (CSV);
+for each pair the relative change in throughput (items_per_second or
+gflops) is reported.  Entries with missing or malformed names/rates are
+skipped rather than crashing, so profiles from newer or older binaries
+with extra keys still compare.
+
+CSV inputs that carry the roofline_pct column (PASTA_TRACE counters
+armed) are additionally gated on roofline efficiency: a trial whose
+"% of roofline" dropped by more than --threshold percent (relative) is
+a regression even if raw GFLOPS merely shifted with the machine.
+
+The script exits non-zero when any benchmark regressed by more than
+--threshold percent (default 10), making it usable as a CI gate:
 
     scripts/bench_smoke.sh build-release baseline.json
     ... apply change ...
@@ -20,11 +31,23 @@ check, and aggregate entries (mean/median/stddev rows emitted under
 """
 
 import argparse
+import csv
 import json
 import sys
 
 
-def load_throughputs(path):
+def parse_rate(value):
+    """float(value) or None for missing/malformed rates."""
+    if value is None:
+        return None
+    try:
+        rate = float(value)
+    except (TypeError, ValueError):
+        return None
+    return rate if rate > 0 else None
+
+
+def load_json_throughputs(path):
     """Map benchmark name -> items_per_second for one JSON profile."""
     with open(path) as f:
         doc = json.load(f)
@@ -37,30 +60,41 @@ def load_throughputs(path):
         # Skip mean/median/stddev aggregates; compare raw iterations.
         if entry.get("run_type") == "aggregate":
             continue
-        rate = entry.get("items_per_second")
-        if rate:
-            rates[entry["name"]] = float(rate)
-    return rates
+        name = entry.get("name")
+        rate = parse_rate(entry.get("items_per_second"))
+        if name and rate:
+            rates[name] = rate
+    return rates, {}
 
 
-def main():
-    parser = argparse.ArgumentParser(
-        description="Diff two bench_smoke.sh JSON profiles")
-    parser.add_argument("baseline")
-    parser.add_argument("candidate")
-    parser.add_argument("--threshold", type=float, default=10.0,
-                        help="max tolerated items_per_second drop, "
-                             "percent (default 10)")
-    args = parser.parse_args()
+def load_csv_throughputs(path):
+    """Map tensor/kernel/format -> gflops (and roofline_pct when the
+    CSV carries the column) for one pasta suite CSV."""
+    rates = {}
+    roofline = {}
+    with open(path, newline="") as f:
+        for row in csv.DictReader(f):
+            key = "/".join(row.get(col) or "?"
+                           for col in ("tensor", "kernel", "format"))
+            if key == "?/?/?":
+                continue
+            rate = parse_rate(row.get("gflops"))
+            if rate:
+                rates[key] = rate
+            pct = parse_rate(row.get("roofline_pct"))
+            if pct:
+                roofline[key] = pct
+    return rates, roofline
 
-    base = load_throughputs(args.baseline)
-    cand = load_throughputs(args.candidate)
-    if not base:
-        print(f"error: no items_per_second entries in {args.baseline}",
-              file=sys.stderr)
-        return 2
 
-    regressions = []
+def load_throughputs(path):
+    if path.endswith(".csv"):
+        return load_csv_throughputs(path)
+    return load_json_throughputs(path)
+
+
+def compare(base, cand, threshold, metric, regressions):
+    """Print the diff of one metric map pair, appending regressions."""
     width = max((len(n) for n in base), default=0)
     for name in sorted(base):
         if name not in cand:
@@ -69,13 +103,38 @@ def main():
         old, new = base[name], cand[name]
         change = (new - old) / old * 100.0
         marker = ""
-        if change < -args.threshold:
+        if change < -threshold:
             marker = "  <-- REGRESSION"
-            regressions.append((name, change))
+            regressions.append((f"{name} [{metric}]", change))
         print(f"{name:<{width}}  {old:14.3e} -> {new:14.3e}  "
               f"{change:+7.2f}%{marker}")
     for name in sorted(set(cand) - set(base)):
         print(f"{name:<{width}}  only in candidate")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff two bench profiles (JSON or suite CSV)")
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--threshold", type=float, default=10.0,
+                        help="max tolerated relative drop, percent "
+                             "(default 10)")
+    args = parser.parse_args()
+
+    base, base_roof = load_throughputs(args.baseline)
+    cand, cand_roof = load_throughputs(args.candidate)
+    if not base:
+        print(f"error: no throughput entries in {args.baseline}",
+              file=sys.stderr)
+        return 2
+
+    regressions = []
+    compare(base, cand, args.threshold, "throughput", regressions)
+    if base_roof and cand_roof:
+        print("\n-- roofline efficiency (% of roofline) --")
+        compare(base_roof, cand_roof, args.threshold, "roofline_pct",
+                regressions)
 
     if regressions:
         print(f"\n{len(regressions)} benchmark(s) regressed more than "

@@ -17,6 +17,9 @@
 #                    library itself was built in debug mode; otherwise a
 #                    loud warning is printed (debug-library timings are
 #                    not comparable across runs)
+#   BENCH_OBS        when not 0, also run scripts/check_obs.sh against
+#                    the same build dir (PASTA_TRACE=full smoke of the
+#                    instrumentation layer); set BENCH_OBS=0 to skip
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -50,3 +53,9 @@ if grep -q '"library_build_type": "debug"' "${OUT_JSON}"; then
 fi
 
 echo "wrote ${OUT_JSON} (OMP_NUM_THREADS=${OMP_NUM_THREADS})"
+
+# Instrumentation smoke: the same build must produce a valid trace.json,
+# spans.jsonl, and obs CSV/journal columns with PASTA_TRACE=full.
+if [ "${BENCH_OBS:-1}" != "0" ]; then
+    scripts/check_obs.sh "${BUILD_DIR}"
+fi

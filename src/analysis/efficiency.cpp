@@ -26,6 +26,24 @@ run_efficiency(const MeasuredRun& run, const MachineSpec& spec)
     return roof > 0 ? run_gflops(run) / roof : 0.0;
 }
 
+double
+run_ai(const MeasuredRun& run)
+{
+    if (run.obs_flops > 0 && run.obs_bytes > 0)
+        return run.obs_flops / run.obs_bytes;
+    return run.cost.oi();
+}
+
+double
+run_roofline_pct(const MeasuredRun& run, const MachineSpec& spec)
+{
+    const double ai = run_ai(run);
+    if (ai <= 0)
+        return 0.0;
+    const double roof = roofline_performance_gflops(spec, ai);
+    return roof > 0 ? 100.0 * run_gflops(run) / roof : 0.0;
+}
+
 EfficiencySummary
 summarize(const std::vector<MeasuredRun>& runs, Kernel kernel,
           Format format, const MachineSpec& spec)

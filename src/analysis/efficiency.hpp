@@ -22,6 +22,12 @@ struct MeasuredRun {
     Format format = Format::kCoo;
     double seconds = 0;        ///< mean kernel time
     KernelCost cost;           ///< Table I work/traffic for this tensor
+    /// Observability channel (zero when PASTA_TRACE left counters off):
+    /// the variant label the kernel reported and the trial's
+    /// counter-derived flop/byte totals.
+    std::string variant;
+    double obs_flops = 0;
+    double obs_bytes = 0;
 };
 
 /// Measured GFLOPS of a run.
@@ -32,6 +38,17 @@ double run_roofline_gflops(const MeasuredRun& run, const MachineSpec& spec);
 
 /// Efficiency of a run on `spec`, as a fraction (1.0 = 100%).
 double run_efficiency(const MeasuredRun& run, const MachineSpec& spec);
+
+/// Arithmetic intensity of a run: the counter-derived ratio
+/// obs_flops/obs_bytes when the trial recorded counters, else the Table I
+/// model's OI.  Counter totals accumulate over warmups and repeats, but
+/// AI is a ratio and therefore repetition-invariant.
+double run_ai(const MeasuredRun& run);
+
+/// Percent of the Roofline ceiling achieved at run_ai(run): measured
+/// GFLOPS over min(peak, AI x ERT-DRAM bandwidth), x100.  Zero when the
+/// run carries no usable AI or time.
+double run_roofline_pct(const MeasuredRun& run, const MachineSpec& spec);
 
 /// Aggregate statistics the paper's observations quote.
 struct EfficiencySummary {

@@ -1,6 +1,5 @@
 #include "common/log.hpp"
 
-#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
@@ -9,7 +8,6 @@ namespace pasta {
 
 namespace {
 
-std::atomic<LogLevel> g_threshold{LogLevel::kInfo};
 std::mutex g_log_mutex;
 
 const char*
@@ -25,18 +23,6 @@ level_tag(LogLevel level)
 }
 
 }  // namespace
-
-LogLevel
-log_threshold()
-{
-    return g_threshold.load(std::memory_order_relaxed);
-}
-
-void
-set_log_threshold(LogLevel level)
-{
-    g_threshold.store(level, std::memory_order_relaxed);
-}
 
 void
 set_log_threshold_from_env()

@@ -3,6 +3,7 @@
 /// harness.  Kernels themselves never log (they are timed).
 #pragma once
 
+#include <atomic>
 #include <sstream>
 #include <string>
 
@@ -11,11 +12,30 @@ namespace pasta {
 /// Severity levels, lowest to highest.
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
-/// Returns the global threshold; messages below it are dropped.
-LogLevel log_threshold();
+namespace detail {
 
-/// Sets the global threshold.  Not thread-safe; set it once at startup.
-void set_log_threshold(LogLevel level);
+/// The global threshold.  An inline atomic so the PASTA_LOG level check
+/// is a single relaxed load at every call site.
+inline std::atomic<LogLevel> g_log_threshold{LogLevel::kInfo};
+
+}  // namespace detail
+
+/// Returns the global threshold; messages below it are dropped.
+/// Thread-safe (relaxed atomic load).
+inline LogLevel
+log_threshold()
+{
+    return detail::g_log_threshold.load(std::memory_order_relaxed);
+}
+
+/// Sets the global threshold.  Thread-safe: callable from any thread at
+/// any time; concurrent loggers observe the new level on their next
+/// message.
+inline void
+set_log_threshold(LogLevel level)
+{
+    detail::g_log_threshold.store(level, std::memory_order_relaxed);
+}
 
 /// Applies $PASTA_LOG ("debug"/"info"/"warn"/"error") to the global
 /// threshold; unknown or unset values leave it untouched.  Drivers call

@@ -8,6 +8,7 @@
 #include "common/error.hpp"
 #include "common/morton.hpp"
 #include "core/sort_radix.hpp"
+#include "obs/trace.hpp"
 #include "validate/validate.hpp"
 
 namespace {
@@ -61,6 +62,7 @@ namespace pasta {
 HiCooTensor
 coo_to_hicoo(const CooTensor& x, unsigned block_bits)
 {
+    PASTA_SPAN("convert.hicoo");
     HiCooTensor out(x.dims(), block_bits);
     if (x.nnz() == 0)
         return out;
@@ -99,6 +101,7 @@ coo_to_hicoo(const CooTensor& x, unsigned block_bits)
 CooTensor
 hicoo_to_coo(const HiCooTensor& x)
 {
+    PASTA_SPAN("convert.hicoo_to_coo");
     CooTensor out(x.dims());
     out.reserve(x.nnz());
     Coordinate c(x.order());
@@ -117,6 +120,7 @@ GHiCooTensor
 coo_to_ghicoo(const CooTensor& x, std::vector<bool> compressed,
               unsigned block_bits)
 {
+    PASTA_SPAN("convert.ghicoo");
     GHiCooTensor out(x.dims(), block_bits, std::move(compressed));
     if (x.nnz() == 0)
         return out;
@@ -215,6 +219,7 @@ coo_to_ghicoo(const CooTensor& x, std::vector<bool> compressed,
 CooTensor
 ghicoo_to_coo(const GHiCooTensor& x)
 {
+    PASTA_SPAN("convert.ghicoo_to_coo");
     CooTensor out(x.dims());
     out.reserve(x.nnz());
     Coordinate c(x.order());
@@ -233,6 +238,7 @@ ScooTensor
 coo_to_scoo(const CooTensor& x, Size dense_mode)
 {
     PASTA_CHECK_MSG(dense_mode < x.order(), "dense mode out of range");
+    PASTA_SPAN("convert.scoo");
     ScooTensor out(x.dims(), {dense_mode});
 
     CooTensor sorted = x;
@@ -271,6 +277,7 @@ coo_to_scoo(const CooTensor& x, Size dense_mode)
 SHiCooTensor
 scoo_to_shicoo(const ScooTensor& x, unsigned block_bits)
 {
+    PASTA_SPAN("convert.shicoo");
     SHiCooTensor out(x.dims(), x.dense_modes(), block_bits);
     const Size ns = x.sparse_modes().size();
     const Size count = x.num_sparse();

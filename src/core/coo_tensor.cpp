@@ -10,6 +10,7 @@
 #include "common/parallel.hpp"
 #include "core/merge.hpp"
 #include "core/sort_radix.hpp"
+#include "obs/counters.hpp"
 
 namespace pasta {
 
@@ -126,6 +127,7 @@ CooTensor::sort_by_mode_order(const std::vector<Size>& mode_order)
     if (nnz() < 2)
         return;
     if (radix::lex_key_fits(dims_, mode_order)) {
+        obs::set_label("sort.path", "lex-radix64");
         std::vector<std::uint64_t> keys;
         radix::build_lex_keys(indices_, dims_, mode_order, keys);
         std::vector<Size> perm;
@@ -135,6 +137,7 @@ CooTensor::sort_by_mode_order(const std::vector<Size>& mode_order)
     }
     // Coordinate space too wide for a packed 64-bit key (e.g. three full
     // 32-bit modes): comparator sort fallback.
+    obs::set_label("sort.path", "lex-cmp");
     std::vector<Size> perm(nnz());
     std::iota(perm.begin(), perm.end(), 0);
     std::sort(perm.begin(), perm.end(), [&](Size a, Size b) {
@@ -169,6 +172,7 @@ CooTensor::sort_morton(unsigned block_bits)
     if (nnz() < 2)
         return;
     if (radix::morton_key_fits(dims_, block_bits)) {
+        obs::set_label("sort.path", "morton-radix64");
         std::vector<std::uint64_t> packed;
         radix::build_morton_keys(indices_, dims_, block_bits, packed);
         std::vector<Size> perm;
@@ -177,6 +181,7 @@ CooTensor::sort_morton(unsigned block_bits)
         return;
     }
     // Key too wide (high order or huge dims): 128-bit comparator fallback.
+    obs::set_label("sort.path", "morton-cmp");
     std::vector<MortonKey> keys(nnz());
     std::vector<Index> block_coord(n);
     for (Size p = 0; p < nnz(); ++p) {

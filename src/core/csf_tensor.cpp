@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 #include "validate/validate.hpp"
 
 namespace pasta {
@@ -37,6 +38,7 @@ CsfTensor::from_coo(const CooTensor& x, std::vector<Size> mode_order)
         }
     }
 
+    PASTA_SPAN("convert.csf");
     CsfTensor out;
     out.dims_ = x.dims();
     out.mode_order_ = mode_order;

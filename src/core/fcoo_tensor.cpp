@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 #include "validate/validate.hpp"
 #include "core/fibers.hpp"
 
@@ -14,6 +15,7 @@ FcooTensor::build(const CooTensor& x, Size mode)
     PASTA_CHECK_MSG(mode < x.order(), "mode " << mode << " out of range");
     PASTA_CHECK_MSG(x.order() >= 2, "F-COO needs an order >= 2 tensor");
 
+    PASTA_SPAN("convert.fcoo");
     FcooTensor out;
     out.dims_ = x.dims();
     out.mode_ = mode;

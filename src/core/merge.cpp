@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "core/sort_radix.hpp"
+#include "obs/counters.hpp"
 
 namespace pasta::merge {
 
@@ -43,11 +45,13 @@ MergeKeys::MergeKeys(const CooTensor& x, const CooTensor& y,
         mode_order[m] = m;
     if (radix::lex_key_fits(out_dims, mode_order)) {
         path_ = MergePath::kMerged64Key;
+        obs::set_label("merge.path", merge_path_name(path_));
         radix::build_lex_keys(x.indices_view(), out_dims, mode_order, kx_);
         radix::build_lex_keys(y.indices_view(), out_dims, mode_order, ky_);
         return;
     }
     path_ = MergePath::kMergedCmp;
+    obs::set_label("merge.path", merge_path_name(path_));
     xi_.resize(order_);
     yi_.resize(order_);
     for (Size m = 0; m < order_; ++m) {
@@ -128,6 +132,10 @@ MergeKeys::count_segment(const MergePartition& part, Size s,
     }
     if (keep)
         count += (a_end - a) + (b_end - b);
+    // Items consumed by this segment, attributed to the executing worker:
+    // the suite's per-thread load-imbalance signal for merge-path TEW.
+    obs::add_worker("merge.worker_items", worker_id(),
+                    (a_end - part.a[s]) + (b_end - part.b[s]));
     return count;
 }
 

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "obs/counters.hpp"
 
 namespace pasta::radix {
 
@@ -148,6 +149,8 @@ sort_perm(std::vector<std::uint64_t>& keys, std::vector<Size>& perm)
         std::max(1u, (static_cast<unsigned>(std::bit_width(max_key)) +
                       kDigitBits - 1) /
                          kDigitBits);
+    obs::add("sort.radix_passes", passes);
+    obs::add("sort.radix_keys", n);
 
     // Fixed chunk partition shared by the histogram and scatter phases.
     // Stability makes the result independent of the partition (and hence

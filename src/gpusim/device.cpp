@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/parallel.hpp"
+#include "obs/counters.hpp"
 #include "validate/validate.hpp"
 
 namespace pasta::gpusim {
@@ -13,6 +14,20 @@ atomic_add(Value* address, Value value)
 {
     ::pasta::atomic_add(address, value);
 }
+
+namespace detail {
+
+void
+note_launch(Size blocks, Size threads_per_block)
+{
+    if (!obs::counters_enabled())
+        return;
+    obs::counter("gpusim.launches").add(1);
+    obs::counter("gpusim.sim_blocks").add(blocks);
+    obs::counter("gpusim.sim_threads").add(blocks * threads_per_block);
+}
+
+}  // namespace detail
 
 namespace {
 
@@ -67,6 +82,7 @@ DeviceMemory::allocate(std::uint64_t bytes, const char* what)
     const std::uint64_t used_now = used_.load();
     while (used_now > peak && !peak_.compare_exchange_weak(peak, used_now)) {
     }
+    obs::record_max("gpusim.mem_peak_bytes", used_now);
 }
 
 void

@@ -78,6 +78,14 @@ grid_blocks(Size work, Size block)
 /// (Algorithm 2 assigns M non-zeros to M/256 blocks of 256 threads).
 inline constexpr Size kDefaultBlockThreads = 256;
 
+namespace detail {
+
+/// Counter-registry hook for launch(); defined out of line so the hot
+/// launch template carries no obs include.  No-op when counters are off.
+void note_launch(Size blocks, Size threads_per_block);
+
+}  // namespace detail
+
 /// Executes `kernel` once per simulated thread of a `grid` x `block`
 /// launch.  Thread blocks may run concurrently on host threads; threads
 /// within one block run sequentially (no intra-block synchronization is
@@ -91,6 +99,7 @@ launch(Dim3 grid, Dim3 block, Kernel kernel)
     const Size num_blocks = grid.volume();
     if (num_blocks == 0)
         return;
+    detail::note_launch(num_blocks, block.volume());
     parallel_for(0, num_blocks, Schedule::kDynamic, [&](Size linear_block) {
         ThreadCtx ctx;
         ctx.grid_dim = grid;

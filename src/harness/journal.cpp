@@ -184,7 +184,10 @@ to_json_line(const JournalEntry& entry)
         << ",\"seconds\":" << entry.seconds << ",\"flops\":" << entry.flops
         << ",\"bytes\":" << entry.bytes << ",\"attempts\":" << entry.attempts
         << ",\"error\":\"" << escape(entry.error) << "\""
-        << ",\"class\":\"" << escape(entry.failure_class) << "\"}";
+        << ",\"class\":\"" << escape(entry.failure_class) << "\""
+        << ",\"variant\":\"" << escape(entry.variant) << "\""
+        << ",\"obs_flops\":" << entry.obs_flops
+        << ",\"obs_bytes\":" << entry.obs_bytes << "}";
     return oss.str();
 }
 
@@ -211,6 +214,9 @@ parse_json_line(const std::string& line, JournalEntry& entry)
         numbers.count("attempts") ? static_cast<int>(numbers["attempts"]) : 0;
     entry.error = strings.count("error") ? strings["error"] : "";
     entry.failure_class = strings.count("class") ? strings["class"] : "";
+    entry.variant = strings.count("variant") ? strings["variant"] : "";
+    entry.obs_flops = numbers.count("obs_flops") ? numbers["obs_flops"] : 0.0;
+    entry.obs_bytes = numbers.count("obs_bytes") ? numbers["obs_bytes"] : 0.0;
     return true;
 }
 

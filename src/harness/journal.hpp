@@ -36,6 +36,13 @@ struct JournalEntry {
     /// Serialized as the optional "class" field; absent in pre-PR-2
     /// journals, which parse as "".
     std::string failure_class;
+    /// Observability channel (PASTA_TRACE=counters|full): the variant
+    /// label the kernel reported and the trial's counter-derived flop and
+    /// byte deltas.  All optional — absent fields parse as ""/0, so older
+    /// journals stay loadable.
+    std::string variant;
+    double obs_flops = 0;
+    double obs_bytes = 0;
 };
 
 /// Serializes an entry as one JSON line (no trailing newline).

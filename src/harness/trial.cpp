@@ -12,6 +12,7 @@
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "obs/trace.hpp"
 #include "validate/validate.hpp"
 
 namespace pasta::harness {
@@ -159,6 +160,9 @@ run_guarded_trial(const std::string& label,
                                                      : policy.max_attempts;
     double backoff = policy.backoff_initial_s;
     for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+        // One span per attempt, named by the trial: the trace's top-level
+        // structure mirrors the journal's (tensor, kernel, format) rows.
+        obs::SpanScope span(label);
         result.attempts = attempt;
         bool ok = false;
         bool validation = false;

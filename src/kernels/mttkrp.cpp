@@ -1,6 +1,9 @@
 #include "kernels/mttkrp.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
+#include "obs/counters.hpp"
 
 namespace pasta {
 
@@ -62,6 +65,22 @@ check_mttkrp_args(const std::vector<Index>& dims, Size order_mode,
     (void)order_mode;
 }
 
+/// Table I COO-MTTKRP model counters (flops = NMR, bytes = 4NMR +
+/// 4(N+1)M), recorded once per kernel invocation when counters are armed.
+void
+note_mttkrp_coo(Size order, Size nnz, Size rank)
+{
+    if (!obs::counters_enabled())
+        return;
+    const double n = static_cast<double>(order);
+    const double m = static_cast<double>(nnz);
+    const double r = static_cast<double>(rank);
+    obs::counter("mttkrp.flops").add(
+        static_cast<std::uint64_t>(n * m * r));
+    obs::counter("mttkrp.bytes").add(
+        static_cast<std::uint64_t>(4 * n * m * r + 4 * (n + 1) * m));
+}
+
 }  // namespace
 
 MttkrpVariant
@@ -88,6 +107,8 @@ mttkrp_coo(const CooTensor& x, const FactorList& factors, Size mode,
     const Size rank = check_factors(x.dims(), factors);
     check_mttkrp_args(x.dims(), x.order(), rank, out, mode);
     const MttkrpVariant pick = mttkrp_coo_pick(x.dim(mode), x.nnz(), rank);
+    obs::set_label("mttkrp.variant", mttkrp_variant_name(pick));
+    note_mttkrp_coo(x.order(), x.nnz(), rank);
     if (pick == MttkrpVariant::kPrivatized)
         mttkrp_coo_privatized(x, factors, mode, out);
     else
@@ -117,7 +138,9 @@ mttkrp_coo_atomic(const CooTensor& x, const FactorList& factors, Size mode,
         Value tmp[kMaxStackRank];
         Index run_row = 0;
         bool in_run = false;
+        Size flushes = 0;
         const auto flush = [&] {
+            ++flushes;
             Value* out_row = out.row(run_row);
             for (Size r = 0; r < rank; ++r)
                 atomic_add(out_row + r, acc[r]);
@@ -151,6 +174,8 @@ mttkrp_coo_atomic(const CooTensor& x, const FactorList& factors, Size mode,
         }
         if (in_run)
             flush();
+        obs::add("mttkrp.atomics", flushes * rank);
+        obs::add_worker("mttkrp.worker_items", worker_id(), last - first);
     });
 }
 
@@ -214,6 +239,25 @@ hicoo_use_owner(const OwnerSchedule& sched, int threads)
     return sched.groups() >= 2 * static_cast<Size>(threads);
 }
 
+/// Table I HiCOO-MTTKRP model counters: flops = NMR, bytes = 4NR
+/// min{n_b B, M} + (4+N)M + (4N+8) n_b.
+void
+note_mttkrp_hicoo(const HiCooTensor& x, Size rank)
+{
+    if (!obs::counters_enabled())
+        return;
+    const double n = static_cast<double>(x.order());
+    const double m = static_cast<double>(x.nnz());
+    const double r = static_cast<double>(rank);
+    const double nb = static_cast<double>(x.num_blocks());
+    const double block = static_cast<double>(x.block_size());
+    obs::counter("mttkrp.flops").add(
+        static_cast<std::uint64_t>(n * m * r));
+    obs::counter("mttkrp.bytes").add(static_cast<std::uint64_t>(
+        4 * n * r * std::min(nb * block, m) + (4 + n) * m +
+        (4 * n + 8) * nb));
+}
+
 }  // namespace
 
 MttkrpVariant
@@ -226,21 +270,32 @@ mttkrp_hicoo(const HiCooTensor& x, const FactorList& factors, Size mode,
 
     const OwnerSchedule& sched = x.owner_schedule(mode);
     if (!hicoo_use_owner(sched, num_threads())) {
+        obs::set_label("mttkrp.variant",
+                       mttkrp_variant_name(MttkrpVariant::kAtomic));
         mttkrp_hicoo_atomic(x, factors, mode, out, schedule);
         return MttkrpVariant::kAtomic;
     }
+    obs::set_label("mttkrp.variant",
+                   mttkrp_variant_name(MttkrpVariant::kBlockOwner));
+    note_mttkrp_hicoo(x, rank);
     out.fill(0);
+    const auto& bptr = x.bptr();
     // One thread owns every block of a group, and a group's blocks are
     // the only writers of its output tile: no atomics needed.  Dynamic
     // schedule absorbs the group-size skew.
     parallel_for(
         0, sched.groups(), schedule,
         [&](Size g) {
+            Size items = 0;
             for (Size s = sched.group_ptr[g]; s < sched.group_ptr[g + 1];
-                 ++s)
+                 ++s) {
+                const Size b = sched.blocks[s];
+                items += bptr[b + 1] - bptr[b];
                 hicoo_process_block(
-                    x, factors, mode, out, rank, sched.blocks[s],
+                    x, factors, mode, out, rank, b,
                     [](Value* slot, Value delta) { *slot += delta; });
+            }
+            obs::add_worker("mttkrp.worker_items", worker_id(), items);
         },
         1);
     return MttkrpVariant::kBlockOwner;
@@ -253,11 +308,21 @@ mttkrp_hicoo_atomic(const HiCooTensor& x, const FactorList& factors,
     const Size rank = check_factors(x.dims(), factors);
     check_mttkrp_args(x.dims(), x.order(), rank, out, mode);
     PASTA_CHECK_MSG(x.order() <= 8, "HiCOO MTTKRP supports order <= 8");
+    note_mttkrp_hicoo(x, rank);
+    obs::add("mttkrp.atomics", x.nnz() * rank);
     out.fill(0);
 
+    // Hoisted registry lookup: the per-block body runs once per block,
+    // too hot for a per-call map access when counters are armed.
+    obs::Counter* witems = obs::counters_enabled()
+                               ? &obs::counter("mttkrp.worker_items")
+                               : nullptr;
+    const auto& bptr = x.bptr();
     parallel_for(
         0, x.num_blocks(), schedule,
         [&](Size b) {
+            if (witems)
+                witems->add_worker(worker_id(), bptr[b + 1] - bptr[b]);
             hicoo_process_block(
                 x, factors, mode, out, rank, b,
                 [](Value* slot, Value delta) { atomic_add(slot, delta); });
@@ -283,6 +348,7 @@ mttkrp_coo_privatized(const CooTensor& x, const FactorList& factors,
         threads, DenseMatrix(out.rows(), rank, 0));
     parallel_for_worker_ranges(
         0, x.nnz(), [&](int worker, Size first, Size last) {
+            obs::add_worker("mttkrp.worker_items", worker, last - first);
             DenseMatrix& local = privates[worker];
             for (Size p = first; p < last; ++p) {
                 Value acc[kMaxStackRank];

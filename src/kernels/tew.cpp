@@ -2,12 +2,16 @@
 
 #include "common/error.hpp"
 #include "core/convert.hpp"
+#include "obs/counters.hpp"
 
 namespace pasta {
 
 void
 tew_values(EwOp op, const Value* x, const Value* y, Value* z, Size count)
 {
+    // Table I TEW model: one flop and three value streams per non-zero.
+    obs::add("tew.flops", count);
+    obs::add("tew.bytes", 12 * count);
     switch (op) {
       case EwOp::kAdd:
         parallel_for_ranges(0, count, [&](Size first, Size last) {

@@ -1,12 +1,16 @@
 #include "kernels/ts.hpp"
 
 #include "common/parallel.hpp"
+#include "obs/counters.hpp"
 
 namespace pasta {
 
 void
 ts_values(TsOp op, const Value* x, Value* y, Size count, Value s)
 {
+    // Table I TS model: one flop and two value streams per non-zero.
+    obs::add("ts.flops", count);
+    obs::add("ts.bytes", 8 * count);
     if (op == TsOp::kAdd) {
         parallel_for_ranges(0, count, [&](Size first, Size last) {
             for (Size i = first; i < last; ++i)

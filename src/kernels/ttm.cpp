@@ -4,6 +4,8 @@
 
 #include "common/error.hpp"
 #include "core/convert.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 
 namespace pasta {
 
@@ -14,6 +16,7 @@ ttm_plan_coo(const CooTensor& x, Size mode, Size rank)
     PASTA_CHECK_MSG(x.order() >= 2, "TTM needs an order >= 2 tensor");
     PASTA_CHECK_MSG(rank > 0, "rank must be positive");
 
+    PASTA_SPAN("plan.ttm_coo");
     CooTtmPlan plan;
     plan.mode = mode;
     plan.rank = rank;
@@ -53,6 +56,14 @@ ttm_exec_coo(const CooTtmPlan& plan, const DenseMatrix& u, ScooTensor& out,
     PASTA_CHECK_MSG(u.cols() == plan.rank, "matrix rank mismatch");
     PASTA_CHECK_MSG(out.num_sparse() == plan.fibers.num_fibers(),
                     "output stripe count mismatch");
+    if (obs::counters_enabled()) {
+        const Size m = plan.sorted.nnz();
+        const Size mf = plan.fibers.num_fibers();
+        const Size r = plan.rank;
+        obs::counter("ttm.flops").add(2 * m * r);
+        obs::counter("ttm.bytes").add(4 * m * r + 4 * mf * r + 8 * m +
+                                      16 * mf);
+    }
     const Value* xv = plan.sorted.values().data();
     const Index* kind = plan.sorted.mode_indices(plan.mode).data();
     const auto& fptr = plan.fibers.fptr;
@@ -90,6 +101,7 @@ ttm_plan_hicoo(const CooTensor& x, Size mode, Size rank,
     PASTA_CHECK_MSG(x.order() >= 2, "TTM needs an order >= 2 tensor");
     PASTA_CHECK_MSG(rank > 0, "rank must be positive");
 
+    PASTA_SPAN("plan.ttm_hicoo");
     HicooTtmPlan plan;
     plan.mode = mode;
     plan.rank = rank;
@@ -144,6 +156,13 @@ ttm_exec_hicoo(const HicooTtmPlan& plan, const DenseMatrix& u,
     const Size num_fibers = plan.fptr.size() - 1;
     PASTA_CHECK_MSG(out.num_sparse() == num_fibers,
                     "output stripe count mismatch");
+    if (obs::counters_enabled()) {
+        const Size m = g.nnz();
+        const Size r = plan.rank;
+        obs::counter("ttm.flops").add(2 * m * r);
+        obs::counter("ttm.bytes").add(4 * m * r + 4 * num_fibers * r +
+                                      8 * m + 8 * num_fibers);
+    }
     const Value* xv = g.values().data();
     const auto& fptr = plan.fptr;
     const Size rank = plan.rank;

@@ -2,6 +2,8 @@
 
 #include "common/error.hpp"
 #include "core/convert.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 
 namespace pasta {
 
@@ -11,6 +13,7 @@ ttv_plan_coo(const CooTensor& x, Size mode)
     PASTA_CHECK_MSG(mode < x.order(), "mode " << mode << " out of range");
     PASTA_CHECK_MSG(x.order() >= 2, "TTV needs an order >= 2 tensor");
 
+    PASTA_SPAN("plan.ttv_coo");
     CooTtvPlan plan;
     plan.mode = mode;
     plan.sorted = x;
@@ -51,6 +54,12 @@ ttv_exec_coo(const CooTtvPlan& plan, const DenseVector& v, CooTensor& out,
                                      << plan.sorted.dim(plan.mode));
     PASTA_CHECK_MSG(out.nnz() == plan.fibers.num_fibers(),
                     "output nnz mismatch");
+    if (obs::counters_enabled()) {
+        const Size m = plan.sorted.nnz();
+        const Size mf = plan.fibers.num_fibers();
+        obs::counter("ttv.flops").add(2 * m);
+        obs::counter("ttv.bytes").add(12 * m + 12 * mf);
+    }
     const Value* xv = plan.sorted.values().data();
     const Index* kind = plan.sorted.mode_indices(plan.mode).data();
     const Value* vv = v.data();
@@ -82,6 +91,7 @@ ttv_plan_hicoo(const CooTensor& x, Size mode, unsigned block_bits)
     PASTA_CHECK_MSG(mode < x.order(), "mode " << mode << " out of range");
     PASTA_CHECK_MSG(x.order() >= 2, "TTV needs an order >= 2 tensor");
 
+    PASTA_SPAN("plan.ttv_hicoo");
     HicooTtvPlan plan;
     plan.mode = mode;
     std::vector<bool> compressed(x.order(), true);
@@ -142,6 +152,10 @@ ttv_exec_hicoo(const HicooTtvPlan& plan, const DenseVector& v,
                     "vector length mismatch");
     const Size num_fibers = plan.fptr.size() - 1;
     PASTA_CHECK_MSG(out.nnz() == num_fibers, "output nnz mismatch");
+    if (obs::counters_enabled()) {
+        obs::counter("ttv.flops").add(2 * g.nnz());
+        obs::counter("ttv.bytes").add(12 * g.nnz() + 12 * num_fibers);
+    }
     const Value* xv = g.values().data();
     const Value* vv = v.data();
     Value* yv = out.values().data();

@@ -1,0 +1,169 @@
+#include "obs/counters.hpp"
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace pasta::obs {
+
+Counter::Counter(std::string name) : name_(std::move(name))
+{
+    for (auto& w : worker_)
+        w.store(0, std::memory_order_relaxed);
+}
+
+void
+Counter::record_max(std::uint64_t v)
+{
+    if (!counters_enabled())
+        return;
+    std::uint64_t cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+}
+
+std::vector<std::uint64_t>
+Counter::worker_totals() const
+{
+    std::size_t used = 0;
+    for (std::size_t w = 0; w < worker_.size(); ++w)
+        if (worker_[w].load(std::memory_order_relaxed) != 0)
+            used = w + 1;
+    std::vector<std::uint64_t> out(used);
+    for (std::size_t w = 0; w < used; ++w)
+        out[w] = worker_[w].load(std::memory_order_relaxed);
+    return out;
+}
+
+void
+Counter::reset()
+{
+    total_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+    for (auto& w : worker_)
+        w.store(0, std::memory_order_relaxed);
+}
+
+namespace {
+
+/// Occurrence history for one label key.
+struct LabelState {
+    std::string last;
+    std::map<std::string, std::uint64_t> counts;
+};
+
+std::mutex g_counters_mutex;
+
+/// unique_ptr values keep Counter addresses stable across rehash-free
+/// map growth, so counter() references outlive registry mutation.
+std::map<std::string, std::unique_ptr<Counter>>&
+counter_map()
+{
+    static std::map<std::string, std::unique_ptr<Counter>> m;
+    return m;
+}
+
+std::map<std::string, LabelState>&
+label_map()
+{
+    static std::map<std::string, LabelState> m;
+    return m;
+}
+
+}  // namespace
+
+Counter&
+counter(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(g_counters_mutex);
+    auto& slot = counter_map()[name];
+    if (!slot)
+        slot = std::make_unique<Counter>(name);
+    return *slot;
+}
+
+void
+set_label(const std::string& key, const std::string& value)
+{
+    if (!counters_enabled())
+        return;
+    std::lock_guard<std::mutex> lock(g_counters_mutex);
+    LabelState& state = label_map()[key];
+    state.last = value;
+    ++state.counts[value];
+}
+
+std::string
+last_label(const std::string& key)
+{
+    std::lock_guard<std::mutex> lock(g_counters_mutex);
+    auto it = label_map().find(key);
+    return it == label_map().end() ? std::string() : it->second.last;
+}
+
+const CounterSample*
+CountersSnapshot::find(const std::string& name) const
+{
+    for (const auto& c : counters)
+        if (c.name == name)
+            return &c;
+    return nullptr;
+}
+
+double
+CountersSnapshot::value(const std::string& name) const
+{
+    const CounterSample* c = find(name);
+    return c ? static_cast<double>(c->total) : 0.0;
+}
+
+std::uint64_t
+CountersSnapshot::max_of(const std::string& name) const
+{
+    const CounterSample* c = find(name);
+    return c ? c->max_value : 0;
+}
+
+std::string
+CountersSnapshot::label(const std::string& key) const
+{
+    for (const auto& l : labels)
+        if (l.key == key)
+            return l.last;
+    return std::string();
+}
+
+CountersSnapshot
+snapshot_counters()
+{
+    CountersSnapshot snap;
+    std::lock_guard<std::mutex> lock(g_counters_mutex);
+    for (const auto& [name, c] : counter_map()) {
+        CounterSample s;
+        s.name = name;
+        s.total = c->total();
+        s.max_value = c->max_value();
+        s.worker = c->worker_totals();
+        snap.counters.push_back(std::move(s));
+    }
+    for (const auto& [key, state] : label_map()) {
+        LabelSample l;
+        l.key = key;
+        l.last = state.last;
+        l.counts.assign(state.counts.begin(), state.counts.end());
+        snap.labels.push_back(std::move(l));
+    }
+    return snap;
+}
+
+void
+reset_counters()
+{
+    std::lock_guard<std::mutex> lock(g_counters_mutex);
+    for (auto& [name, c] : counter_map())
+        c->reset();
+    label_map().clear();
+}
+
+}  // namespace pasta::obs

@@ -1,0 +1,291 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace pasta::obs {
+
+namespace detail {
+
+std::atomic<int> g_mode{-1};
+
+int
+mode_slow()
+{
+    const int env = static_cast<int>(mode_from_env());
+    g_mode.store(env, std::memory_order_relaxed);
+    return env;
+}
+
+}  // namespace detail
+
+TraceMode
+mode_from_env()
+{
+    const char* s = std::getenv("PASTA_TRACE");
+    if (!s || !*s)
+        return TraceMode::kOff;
+    if (std::strcmp(s, "off") == 0)
+        return TraceMode::kOff;
+    if (std::strcmp(s, "counters") == 0)
+        return TraceMode::kCounters;
+    if (std::strcmp(s, "spans") == 0)
+        return TraceMode::kSpans;
+    if (std::strcmp(s, "full") == 0)
+        return TraceMode::kFull;
+    PASTA_CHECK_MSG(false, "PASTA_TRACE='"
+                               << s
+                               << "' must be off, counters, spans, or full");
+    return TraceMode::kOff;  // unreachable
+}
+
+void
+set_mode(TraceMode mode)
+{
+    detail::g_mode.store(static_cast<int>(mode), std::memory_order_relaxed);
+}
+
+const char*
+mode_name(TraceMode mode)
+{
+    switch (mode) {
+      case TraceMode::kOff: return "off";
+      case TraceMode::kCounters: return "counters";
+      case TraceMode::kSpans: return "spans";
+      case TraceMode::kFull: return "full";
+    }
+    return "?";
+}
+
+namespace {
+
+/// Per-thread ring capacity.  16384 events x 72 bytes ≈ 1.2 MB, allocated
+/// lazily on a thread's first recorded span (never with tracing off).
+constexpr std::size_t kSpanCapacity = 16384;
+
+/// One completed span as stored in a ring buffer: fixed-size, no heap.
+struct SpanEvent {
+    char name[kSpanNameCapacity];
+    std::uint64_t begin_ns;
+    std::uint64_t dur_ns;
+    std::int32_t depth;
+};
+
+/// Per-thread buffer.  `count` is written with release order after the
+/// event slot is filled so a host-side collector never reads a torn
+/// event; everything else is owned by the recording thread.
+struct ThreadBuffer {
+    int tid = 0;
+    int depth = 0;
+    std::atomic<std::size_t> count{0};
+    std::atomic<std::uint64_t> dropped{0};
+    std::vector<SpanEvent> events;
+};
+
+std::mutex g_registry_mutex;
+std::vector<std::unique_ptr<ThreadBuffer>>&
+registry()
+{
+    static std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+    return buffers;
+}
+
+/// The calling thread's buffer; registered (under the registry mutex) on
+/// first use, lock-free afterwards.  The registry owns the buffer so
+/// collected spans survive thread exit.
+ThreadBuffer&
+local_buffer()
+{
+    thread_local ThreadBuffer* buf = nullptr;
+    if (!buf) {
+        auto owned = std::make_unique<ThreadBuffer>();
+        std::lock_guard<std::mutex> lock(g_registry_mutex);
+        owned->tid = static_cast<int>(registry().size());
+        registry().push_back(std::move(owned));
+        buf = registry().back().get();
+    }
+    return *buf;
+}
+
+/// Nanoseconds since the process trace epoch (first call), on the same
+/// steady clock as the harness watchdog.
+std::uint64_t
+now_ns()
+{
+    static const auto epoch = std::chrono::steady_clock::now();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch)
+            .count());
+}
+
+/// Minimal JSON string escaping for span names (ASCII identifiers plus
+/// the occasional '/' and space from trial labels).
+void
+write_escaped(std::FILE* f, const std::string& s)
+{
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            std::fputc('\\', f);
+        if (static_cast<unsigned char>(c) >= 0x20)
+            std::fputc(c, f);
+    }
+}
+
+}  // namespace
+
+void
+SpanScope::open(const char* name)
+{
+    if (!spans_enabled())
+        return;
+    armed_ = true;
+    std::strncpy(name_, name, kSpanNameCapacity - 1);
+    name_[kSpanNameCapacity - 1] = '\0';
+    depth_ = local_buffer().depth++;
+    begin_ns_ = now_ns();
+}
+
+SpanScope::SpanScope(const char* name)
+{
+    open(name);
+}
+
+SpanScope::SpanScope(const std::string& name)
+{
+    open(name.c_str());
+}
+
+SpanScope::~SpanScope()
+{
+    if (!armed_)
+        return;
+    const std::uint64_t end_ns = now_ns();
+    ThreadBuffer& buf = local_buffer();
+    --buf.depth;
+    const std::size_t n = buf.count.load(std::memory_order_relaxed);
+    if (n >= kSpanCapacity) {
+        buf.dropped.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    if (buf.events.empty())
+        buf.events.resize(kSpanCapacity);
+    SpanEvent& ev = buf.events[n];
+    std::memcpy(ev.name, name_, kSpanNameCapacity);
+    ev.begin_ns = begin_ns_;
+    ev.dur_ns = end_ns - begin_ns_;
+    ev.depth = depth_;
+    buf.count.store(n + 1, std::memory_order_release);
+}
+
+std::vector<SpanRecord>
+collect_spans()
+{
+    std::vector<SpanRecord> out;
+    std::lock_guard<std::mutex> lock(g_registry_mutex);
+    for (const auto& buf : registry()) {
+        const std::size_t n = buf->count.load(std::memory_order_acquire);
+        for (std::size_t i = 0; i < n; ++i) {
+            const SpanEvent& ev = buf->events[i];
+            SpanRecord rec;
+            rec.name = ev.name;
+            rec.tid = buf->tid;
+            rec.depth = ev.depth;
+            rec.ts_us = static_cast<double>(ev.begin_ns) * 1e-3;
+            rec.dur_us = static_cast<double>(ev.dur_ns) * 1e-3;
+            out.push_back(std::move(rec));
+        }
+    }
+    return out;
+}
+
+std::uint64_t
+spans_dropped()
+{
+    std::uint64_t total = 0;
+    std::lock_guard<std::mutex> lock(g_registry_mutex);
+    for (const auto& buf : registry())
+        total += buf->dropped.load(std::memory_order_relaxed);
+    return total;
+}
+
+void
+reset_spans()
+{
+    std::lock_guard<std::mutex> lock(g_registry_mutex);
+    for (const auto& buf : registry()) {
+        buf->count.store(0, std::memory_order_relaxed);
+        buf->dropped.store(0, std::memory_order_relaxed);
+    }
+}
+
+bool
+write_chrome_trace(const std::string& path)
+{
+    const std::vector<SpanRecord> spans = collect_spans();
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        PASTA_LOG_WARN << "cannot write trace " << path;
+        return false;
+    }
+    std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", f);
+    bool first = true;
+    for (const auto& s : spans) {
+        if (!first)
+            std::fputc(',', f);
+        first = false;
+        std::fputs("\n{\"name\":\"", f);
+        write_escaped(f, s.name);
+        std::fprintf(f,
+                     "\",\"cat\":\"pasta\",\"ph\":\"X\",\"ts\":%.3f,"
+                     "\"dur\":%.3f,\"pid\":1,\"tid\":%d,"
+                     "\"args\":{\"depth\":%d}}",
+                     s.ts_us, s.dur_us, s.tid, s.depth);
+    }
+    const std::uint64_t dropped = spans_dropped();
+    if (dropped > 0) {
+        if (!first)
+            std::fputc(',', f);
+        std::fprintf(f,
+                     "\n{\"name\":\"spans_dropped\",\"ph\":\"C\","
+                     "\"ts\":0,\"pid\":1,\"tid\":0,"
+                     "\"args\":{\"count\":%llu}}",
+                     static_cast<unsigned long long>(dropped));
+    }
+    std::fputs("\n]}\n", f);
+    std::fclose(f);
+    PASTA_LOG_INFO << "wrote " << path << " (" << spans.size()
+                   << " spans" << (dropped ? ", some dropped" : "") << ")";
+    return true;
+}
+
+bool
+write_spans_jsonl(const std::string& path)
+{
+    const std::vector<SpanRecord> spans = collect_spans();
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        PASTA_LOG_WARN << "cannot write span stream " << path;
+        return false;
+    }
+    for (const auto& s : spans) {
+        std::fputs("{\"name\":\"", f);
+        write_escaped(f, s.name);
+        std::fprintf(f,
+                     "\",\"tid\":%d,\"depth\":%d,\"ts_us\":%.3f,"
+                     "\"dur_us\":%.3f}\n",
+                     s.tid, s.depth, s.ts_us, s.dur_us);
+    }
+    std::fclose(f);
+    PASTA_LOG_INFO << "wrote " << path << " (" << spans.size() << " spans)";
+    return true;
+}
+
+}  // namespace pasta::obs

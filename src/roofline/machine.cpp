@@ -87,4 +87,11 @@ paper_platforms()
     return {bluesky(), wingtip(), dgx_1p(), dgx_1v()};
 }
 
+double
+machine_balance(const MachineSpec& spec)
+{
+    return spec.ert_dram_gbs > 0 ? spec.peak_sp_gflops / spec.ert_dram_gbs
+                                 : 0.0;
+}
+
 }  // namespace pasta

@@ -42,4 +42,10 @@ MachineSpec dgx_1v();
 /// All four platforms in the paper's order.
 std::vector<MachineSpec> paper_platforms();
 
+/// Machine balance (paper §V-C): peak compute over obtainable DRAM
+/// bandwidth, flops/byte.  Kernels whose arithmetic intensity sits below
+/// this are bandwidth-bound on the platform.  Zero when the spec carries
+/// no ERT bandwidth.
+double machine_balance(const MachineSpec& spec);
+
 }  // namespace pasta

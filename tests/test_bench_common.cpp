@@ -164,7 +164,8 @@ TEST_F(SuitePipeline, CsvExportRoundTrips)
     std::getline(in, header);
     EXPECT_EQ(header,
               "tensor,kernel,format,seconds,gflops,roofline_gflops,"
-              "efficiency");
+              "efficiency,variant,obs_flops,obs_bytes,obs_ai,"
+              "roofline_pct");
     Size lines = 0;
     std::string line;
     while (std::getline(in, line))

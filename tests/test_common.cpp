@@ -5,6 +5,7 @@
 #include <atomic>
 #include <cmath>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "common/error.hpp"
@@ -254,6 +255,34 @@ TEST(Log, ThresholdFilters)
     set_log_threshold(LogLevel::kError);
     EXPECT_EQ(log_threshold(), LogLevel::kError);
     PASTA_LOG_INFO << "should be suppressed";
+    set_log_threshold(old);
+}
+
+TEST(Log, ThresholdIsThreadSafe)
+{
+    const LogLevel old = log_threshold();
+    // Writers flip the threshold while readers evaluate the PASTA_LOG
+    // gate; under TSan this is the proof the atomic claim holds.
+    std::atomic<bool> stop{false};
+    std::thread writer([&] {
+        for (int i = 0; i < 2000; ++i)
+            set_log_threshold(i % 2 ? LogLevel::kError
+                                    : LogLevel::kWarn);
+        stop.store(true);
+    });
+    std::vector<std::thread> readers;
+    for (int t = 0; t < 4; ++t)
+        readers.emplace_back([&] {
+            while (!stop.load()) {
+                const LogLevel level = log_threshold();
+                EXPECT_TRUE(level == LogLevel::kError ||
+                            level == LogLevel::kWarn || level == old);
+                PASTA_LOG_DEBUG << "never printed at these thresholds";
+            }
+        });
+    writer.join();
+    for (auto& r : readers)
+        r.join();
     set_log_threshold(old);
 }
 

@@ -1,0 +1,270 @@
+// Tests for the instrumentation layer (src/obs): mode arming, span
+// recording/nesting/thread attribution, Chrome-trace export, the counter
+// registry, trial delta accounting, and the GPU-sim counter feed.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "common/rng.hpp"
+#include "core/convert.hpp"
+#include "gpusim/gpu_kernels.hpp"
+#include "gpusim/timing_model.hpp"
+#include "kernels/mttkrp.hpp"
+#include "obs/counters.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "roofline/machine.hpp"
+
+namespace pasta::obs {
+namespace {
+
+/// Every test leaves the process disarmed; the registry and span
+/// buffers are process-global.
+class ObsTest : public ::testing::Test {
+  protected:
+    void SetUp() override
+    {
+        set_mode(TraceMode::kOff);
+        reset_counters();
+        reset_spans();
+    }
+    void TearDown() override { set_mode(TraceMode::kOff); }
+};
+
+CooTensor
+small_tensor(std::uint64_t seed)
+{
+    Rng rng(seed);
+    return CooTensor::random({32, 32, 32}, 300, rng);
+}
+
+TEST_F(ObsTest, ModeNamesRoundTrip)
+{
+    EXPECT_STREQ(mode_name(TraceMode::kOff), "off");
+    EXPECT_STREQ(mode_name(TraceMode::kCounters), "counters");
+    EXPECT_STREQ(mode_name(TraceMode::kSpans), "spans");
+    EXPECT_STREQ(mode_name(TraceMode::kFull), "full");
+}
+
+TEST_F(ObsTest, OffRecordsNothing)
+{
+    ASSERT_FALSE(spans_enabled());
+    ASSERT_FALSE(counters_enabled());
+    {
+        PASTA_SPAN("off.span");
+        add("off.flops", 100);
+        add_worker("off.items", 0, 5);
+        record_max("off.peak", 7);
+        set_label("off.label", "value");
+    }
+    EXPECT_TRUE(collect_spans().empty());
+    const CountersSnapshot snap = snapshot_counters();
+    EXPECT_EQ(snap.value("off.flops"), 0);
+    EXPECT_EQ(snap.max_of("off.peak"), 0u);
+    EXPECT_EQ(snap.label("off.label"), "");
+    EXPECT_EQ(last_label("off.label"), "");
+}
+
+TEST_F(ObsTest, CountersAccumulateAndSnapshot)
+{
+    set_mode(TraceMode::kCounters);
+    add("t.flops", 10);
+    add("t.flops", 20);
+    add_worker("t.items", 0, 4);
+    add_worker("t.items", 1, 12);
+    record_max("t.peak", 5);
+    record_max("t.peak", 50);
+    record_max("t.peak", 25);
+    set_label("t.variant", "alpha");
+    set_label("t.variant", "beta");
+    set_label("t.variant", "beta");
+
+    const CountersSnapshot snap = snapshot_counters();
+    EXPECT_EQ(snap.value("t.flops"), 30);
+    EXPECT_EQ(snap.max_of("t.peak"), 50u);
+    EXPECT_EQ(snap.label("t.variant"), "beta");
+    EXPECT_EQ(last_label("t.variant"), "beta");
+    const CounterSample* items = snap.find("t.items");
+    ASSERT_NE(items, nullptr);
+    EXPECT_EQ(items->total, 16u);
+    ASSERT_EQ(items->worker.size(), 2u);
+    EXPECT_EQ(items->worker[0], 4u);
+    EXPECT_EQ(items->worker[1], 12u);
+    // max/mean over {4, 12}: 12 / 8 = 1.5.
+    EXPECT_DOUBLE_EQ(worker_imbalance(*items), 1.5);
+}
+
+TEST_F(ObsTest, DeltaSuffixSumIgnoresMaxCounters)
+{
+    set_mode(TraceMode::kCounters);
+    add("a.flops", 100);
+    const CountersSnapshot before = snapshot_counters();
+    add("a.flops", 50);
+    add("b.flops", 25);
+    add("a.bytes", 600);
+    record_max("c.peak_bytes", 4096);  // max-only: total stays 0
+    const CountersSnapshot after = snapshot_counters();
+    EXPECT_DOUBLE_EQ(delta_suffix_sum(before, after, ".flops"), 75.0);
+    EXPECT_DOUBLE_EQ(delta_suffix_sum(before, after, ".bytes"), 600.0);
+}
+
+TEST_F(ObsTest, SpanNestingAndThreadAttribution)
+{
+    set_mode(TraceMode::kSpans);
+    {
+        SpanScope outer("outer.phase");
+        SpanScope inner("inner.phase");
+    }
+    std::thread worker([] { PASTA_SPAN("worker.phase"); });
+    worker.join();
+
+    const std::vector<SpanRecord> spans = collect_spans();
+    ASSERT_EQ(spans.size(), 3u);
+    const SpanRecord* outer = nullptr;
+    const SpanRecord* inner = nullptr;
+    const SpanRecord* off_thread = nullptr;
+    for (const auto& s : spans) {
+        if (s.name == "outer.phase")
+            outer = &s;
+        else if (s.name == "inner.phase")
+            inner = &s;
+        else if (s.name == "worker.phase")
+            off_thread = &s;
+    }
+    ASSERT_NE(outer, nullptr);
+    ASSERT_NE(inner, nullptr);
+    ASSERT_NE(off_thread, nullptr);
+    EXPECT_EQ(inner->depth, outer->depth + 1);
+    EXPECT_EQ(outer->tid, inner->tid);
+    EXPECT_NE(off_thread->tid, outer->tid);
+    // The inner span is contained in the outer one.
+    EXPECT_GE(inner->ts_us, outer->ts_us);
+    EXPECT_LE(inner->ts_us + inner->dur_us,
+              outer->ts_us + outer->dur_us + 1e-3);
+}
+
+TEST_F(ObsTest, ChromeTraceJsonIsWellFormed)
+{
+    set_mode(TraceMode::kSpans);
+    {
+        PASTA_SPAN("trace.a");
+        PASTA_SPAN("trace.\"quoted\"\\name");
+    }
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "pasta_test_trace.json")
+            .string();
+    ASSERT_TRUE(write_chrome_trace(path));
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string text = buf.str();
+    std::remove(path.c_str());
+    while (!text.empty() && text.back() == '\n')
+        text.pop_back();
+
+    EXPECT_EQ(text.front(), '{');
+    EXPECT_EQ(text.back(), '}');
+    EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(text.find("\"displayTimeUnit\""), std::string::npos);
+    EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(text.find("trace.a"), std::string::npos);
+    // The quote and backslash must be escaped in the output.
+    EXPECT_NE(text.find("trace.\\\"quoted\\\"\\\\name"),
+              std::string::npos);
+    // Braces and brackets balance (escaped chars live inside strings,
+    // which this crude check tolerates because escapes are paired).
+    EXPECT_EQ(std::count(text.begin(), text.end(), '{'),
+              std::count(text.begin(), text.end(), '}'));
+    EXPECT_EQ(std::count(text.begin(), text.end(), '['),
+              std::count(text.begin(), text.end(), ']'));
+}
+
+TEST_F(ObsTest, SpansJsonlOneObjectPerLine)
+{
+    set_mode(TraceMode::kSpans);
+    {
+        PASTA_SPAN("jsonl.a");
+    }
+    {
+        PASTA_SPAN("jsonl.b");
+    }
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "pasta_test_spans.jsonl")
+            .string();
+    ASSERT_TRUE(write_spans_jsonl(path));
+    std::ifstream in(path);
+    std::string line;
+    std::size_t lines = 0;
+    while (std::getline(in, line)) {
+        ++lines;
+        EXPECT_EQ(line.front(), '{');
+        EXPECT_EQ(line.back(), '}');
+        EXPECT_NE(line.find("\"name\""), std::string::npos);
+        EXPECT_NE(line.find("\"dur_us\""), std::string::npos);
+    }
+    std::remove(path.c_str());
+    EXPECT_EQ(lines, 2u);
+}
+
+TEST_F(ObsTest, KernelCountersMatchCostModel)
+{
+    set_mode(TraceMode::kCounters);
+    const CooTensor x = small_tensor(7);
+    Rng rng(9);
+    const Size rank = 4;
+    std::vector<DenseMatrix> mats;
+    for (Size m = 0; m < x.order(); ++m)
+        mats.push_back(DenseMatrix::random(x.dim(m), rank, rng));
+    FactorList factors;
+    for (const auto& m : mats)
+        factors.push_back(&m);
+    DenseMatrix out(x.dim(0), rank);
+    mttkrp_coo(x, factors, 0, out);
+
+    const CountersSnapshot snap = snapshot_counters();
+    // Table I: MTTKRP-COO does N*M*R flops.
+    EXPECT_EQ(snap.value("mttkrp.flops"),
+              static_cast<double>(x.order() * x.nnz() * rank));
+    EXPECT_GT(snap.value("mttkrp.bytes"), 0);
+    EXPECT_NE(snap.label("mttkrp.variant"), "");
+}
+
+TEST_F(ObsTest, GpusimCountersRecordLaunchesAndTraffic)
+{
+    set_mode(TraceMode::kCounters);
+    const CooTensor x = small_tensor(11);
+    const CooTensor y = small_tensor(13);
+    CooTensor z = x;
+    const gpusim::LaunchProfile profile =
+        gpusim::tew_gpu_coo(x, y, EwOp::kAdd, z);
+    (void)gpusim::estimate_seconds(gpusim::tesla_p100(), profile);
+
+    const CountersSnapshot snap = snapshot_counters();
+    EXPECT_GE(snap.value("gpusim.launches"), 1);
+    EXPECT_GT(snap.value("gpusim.sim_threads"), 0);
+    EXPECT_GT(snap.value("gpusim.flops"), 0);
+    EXPECT_GT(snap.value("gpusim.bytes"), 0);
+    EXPECT_EQ(snap.value("gpusim.model_launches"), 1);
+    EXPECT_GT(snap.max_of("gpusim.mem_peak_bytes"), 0u);
+    EXPECT_LE(snap.max_of("gpusim.occupancy_pct"), 100u);
+}
+
+TEST_F(ObsTest, RooflinePctAgainstMachineBalance)
+{
+    const MachineSpec spec = bluesky();
+    ASSERT_GT(machine_balance(spec), 0.0);
+    // Below machine balance the roof is ai x bandwidth: 0.1 x 205 GB/s
+    // = 20.5 GFLOPS; 10.25 measured is 50%.
+    EXPECT_NEAR(roofline_pct(10.25, 0.1, spec), 50.0, 1e-9);
+    // Degenerate inputs are 0, never NaN/inf.
+    EXPECT_EQ(roofline_pct(0.0, 0.1, spec), 0.0);
+    EXPECT_EQ(roofline_pct(10.0, 0.0, spec), 0.0);
+}
+
+}  // namespace
+}  // namespace pasta::obs
