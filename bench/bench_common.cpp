@@ -8,6 +8,7 @@
 #include <memory>
 
 #include "common/log.hpp"
+#include "common/membudget.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "core/convert.hpp"
@@ -62,6 +63,9 @@ options_from_env()
     set_log_threshold_from_env();
     // Arm fault injection before anything the guards protect can run.
     harness::FaultInjector::instance().configure_from_env();
+    // Arm the memory governor ($PASTA_MEM_BYTES) before the first large
+    // allocation so bounded-memory campaigns degrade instead of dying.
+    membudget::MemGovernor::instance().configure_from_env();
     // Parse PASTA_VALIDATE and PASTA_TRACE up front so a malformed value
     // fails the run immediately instead of mid-suite on the first trial.
     (void)validate::current_mode();
@@ -223,15 +227,17 @@ std::string
 trial_variant(const obs::CountersSnapshot& before,
               const obs::CountersSnapshot& after)
 {
-    for (const char* key : {"mttkrp.variant", "merge.path", "sort.path"})
+    for (const char* key : {"stream.variant", "mttkrp.variant",
+                            "merge.path", "sort.path"})
         if (label_count(after, key) > label_count(before, key))
             return after.label(key);
     return "";
 }
 
 /// Failure class recorded in the journal and failure CSVs: "" (ok),
-/// "timeout", "validation" (structural/differential check failed), or
-/// "error" (any other trial error).
+/// "timeout", "validation" (structural/differential check failed), "oom"
+/// (memory budget exhausted even after the degrade retry), or "error"
+/// (any other trial error).
 std::string
 failure_class(const harness::TrialResult& trial)
 {
@@ -241,6 +247,8 @@ failure_class(const harness::TrialResult& trial)
         return "timeout";
     if (trial.validation)
         return "validation";
+    if (trial.oom)
+        return "oom";
     return "error";
 }
 
@@ -283,6 +291,7 @@ class SuiteRunner {
                 run.variant = done->variant;
                 run.obs_flops = done->obs_flops;
                 run.obs_bytes = done->obs_bytes;
+                run.mem_peak = done->mem_peak;
                 result_.runs.push_back(run);
                 ++result_.resumed;
                 return;
@@ -301,8 +310,13 @@ class SuiteRunner {
         obs::CountersSnapshot before;
         if (counters)
             before = obs::snapshot_counters();
+        // Per-trial high-water mark: reset so mem_peak reflects this
+        // trial alone, not the campaign maximum so far.
+        membudget::MemGovernor::instance().reset_peak();
         const harness::TrialResult trial =
             harness::run_guarded_trial(label, guarded, policy_);
+        const double mem_peak = static_cast<double>(
+            membudget::MemGovernor::instance().peak());
 
         harness::JournalEntry record;
         record.tensor_id = entry.id;
@@ -313,6 +327,7 @@ class SuiteRunner {
         record.attempts = trial.attempts;
         record.error = trial.error;
         record.failure_class = failure_class(trial);
+        record.mem_peak = mem_peak;
         if (trial.ok) {
             MeasuredRun run;
             run.tensor_id = entry.id;
@@ -320,6 +335,7 @@ class SuiteRunner {
             run.format = format;
             run.seconds = trial.seconds;
             run.cost = *cost;
+            run.mem_peak = mem_peak;
             if (counters) {
                 const obs::CountersSnapshot after =
                     obs::snapshot_counters();
@@ -1129,21 +1145,21 @@ export_csv(const std::string& path, const std::vector<MeasuredRun>& runs,
     std::fprintf(f,
                  "tensor,kernel,format,seconds,gflops,roofline_gflops,"
                  "efficiency,variant,obs_flops,obs_bytes,obs_ai,"
-                 "roofline_pct\n");
+                 "roofline_pct,mem_peak\n");
     for (const auto& run : runs) {
         std::string variant = run.variant;
         for (auto& c : variant)
             if (c == ',' || c == '\n')
                 c = ';';
         std::fprintf(f, "%s,%s,%s,%.9g,%.6g,%.6g,%.6g,%s,%.6g,%.6g,"
-                        "%.6g,%.6g\n",
+                        "%.6g,%.6g,%.6g\n",
                      run.tensor_id.c_str(), kernel_name(run.kernel),
                      format_name(run.format), run.seconds,
                      run_gflops(run),
                      run_roofline_gflops(run, platform),
                      run_efficiency(run, platform), variant.c_str(),
                      run.obs_flops, run.obs_bytes, run_ai(run),
-                     run_roofline_pct(run, platform));
+                     run_roofline_pct(run, platform), run.mem_peak);
     }
     std::fclose(f);
     PASTA_LOG_INFO << "wrote " << path;

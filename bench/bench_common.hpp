@@ -43,6 +43,11 @@ namespace pasta::bench {
 ///                        and the journal, spans feed the Chrome trace
 ///   PASTA_TRACE_DIR      where trace.json/spans.jsonl land (falls back
 ///                        to PASTA_CSV_DIR, then ".")
+///   PASTA_MEM_BYTES      memory budget (suffixes K/M/G accepted) armed
+///                        into the src/common/membudget governor: trials
+///                        whose working set would exceed it degrade to
+///                        the out-of-core streaming kernels (src/core/
+///                        stream) and retry instead of dying
 /// Malformed numeric values throw PastaError instead of silently
 /// producing 0 runs or undefined behavior.
 struct BenchOptions {
@@ -69,7 +74,8 @@ struct TrialFailure {
     std::string error;
     bool timed_out = false;
     int attempts = 0;
-    std::string failure_class;  ///< "timeout", "validation", or "error"
+    std::string failure_class;  ///< "timeout", "validation", "oom", or
+                                ///< "error"
 };
 
 /// Partial results of a suite: successful measurements plus a failure
@@ -116,7 +122,7 @@ void print_failure_summary(const SuiteResult& result);
 
 /// Writes the full run series as CSV (tensor, kernel, format, seconds,
 /// gflops, roofline_gflops, efficiency, variant, obs_flops, obs_bytes,
-/// obs_ai, roofline_pct) for external plotting.  The last five columns
+/// obs_ai, roofline_pct, mem_peak) for external plotting.  The last five columns
 /// come from the PASTA_TRACE counter registry and are ""/0 when the
 /// trial ran with counters off; roofline_pct then falls back to the
 /// Table I model's OI.  Figure binaries call this automatically when
@@ -127,7 +133,7 @@ void export_csv(const std::string& path,
 
 /// Writes the failure summary as CSV (tensor, kernel, format, class,
 /// timed_out, attempts, error), where class is "timeout", "validation",
-/// or "error".
+/// "oom", or "error".
 void export_failures_csv(const std::string& path,
                          const std::vector<TrialFailure>& failures);
 

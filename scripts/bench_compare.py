@@ -17,6 +17,12 @@ armed) are additionally gated on roofline efficiency: a trial whose
 "% of roofline" dropped by more than --threshold percent (relative) is
 a regression even if raw GFLOPS merely shifted with the machine.
 
+CSV inputs that carry the mem_peak column (governor-metered peak bytes
+per trial, PASTA_MEM_BYTES plumbing) are compared too, but warn-only:
+a trial whose peak resident working set GREW by more than --threshold
+percent prints a loud warning without failing the gate, since peak
+memory legitimately moves with partition counts and thread counts.
+
 The script exits non-zero when any benchmark regressed by more than
 --threshold percent (default 10), making it usable as a CI gate:
 
@@ -64,14 +70,15 @@ def load_json_throughputs(path):
         rate = parse_rate(entry.get("items_per_second"))
         if name and rate:
             rates[name] = rate
-    return rates, {}
+    return rates, {}, {}
 
 
 def load_csv_throughputs(path):
-    """Map tensor/kernel/format -> gflops (and roofline_pct when the
-    CSV carries the column) for one pasta suite CSV."""
+    """Map tensor/kernel/format -> gflops (plus roofline_pct and
+    mem_peak when the CSV carries those columns) for one suite CSV."""
     rates = {}
     roofline = {}
+    mem_peak = {}
     with open(path, newline="") as f:
         for row in csv.DictReader(f):
             key = "/".join(row.get(col) or "?"
@@ -84,7 +91,10 @@ def load_csv_throughputs(path):
             pct = parse_rate(row.get("roofline_pct"))
             if pct:
                 roofline[key] = pct
-    return rates, roofline
+            peak = parse_rate(row.get("mem_peak"))
+            if peak:
+                mem_peak[key] = peak
+    return rates, roofline, mem_peak
 
 
 def load_throughputs(path):
@@ -112,6 +122,30 @@ def compare(base, cand, threshold, metric, regressions):
         print(f"{name:<{width}}  only in candidate")
 
 
+def compare_mem_peak(base, cand, threshold):
+    """Warn-only diff of governor-metered peak bytes: growth beyond the
+    threshold is loud but never fails the gate (peaks legitimately move
+    with partition and thread counts)."""
+    print("\n-- peak memory (governor-metered bytes, warn-only) --")
+    width = max((len(n) for n in base), default=0)
+    warnings = []
+    for name in sorted(base):
+        if name not in cand:
+            continue
+        old, new = base[name], cand[name]
+        change = (new - old) / old * 100.0
+        marker = ""
+        if change > threshold:
+            marker = "  <-- GREW"
+            warnings.append((name, change))
+        print(f"{name:<{width}}  {old:14.3e} -> {new:14.3e}  "
+              f"{change:+7.2f}%{marker}")
+    for name, change in warnings:
+        print(f"warning: {name} peak memory grew {change:+.2f}% "
+              f"(> {threshold:.1f}%); not failing the gate",
+              file=sys.stderr)
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="Diff two bench profiles (JSON or suite CSV)")
@@ -122,8 +156,8 @@ def main():
                              "(default 10)")
     args = parser.parse_args()
 
-    base, base_roof = load_throughputs(args.baseline)
-    cand, cand_roof = load_throughputs(args.candidate)
+    base, base_roof, base_mem = load_throughputs(args.baseline)
+    cand, cand_roof, cand_mem = load_throughputs(args.candidate)
     if not base:
         print(f"error: no throughput entries in {args.baseline}",
               file=sys.stderr)
@@ -135,6 +169,8 @@ def main():
         print("\n-- roofline efficiency (% of roofline) --")
         compare(base_roof, cand_roof, args.threshold, "roofline_pct",
                 regressions)
+    if base_mem and cand_mem:
+        compare_mem_peak(base_mem, cand_mem, args.threshold)
 
     if regressions:
         print(f"\n{len(regressions)} benchmark(s) regressed more than "

@@ -20,6 +20,11 @@
 #   BENCH_OBS        when not 0, also run scripts/check_obs.sh against
 #                    the same build dir (PASTA_TRACE=full smoke of the
 #                    instrumentation layer); set BENCH_OBS=0 to skip
+#   BENCH_OOCORE     when not 0, also run scripts/check_oocore.sh
+#                    against the same build dir (bounded-memory smoke:
+#                    PASTA_MEM_BYTES forces the streaming kernels and
+#                    the journal resume path); set BENCH_OOCORE=0 to
+#                    skip
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -58,4 +63,10 @@ echo "wrote ${OUT_JSON} (OMP_NUM_THREADS=${OMP_NUM_THREADS})"
 # spans.jsonl, and obs CSV/journal columns with PASTA_TRACE=full.
 if [ "${BENCH_OBS:-1}" != "0" ]; then
     scripts/check_obs.sh "${BUILD_DIR}"
+fi
+
+# Bounded-memory smoke: the same build must degrade to the streaming
+# kernels under PASTA_MEM_BYTES and resume trials from the journal.
+if [ "${BENCH_OOCORE:-1}" != "0" ]; then
+    scripts/check_oocore.sh "${BUILD_DIR}"
 fi

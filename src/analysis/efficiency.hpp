@@ -28,6 +28,10 @@ struct MeasuredRun {
     std::string variant;
     double obs_flops = 0;
     double obs_bytes = 0;
+    /// Peak bytes the memory governor saw reserved/probed during the
+    /// trial (0 when the trial predates the governor or never touched a
+    /// budgeted allocation).  Feeds the mem_peak CSV column.
+    double mem_peak = 0;
 };
 
 /// Measured GFLOPS of a run.

@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "common/error.hpp"
+#include "common/membudget.hpp"
 #include "common/morton.hpp"
 #include "core/sort_radix.hpp"
 #include "obs/trace.hpp"
@@ -67,6 +68,11 @@ coo_to_hicoo(const CooTensor& x, unsigned block_bits)
     if (x.nnz() == 0)
         return out;
 
+    // Staging working set: the Morton-sorted copy plus the radix keys
+    // the sort builds over it.
+    membudget::check(membudget::coo_bytes(x.order(), x.nnz()) +
+                         std::uint64_t{8} * x.nnz(),
+                     "hicoo.convert");
     CooTensor sorted = x;
     sorted.sort_morton(block_bits);
 
@@ -124,6 +130,10 @@ coo_to_ghicoo(const CooTensor& x, std::vector<bool> compressed,
     GHiCooTensor out(x.dims(), block_bits, std::move(compressed));
     if (x.nnz() == 0)
         return out;
+
+    membudget::check(membudget::coo_bytes(x.order(), x.nnz()) +
+                         std::uint64_t{8} * x.nnz(),
+                     "ghicoo.convert");
 
     const Size n = x.order();
     const Index mask = out.block_size() - 1;

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "common/error.hpp"
+#include "common/membudget.hpp"
 #include "common/morton.hpp"
 #include "common/parallel.hpp"
 #include "core/merge.hpp"
@@ -43,6 +44,10 @@ CooTensor::CooTensor(std::vector<Index> dims) : dims_(std::move(dims))
 void
 CooTensor::reserve(Size n)
 {
+    // Governor probe, not a held reservation: the arrays' lifetime is
+    // owned by this tensor, so the choke point only has to prove the
+    // footprint fits the remaining budget before committing.
+    membudget::check(membudget::coo_bytes(order(), n), "coo.reserve");
     for (auto& idx : indices_)
         idx.reserve(n);
     values_.reserve(n);
@@ -64,6 +69,8 @@ CooTensor::append(const Coordinate& coords, Value value)
 void
 CooTensor::resize_nnz(Size n)
 {
+    if (n > nnz())
+        membudget::check(membudget::coo_bytes(order(), n), "coo.resize");
     for (auto& idx : indices_)
         idx.resize(n, 0);
     values_.resize(n, 0);

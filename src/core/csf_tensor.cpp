@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/membudget.hpp"
 #include "obs/trace.hpp"
 #include "validate/validate.hpp"
 
@@ -46,6 +47,9 @@ CsfTensor::from_coo(const CooTensor& x, std::vector<Size> mode_order)
     if (x.nnz() == 0)
         return out;
 
+    // Staging working set: the sorted copy plus the level pools, which
+    // are bounded by one (index, ptr) pair per non-zero per level.
+    membudget::check(2 * membudget::coo_bytes(n, x.nnz()), "csf.build");
     CooTensor sorted = x;
     sorted.sort_by_mode_order(mode_order);
 

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/error.hpp"
+#include "common/membudget.hpp"
 #include "common/parallel.hpp"
 #include "obs/counters.hpp"
 
@@ -132,6 +133,9 @@ void
 sort_perm(std::vector<std::uint64_t>& keys, std::vector<Size>& perm)
 {
     const Size n = keys.size();
+    // Sort scratch: the permutation plus the double-buffered key and
+    // permutation arrays the LSD passes ping-pong through.
+    membudget::check(std::uint64_t{24} * n, "sort.scratch");
     perm.resize(n);
     parallel_for_ranges(0, n, [&](Size first, Size last) {
         for (Size p = first; p < last; ++p)

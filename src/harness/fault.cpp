@@ -51,7 +51,8 @@ const std::vector<std::string>&
 known_fault_points()
 {
     static const std::vector<std::string> points = {
-        "io.read", "cache.load", "alloc", "kernel.run"};
+        "io.read", "cache.load", "alloc", "kernel.run",
+        "mem.reserve", "io.mmap"};
     return points;
 }
 

@@ -13,6 +13,8 @@
 ///   cache.load  entering a .pasta_cache lookup in TensorRegistry
 ///   alloc       entering large per-tensor allocations (trial context)
 ///   kernel.run  entering one guarded (tensor, kernel, format) trial
+///   mem.reserve entering a memory-governor reservation (membudget)
+///   io.mmap     entering a MappedCooTensor mmap open (binary_io)
 ///
 /// A spec is a comma-separated rule list, configured via $PASTA_FAULT:
 ///

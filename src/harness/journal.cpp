@@ -187,7 +187,10 @@ to_json_line(const JournalEntry& entry)
         << ",\"class\":\"" << escape(entry.failure_class) << "\""
         << ",\"variant\":\"" << escape(entry.variant) << "\""
         << ",\"obs_flops\":" << entry.obs_flops
-        << ",\"obs_bytes\":" << entry.obs_bytes << "}";
+        << ",\"obs_bytes\":" << entry.obs_bytes
+        << ",\"mem_peak\":" << entry.mem_peak
+        << ",\"partitions_done\":" << entry.partitions_done
+        << ",\"partitions_total\":" << entry.partitions_total << "}";
     return oss.str();
 }
 
@@ -217,6 +220,15 @@ parse_json_line(const std::string& line, JournalEntry& entry)
     entry.variant = strings.count("variant") ? strings["variant"] : "";
     entry.obs_flops = numbers.count("obs_flops") ? numbers["obs_flops"] : 0.0;
     entry.obs_bytes = numbers.count("obs_bytes") ? numbers["obs_bytes"] : 0.0;
+    entry.mem_peak = numbers.count("mem_peak") ? numbers["mem_peak"] : 0.0;
+    entry.partitions_done =
+        numbers.count("partitions_done")
+            ? static_cast<int>(numbers["partitions_done"])
+            : 0;
+    entry.partitions_total =
+        numbers.count("partitions_total")
+            ? static_cast<int>(numbers["partitions_total"])
+            : 0;
     return true;
 }
 

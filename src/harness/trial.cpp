@@ -12,6 +12,7 @@
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "common/membudget.hpp"
 #include "obs/trace.hpp"
 #include "validate/validate.hpp"
 
@@ -54,16 +55,18 @@ struct AttemptState {
     bool done = false;
     bool ok = false;
     bool validation = false;
+    bool oom = false;
     double seconds = 0.0;
     std::string error;
 
     void finish(bool is_ok, double secs, std::string err,
-                bool is_validation = false)
+                bool is_validation = false, bool is_oom = false)
     {
         std::lock_guard<std::mutex> lock(mutex);
         done = true;
         ok = is_ok;
         validation = is_validation;
+        oom = is_oom;
         seconds = secs;
         error = std::move(err);
         cv.notify_all();
@@ -80,9 +83,13 @@ struct AttemptState {
 
 /// One attempt of the body, inline or under a watchdog thread.
 /// Returns false when the watchdog abandoned the attempt.
+/// HostOomError must be caught before PastaError (it derives from it) in
+/// both attempt paths, or the degradable class would be misfiled as a
+/// plain error and the retry would never arm degraded mode.
 bool
 run_attempt(const std::function<double()>& body, double timeout_seconds,
-            bool& ok, bool& validation, double& seconds, std::string& error)
+            bool& ok, bool& validation, bool& oom, double& seconds,
+            std::string& error)
 {
     if (timeout_seconds <= 0) {
         try {
@@ -92,11 +99,16 @@ run_attempt(const std::function<double()>& body, double timeout_seconds,
             ok = false;
             validation = true;
             error = e.what();
+        } catch (const membudget::HostOomError& e) {
+            ok = false;
+            oom = true;
+            error = e.what();
         } catch (const PastaError& e) {
             ok = false;
             error = e.what();
         } catch (const std::bad_alloc&) {
             ok = false;
+            oom = true;
             error = "out of memory (std::bad_alloc)";
         } catch (const std::exception& e) {
             ok = false;
@@ -112,10 +124,13 @@ run_attempt(const std::function<double()>& body, double timeout_seconds,
             state->finish(true, s, {});
         } catch (const validate::ValidationError& e) {
             state->finish(false, 0, e.what(), true);
+        } catch (const membudget::HostOomError& e) {
+            state->finish(false, 0, e.what(), false, true);
         } catch (const PastaError& e) {
             state->finish(false, 0, e.what());
         } catch (const std::bad_alloc&) {
-            state->finish(false, 0, "out of memory (std::bad_alloc)");
+            state->finish(false, 0, "out of memory (std::bad_alloc)",
+                          false, true);
         } catch (const std::exception& e) {
             state->finish(false, 0, e.what());
         } catch (...) {
@@ -132,6 +147,7 @@ run_attempt(const std::function<double()>& body, double timeout_seconds,
     std::lock_guard<std::mutex> lock(state->mutex);
     ok = state->ok;
     validation = state->validation;
+    oom = state->oom;
     seconds = state->seconds;
     error = state->error;
     return true;
@@ -159,6 +175,9 @@ run_guarded_trial(const std::string& label,
     const int max_attempts = policy.max_attempts < 1 ? 1
                                                      : policy.max_attempts;
     double backoff = policy.backoff_initial_s;
+    // Each trial decides its own memory routing afresh; a previous
+    // trial's OOM degradation must not leak into this one.
+    membudget::MemGovernor::instance().set_degraded(false);
     for (int attempt = 1; attempt <= max_attempts; ++attempt) {
         // One span per attempt, named by the trial: the trace's top-level
         // structure mirrors the journal's (tensor, kernel, format) rows.
@@ -166,9 +185,10 @@ run_guarded_trial(const std::string& label,
         result.attempts = attempt;
         bool ok = false;
         bool validation = false;
+        bool oom = false;
         double seconds = 0;
         std::string error;
-        if (!run_attempt(body, policy.timeout_seconds, ok, validation,
+        if (!run_attempt(body, policy.timeout_seconds, ok, validation, oom,
                          seconds, error)) {
             std::ostringstream oss;
             oss << "watchdog timeout after " << policy.timeout_seconds
@@ -182,11 +202,22 @@ run_guarded_trial(const std::string& label,
         }
         if (ok) {
             result.ok = true;
+            result.oom = false;
             result.seconds = seconds;
             result.error.clear();
             return result;
         }
         result.error = error;
+        result.oom = oom;
+        if (oom && attempt < max_attempts) {
+            // Degradable failure: arm degraded mode so the retry's
+            // budget-aware paths pick streaming/smaller chunks instead of
+            // walking into the same budget wall.
+            membudget::MemGovernor::instance().set_degraded(true);
+            PASTA_LOG_WARN << label << ": memory budget exceeded ("
+                           << error
+                           << "); retrying with streaming/smaller chunks";
+        }
         if (validation) {
             // Deterministic wrong answer: retrying re-runs the same
             // kernel on the same data and fails the same check.

@@ -38,6 +38,7 @@ struct TrialResult {
     bool skipped = false;   ///< abandoned: timed out or retries exhausted
     bool timed_out = false; ///< skipped specifically by the watchdog
     bool validation = false; ///< failed a structural/differential check
+    bool oom = false;       ///< last failure was a membudget::HostOomError
     std::string error;      ///< last failure message when !ok
     int attempts = 0;       ///< attempts actually made
     double seconds = 0.0;   ///< trial body's return value when ok
@@ -49,6 +50,12 @@ struct TrialResult {
 /// is a validate::ValidationError (deterministic: the same wrong answer
 /// would come back on every retry); other thrown errors are retried with
 /// capped exponential backoff.
+///
+/// membudget::HostOomError is *degradable*: before the retry the governor
+/// is switched to degraded mode, so budget-aware paths (the stream
+/// kernels' *_budgeted entry points) pick streaming/smaller chunks on the
+/// next attempt instead of re-running the in-memory route into the same
+/// wall.  Degraded mode is reset at every trial entry.
 TrialResult run_guarded_trial(const std::string& label,
                               const std::function<double()>& body,
                               const TrialPolicy& policy);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/membudget.hpp"
 #include "obs/counters.hpp"
 
 namespace pasta {
@@ -89,6 +90,13 @@ mttkrp_coo_pick(Index dim_mode, Size nnz, Size rank)
     const Size threads = static_cast<Size>(num_threads());
     if (threads * static_cast<Size>(dim_mode) * rank >
         kPrivatizedBudgetValues)
+        return MttkrpVariant::kAtomic;
+    // The replicated buffers are allocated inside a parallel region,
+    // where a governor rejection could not unwind; decide here instead —
+    // over budget simply means the atomic schedule (which allocates
+    // nothing) is the only affordable one.
+    if (!membudget::would_fit(std::uint64_t{4} * threads *
+                              static_cast<Size>(dim_mode) * rank))
         return MttkrpVariant::kAtomic;
     // The replicated buffers cost a zero + reduce sweep over
     // threads x dim_mode rows; the atomic path (with run fusion) costs

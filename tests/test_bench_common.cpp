@@ -165,7 +165,7 @@ TEST_F(SuitePipeline, CsvExportRoundTrips)
     EXPECT_EQ(header,
               "tensor,kernel,format,seconds,gflops,roofline_gflops,"
               "efficiency,variant,obs_flops,obs_bytes,obs_ai,"
-              "roofline_pct");
+              "roofline_pct,mem_peak");
     Size lines = 0;
     std::string line;
     while (std::getline(in, line))
