@@ -6,11 +6,17 @@ Usage: scripts/bench_compare.py BASELINE CANDIDATE [--threshold PCT]
 Inputs may be google-benchmark JSON files (BENCH_kernels.json as written
 by scripts/bench_smoke.sh) or pasta suite CSVs (written by the figure
 binaries under PASTA_CSV_DIR); the format is chosen by file extension.
-Benchmarks are matched by name (JSON) or by tensor/kernel/format (CSV);
-for each pair the relative change in throughput (items_per_second or
-gflops) is reported.  Entries with missing or malformed names/rates are
-skipped rather than crashing, so profiles from newer or older binaries
-with extra keys still compare.
+Either side may also be a comma-separated list of files and/or shell
+globs ('out/profile_*.csv' or 'a.csv,b.csv') — the matched files are
+merged into one profile before comparing, which is how the per-shard
+CSVs of a sharded pasta_campaign run compare against a single-process
+baseline.  Benchmarks are matched by name (JSON) or by
+tensor/kernel/format (CSV, plus the shard column when present, so the
+partition-range shards of one sweep stay distinct); for each pair the
+relative change in throughput (items_per_second or gflops) is reported.
+Entries with missing or malformed names/rates are skipped rather than
+crashing, so profiles from newer or older binaries with extra keys
+still compare.
 
 CSV inputs that carry the roofline_pct column (PASTA_TRACE counters
 armed) are additionally gated on roofline efficiency: a trial whose
@@ -38,6 +44,7 @@ check, and aggregate entries (mean/median/stddev rows emitted under
 
 import argparse
 import csv
+import glob
 import json
 import sys
 
@@ -85,6 +92,10 @@ def load_csv_throughputs(path):
                            for col in ("tensor", "kernel", "format"))
             if key == "?/?/?":
                 continue
+            # Campaign shard CSVs carry a shard column; keep the
+            # partition-range shards of one sweep distinct.
+            if row.get("shard"):
+                key += "@" + row["shard"]
             rate = parse_rate(row.get("gflops"))
             if rate:
                 rates[key] = rate
@@ -97,10 +108,30 @@ def load_csv_throughputs(path):
     return rates, roofline, mem_peak
 
 
-def load_throughputs(path):
-    if path.endswith(".csv"):
-        return load_csv_throughputs(path)
-    return load_json_throughputs(path)
+def expand_inputs(spec):
+    """Expands a comma-separated list of paths/globs into file paths.
+    A pattern with no match is kept verbatim so open() reports it."""
+    paths = []
+    for part in spec.split(","):
+        if not part:
+            continue
+        matches = sorted(glob.glob(part))
+        paths.extend(matches if matches else [part])
+    return paths
+
+
+def load_throughputs(spec):
+    """Loads one profile side: every matched file parsed by extension
+    and merged into one map (later files win on duplicate keys)."""
+    rates, roofline, mem_peak = {}, {}, {}
+    for path in expand_inputs(spec):
+        loader = (load_csv_throughputs if path.endswith(".csv")
+                  else load_json_throughputs)
+        r, roof, mem = loader(path)
+        rates.update(r)
+        roofline.update(roof)
+        mem_peak.update(mem)
+    return rates, roofline, mem_peak
 
 
 def compare(base, cand, threshold, metric, regressions):

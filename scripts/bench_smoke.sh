@@ -25,6 +25,12 @@
 #                    PASTA_MEM_BYTES forces the streaming kernels and
 #                    the journal resume path); set BENCH_OOCORE=0 to
 #                    skip
+#   BENCH_CAMPAIGN   when 1, also run scripts/check_campaign.sh against
+#                    the same build dir (crash-isolated multi-process
+#                    campaign: PASTA_CHAOS SIGKILLs workers mid-trial
+#                    and the merged journal must match an unkilled
+#                    baseline); off by default — it forks worker pools
+#                    and takes several seconds
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -69,4 +75,10 @@ fi
 # kernels under PASTA_MEM_BYTES and resume trials from the journal.
 if [ "${BENCH_OOCORE:-1}" != "0" ]; then
     scripts/check_oocore.sh "${BUILD_DIR}"
+fi
+
+# Crash-isolation smoke: a chaos campaign (workers SIGKILL'd mid-trial)
+# must produce the same merged journal as an unkilled baseline.
+if [ "${BENCH_CAMPAIGN:-0}" = "1" ]; then
+    scripts/check_campaign.sh "${BUILD_DIR}"
 fi

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/fsutil.hpp"
 #include "common/log.hpp"
 #include "common/membudget.hpp"
 #include "common/parallel.hpp"
@@ -90,31 +92,29 @@ void
 save_mttkrp_checkpoint(const std::string& path, Size mode, Size partitions,
                        Size done, const DenseMatrix& out)
 {
-    const std::string tmp = path + ".tmp";
-    {
-        std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
-        PASTA_CHECK_MSG(f.good(),
-                        "cannot open checkpoint " << tmp << " for writing");
-        const std::uint64_t m = mode, p = partitions, d = done,
-                            r = out.rows(), c = out.cols();
-        f.write(kCkptMagic, sizeof(kCkptMagic));
-        f.write(reinterpret_cast<const char*>(&kCkptVersion),
-                sizeof(kCkptVersion));
-        f.write(reinterpret_cast<const char*>(&m), sizeof(m));
-        f.write(reinterpret_cast<const char*>(&p), sizeof(p));
-        f.write(reinterpret_cast<const char*>(&d), sizeof(d));
-        f.write(reinterpret_cast<const char*>(&r), sizeof(r));
-        f.write(reinterpret_cast<const char*>(&c), sizeof(c));
-        f.write(reinterpret_cast<const char*>(out.data()),
-                static_cast<std::streamsize>(r * c * sizeof(Value)));
-        const std::uint64_t sum =
-            ckpt_checksum(m, p, d, r, c, out.data());
-        f.write(reinterpret_cast<const char*>(&sum), sizeof(sum));
-        PASTA_CHECK_MSG(f.good(), "checkpoint write to " << tmp
-                                                         << " failed");
-    }
-    PASTA_CHECK_MSG(std::rename(tmp.c_str(), path.c_str()) == 0,
-                    "cannot publish checkpoint " << path);
+    const std::uint64_t m = mode, p = partitions, d = done,
+                        r = out.rows(), c = out.cols();
+    std::string buf;
+    buf.reserve(sizeof(kCkptMagic) + sizeof(kCkptVersion) +
+                5 * sizeof(std::uint64_t) + r * c * sizeof(Value) +
+                sizeof(std::uint64_t));
+    const auto put = [&buf](const void* src, std::size_t n) {
+        buf.append(static_cast<const char*>(src), n);
+    };
+    put(kCkptMagic, sizeof(kCkptMagic));
+    put(&kCkptVersion, sizeof(kCkptVersion));
+    put(&m, sizeof(m));
+    put(&p, sizeof(p));
+    put(&d, sizeof(d));
+    put(&r, sizeof(r));
+    put(&c, sizeof(c));
+    put(out.data(), r * c * sizeof(Value));
+    const std::uint64_t sum = ckpt_checksum(m, p, d, r, c, out.data());
+    put(&sum, sizeof(sum));
+    // tmp + fsync + rename + dir fsync: a kill (or power loss) at any
+    // point leaves either the previous checkpoint or this one, never a
+    // half-written file that parses or a rename the disk forgot.
+    fsutil::write_file_durable(path, buf);
 }
 
 /// Loads a checkpoint matching (mode, partitions, out shape); returns
@@ -258,26 +258,52 @@ mttkrp_coo_stream(const MappedCooTensor& x, const FactorList& factors,
     // matrix is complete for every finished partition.
     PartitionPlan plan = plan_partitions(x, mode, default_chunk_budget(x),
                                          opts.max_partitions);
+
+    // Campaign shards sweep a subrange [lo, hi) of the plan; rows are
+    // disjoint across partitions, so a range shard owns its output rows
+    // outright and ranges union to the full sweep.
+    const Size lo = std::min(opts.part_begin, plan.partitions);
+    const Size hi = opts.part_end == 0
+                        ? plan.partitions
+                        : std::min(opts.part_end, plan.partitions);
+    PASTA_CHECK_MSG(lo <= hi, "partition range [" << opts.part_begin
+                                                  << ", " << opts.part_end
+                                                  << ") is inverted");
+    const bool ranged = lo != 0 || hi != plan.partitions;
+
     StreamDecision d;
     d.streamed = true;
-    d.partitions = plan.partitions;
+    d.partitions = hi - lo;
     d.variant = stream_variant_name("mttkrp", plan.partitions);
+    if (ranged)
+        d.variant += "_r" + std::to_string(lo) + "-" + std::to_string(hi);
     note_decision(d);
 
-    Size start = 0;
-    if (!opts.checkpoint_path.empty() &&
-        load_mttkrp_checkpoint(opts.checkpoint_path, mode, plan.partitions,
-                               out, start)) {
-        d.resumed_from = start;
-        PASTA_LOG_INFO << "streaming MTTKRP resuming at partition " << start
-                       << "/" << plan.partitions << " from "
-                       << opts.checkpoint_path;
+    Size start = lo;
+    if (!opts.checkpoint_path.empty()) {
+        // A SIGKILL mid-save leaves a stale half-written tmp next to the
+        // (still intact) checkpoint; clear it so it can never be
+        // mistaken for anything and the next save starts clean.
+        std::error_code tmp_ec;
+        std::filesystem::remove(opts.checkpoint_path + ".tmp", tmp_ec);
+        Size done = 0;
+        if (load_mttkrp_checkpoint(opts.checkpoint_path, mode,
+                                   plan.partitions, out, done) &&
+            done >= lo && done <= hi) {
+            start = done;
+            d.resumed_from = done - lo;
+            PASTA_LOG_INFO << "streaming MTTKRP resuming at partition "
+                           << start << "/" << hi << " from "
+                           << opts.checkpoint_path;
+        } else {
+            out.fill(0);
+        }
     } else {
         out.fill(0);
     }
 
     const Size order = x.order();
-    for (Size p = start; p < plan.partitions; ++p) {
+    for (Size p = start; p < hi; ++p) {
         const Size n = plan.counts[p];
         if (n != 0) {
             // Keys + permutation are the sweep's only scratch beyond the
@@ -335,9 +361,18 @@ mttkrp_coo_stream(const MappedCooTensor& x, const FactorList& factors,
             save_mttkrp_checkpoint(opts.checkpoint_path, mode,
                                    plan.partitions, p + 1, out);
         if (opts.progress)
-            opts.progress(p + 1, plan.partitions);
+            opts.progress(p + 1 - lo, hi - lo);
     }
     return d;
+}
+
+Size
+mttkrp_partition_count(const MappedCooTensor& x, Size mode,
+                       Size max_partitions)
+{
+    return plan_partitions(x, mode, default_chunk_budget(x),
+                           max_partitions)
+        .partitions;
 }
 
 StreamDecision

@@ -52,7 +52,7 @@ known_fault_points()
 {
     static const std::vector<std::string> points = {
         "io.read", "cache.load", "alloc", "kernel.run",
-        "mem.reserve", "io.mmap"};
+        "mem.reserve", "io.mmap", "proc.spawn"};
     return points;
 }
 

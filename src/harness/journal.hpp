@@ -2,11 +2,15 @@
 /// Append-only run journal: checkpoint/resume for suite campaigns.
 ///
 /// Every completed (tensor, kernel, format) trial is appended as one
-/// JSON line and flushed, so a killed run loses at most the trial in
-/// flight.  A re-invoked figure binary reloads the journal and skips
-/// trials that already succeeded; failed entries are kept for the
-/// record but retried on the next run.  The loader tolerates a torn
-/// trailing line (the kill case) and skips unparsable lines with a
+/// JSON line and made durable, so a killed run loses at most the trial
+/// in flight.  Appends go through a POSIX descriptor and fsync by
+/// default after every line ($PASTA_JOURNAL_FSYNC=N batches the fsync
+/// to every Nth line, 0 disables it; flush() forces one).  A re-invoked
+/// figure binary reloads the journal and skips trials that already
+/// succeeded; failed entries are kept for the record but retried on the
+/// next run.  The loader tolerates a torn trailing line (the kill
+/// case) by *truncating* it off the file — the resume then appends from
+/// a clean line boundary — and skips unparsable interior lines with a
 /// warning rather than aborting the campaign.
 ///
 /// Line format (flat JSON, string/number/bool fields only):
@@ -50,6 +54,11 @@ struct JournalEntry {
     double mem_peak = 0;
     int partitions_done = 0;
     int partitions_total = 0;
+    /// Campaign channel: the shard this entry was produced under (e.g.
+    /// a partition-range shard "s1.MTTKRP.p0-8").  Distinguishes the
+    /// pieces of one sharded sweep in the merged journal; empty (and
+    /// absent from the serialized line) for unsharded trials.
+    std::string shard;
 };
 
 /// Serializes an entry as one JSON line (no trailing newline).
@@ -59,15 +68,22 @@ std::string to_json_line(const JournalEntry& entry);
 /// malformed input so the loader can skip it.
 bool parse_json_line(const std::string& line, JournalEntry& entry);
 
-/// Append-only JSONL journal keyed by (tensor, kernel, format); the
-/// last line for a key wins on reload.
+/// Append-only JSONL journal keyed by (tensor, kernel, format, shard);
+/// the last line for a key wins on reload.
 class RunJournal {
   public:
     /// A disabled journal: has() is always false, append() is a no-op.
     RunJournal() = default;
 
-    /// Opens (creating parent directories) and replays `path`.
+    /// Opens (creating parent directories) and replays `path`,
+    /// truncating a torn final line left by a killed writer.
     explicit RunJournal(std::string path);
+
+    RunJournal(const RunJournal&) = delete;
+    RunJournal& operator=(const RunJournal&) = delete;
+    RunJournal(RunJournal&& other) noexcept;
+    RunJournal& operator=(RunJournal&& other) noexcept;
+    ~RunJournal();
 
     bool enabled() const { return !path_.empty(); }
     const std::string& path() const { return path_; }
@@ -75,25 +91,40 @@ class RunJournal {
     /// Entries replayed from disk at open (after last-wins dedup).
     std::size_t size() const { return entries_.size(); }
 
-    /// The entry for a key, or nullptr.
+    /// The entry for a key, or nullptr.  The three-argument form looks
+    /// up unsharded entries (shard "").
     const JournalEntry* find(const std::string& tensor_id,
                              const std::string& kernel,
-                             const std::string& format) const;
+                             const std::string& format,
+                             const std::string& shard = "") const;
 
     /// True when the key has a *successful* entry (the resume filter).
     bool has_ok(const std::string& tensor_id, const std::string& kernel,
-                const std::string& format) const;
+                const std::string& format,
+                const std::string& shard = "") const;
 
-    /// Appends one entry and flushes it to disk immediately.
+    /// Appends one entry and (per the fsync policy) makes it durable.
     void append(const JournalEntry& entry);
 
-  private:
+    /// Forces any batched lines to disk (write + fsync).  No-op when
+    /// everything already synced or the journal is disabled.
+    void flush();
+
+    /// Dedup key over the serialized identity fields; shared with the
+    /// campaign journal merge.
     static std::string key(const std::string& tensor_id,
                            const std::string& kernel,
-                           const std::string& format);
+                           const std::string& format,
+                           const std::string& shard = "");
+
+  private:
+    void close_fd();
 
     std::string path_;
     std::map<std::string, JournalEntry> entries_;
+    int fd_ = -1;           ///< lazily opened O_APPEND descriptor
+    int fsync_batch_ = 1;   ///< fsync every Nth append; 0 = never
+    int unsynced_ = 0;      ///< appends since the last fsync
 };
 
 }  // namespace pasta::harness

@@ -1,0 +1,170 @@
+#include "harness/lease.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/fsutil.hpp"
+#include "common/log.hpp"
+
+namespace pasta::harness {
+
+namespace {
+
+double
+now_wall_seconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+}
+
+}  // namespace
+
+std::string
+lease_path(const std::string& dir, const std::string& shard)
+{
+    return dir + "/" + shard + ".lease";
+}
+
+bool
+read_lease(const std::string& path, LeaseInfo& info)
+{
+    struct stat st {};
+    if (::stat(path.c_str(), &st) != 0)
+        return false;
+
+    FILE* f = std::fopen(path.c_str(), "r");
+    if (!f)
+        return false;
+    char buf[256] = {0};
+    const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+    std::fclose(f);
+    buf[n] = '\0';
+
+    long pid = 0;
+    if (std::sscanf(buf, "pid %ld", &pid) != 1 || pid <= 0)
+        return false;
+
+    info.pid = pid;
+    // ESRCH is the only "definitely dead" answer; EPERM means the pid
+    // exists but belongs to someone else — treat as alive.
+    info.owner_alive = ::kill(static_cast<pid_t>(pid), 0) == 0 ||
+                       errno != ESRCH;
+    const double mtime = static_cast<double>(st.st_mtime);
+    info.age_seconds = now_wall_seconds() - mtime;
+    return true;
+}
+
+bool
+lease_stale(const LeaseInfo& info, double ttl_seconds)
+{
+    return !info.owner_alive || info.age_seconds > ttl_seconds;
+}
+
+namespace {
+
+/// Removes a stale lease with rename-aside arbitration.  Returns true
+/// when this caller (not a racer) removed it.
+bool
+reap_stale(const std::string& path)
+{
+    const std::string aside =
+        path + ".reap." + std::to_string(::getpid());
+    if (std::rename(path.c_str(), aside.c_str()) != 0)
+        return false;  // a racing reclaimer won
+    ::unlink(aside.c_str());
+    fsutil::fsync_parent_dir(path);
+    return true;
+}
+
+}  // namespace
+
+bool
+try_claim_lease(const std::string& dir, const std::string& shard,
+                double ttl_seconds)
+{
+    const std::string path = lease_path(dir, shard);
+    for (int attempt = 0; attempt < 2; ++attempt) {
+        const int fd = ::open(path.c_str(),
+                              O_WRONLY | O_CREAT | O_EXCL | O_CLOEXEC,
+                              0644);
+        if (fd >= 0) {
+            char record[128];
+            const int len = std::snprintf(
+                record, sizeof(record), "pid %ld\nclaimed %.3f\n",
+                static_cast<long>(::getpid()), now_wall_seconds());
+            ssize_t written = 0;
+            if (len > 0)
+                written = ::write(fd, record, static_cast<size_t>(len));
+            const bool ok = written == len && fsutil::fsync_fd(fd);
+            ::close(fd);
+            if (!ok) {
+                // A claim that cannot be recorded durably is no claim:
+                // a crash would leave an unreadable lease that blocks
+                // the shard until TTL expiry.
+                ::unlink(path.c_str());
+                PASTA_LOG_WARN << "lease " << path
+                               << ": claim record write failed";
+                return false;
+            }
+            fsutil::fsync_parent_dir(path);
+            return true;
+        }
+        if (errno != EEXIST)
+            return false;
+
+        LeaseInfo info;
+        if (read_lease(path, info) && !lease_stale(info, ttl_seconds))
+            return false;  // live owner
+        // Stale (or unreadable — a crashed claim): reap and retry the
+        // O_EXCL create once.  Losing the reap race means someone else
+        // is mid-claim; let them have it.
+        if (!reap_stale(path))
+            return false;
+    }
+    return false;
+}
+
+void
+release_lease(const std::string& dir, const std::string& shard)
+{
+    const std::string path = lease_path(dir, shard);
+    if (::unlink(path.c_str()) == 0)
+        fsutil::fsync_parent_dir(path);
+}
+
+void
+refresh_lease(const std::string& dir, const std::string& shard)
+{
+    // futimens(NULL) = set both timestamps to now.
+    const std::string path = lease_path(dir, shard);
+    const int fd = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
+    if (fd < 0)
+        return;
+    ::futimens(fd, nullptr);
+    ::close(fd);
+}
+
+bool
+reclaim_lease_if_stale(const std::string& dir, const std::string& shard,
+                       double ttl_seconds)
+{
+    const std::string path = lease_path(dir, shard);
+    LeaseInfo info;
+    if (!read_lease(path, info))
+        return false;
+    if (!lease_stale(info, ttl_seconds))
+        return false;
+    return reap_stale(path);
+}
+
+}  // namespace pasta::harness

@@ -1,0 +1,63 @@
+/// \file
+/// Crash-safe filesystem leases for campaign shard claiming.
+///
+/// A lease is one file per shard in a shared lease directory.  Claiming
+/// is O_CREAT|O_EXCL — the kernel arbitrates, so exactly one process
+/// wins a shard even when several workers race — and the claim record
+/// (owner pid, claim wall-clock) is fsync'd before the claim counts, so
+/// a claim that survives a crash is always readable.  Liveness rides on
+/// the file's mtime: the owner refreshes it from its heartbeat loop,
+/// and a lease is *stale* once its owner pid is gone (SIGKILL, OOM
+/// kill) or its mtime is older than the TTL (a SIGSTOP'd or wedged
+/// owner).  Reclaiming a stale lease is itself race-free: the reclaimer
+/// first rename(2)s the lease aside — rename is atomic, one reclaimer
+/// wins, the losers see ENOENT and fall back to a normal claim attempt.
+///
+/// The protocol never needs flock()/fcntl locks (which silently vanish
+/// on some shared filesystems); everything reduces to O_EXCL create and
+/// rename, the two primitives with crash-safe semantics everywhere.
+#pragma once
+
+#include <string>
+
+namespace pasta::harness {
+
+/// Parsed contents + liveness of one lease file.
+struct LeaseInfo {
+    long pid = 0;             ///< owner pid from the claim record
+    bool owner_alive = false; ///< kill(pid, 0) succeeded (or EPERM)
+    double age_seconds = 0;   ///< now - mtime (heartbeat freshness)
+};
+
+/// The lease file path for `shard` under `dir`.
+std::string lease_path(const std::string& dir, const std::string& shard);
+
+/// Reads and parses a lease file; false when absent or unreadable.
+bool read_lease(const std::string& path, LeaseInfo& info);
+
+/// A lease is stale when its owner is dead or its heartbeat-refreshed
+/// mtime is older than `ttl_seconds`.
+bool lease_stale(const LeaseInfo& info, double ttl_seconds);
+
+/// Atomically claims `shard` for the calling process: removes a stale
+/// lease first (rename-aside, one winner), then O_EXCL-creates the
+/// lease with an fsync'd claim record.  Returns false when another live
+/// owner holds it (or a racing claimer won).
+bool try_claim_lease(const std::string& dir, const std::string& shard,
+                     double ttl_seconds);
+
+/// Releases a lease the caller owns (unlink + dir fsync).  Removing a
+/// lease that is already gone is not an error.
+void release_lease(const std::string& dir, const std::string& shard);
+
+/// Bumps the lease mtime to now — the owner's heartbeat.  No-op when
+/// the lease is gone (e.g. a supervisor already reaped it).
+void refresh_lease(const std::string& dir, const std::string& shard);
+
+/// Removes `shard`'s lease if (and only if) it is stale under
+/// `ttl_seconds`; returns true when a stale lease was reaped.  Used by
+/// the supervisor to free the shard of a worker it just reaped.
+bool reclaim_lease_if_stale(const std::string& dir,
+                            const std::string& shard, double ttl_seconds);
+
+}  // namespace pasta::harness
