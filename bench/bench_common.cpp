@@ -24,6 +24,7 @@
 #include "kernels/ts.hpp"
 #include "kernels/ttm.hpp"
 #include "kernels/ttv.hpp"
+#include "simd/simd.hpp"
 #include "roofline/roofline.hpp"
 #include "validate/diff.hpp"
 #include "validate/validate.hpp"
@@ -66,10 +67,13 @@ options_from_env()
     // Arm the memory governor ($PASTA_MEM_BYTES) before the first large
     // allocation so bounded-memory campaigns degrade instead of dying.
     membudget::MemGovernor::instance().configure_from_env();
-    // Parse PASTA_VALIDATE and PASTA_TRACE up front so a malformed value
-    // fails the run immediately instead of mid-suite on the first trial.
+    // Parse PASTA_VALIDATE, PASTA_TRACE, and the SIMD dispatch knobs up
+    // front so a malformed value fails the run immediately instead of
+    // being classified (and retried) as a per-trial failure.
     (void)validate::current_mode();
     (void)obs::current_mode();
+    (void)simd::active_isa();
+    (void)simd::prefetch_distance();
 
     BenchOptions options;
     if (const char* s = std::getenv("PASTA_SCALE"))
@@ -223,15 +227,26 @@ label_count(const obs::CountersSnapshot& snap, const char* key)
 /// The variant label this trial exercised: the highest-priority label
 /// key whose occurrence count grew during the trial.  Comparing counts
 /// (not last values) keeps a stale label from a previous trial out.
+/// When the trial also stamped a SIMD dispatch decision, the ISA is
+/// appended as a suffix ("atomic_avx2"); trials whose only decision was
+/// the SIMD path (TTV, TTM, TEW) report the bare ISA.
 std::string
 trial_variant(const obs::CountersSnapshot& before,
               const obs::CountersSnapshot& after)
 {
+    std::string isa;
+    if (label_count(after, "simd.isa") > label_count(before, "simd.isa"))
+        isa = after.label("simd.isa");
     for (const char* key : {"stream.variant", "mttkrp.variant",
-                            "merge.path", "sort.path"})
-        if (label_count(after, key) > label_count(before, key))
-            return after.label(key);
-    return "";
+                            "merge.path", "sort.path"}) {
+        if (label_count(after, key) > label_count(before, key)) {
+            std::string variant = after.label(key);
+            if (!isa.empty())
+                variant += "_" + isa;
+            return variant;
+        }
+    }
+    return isa;
 }
 
 /// Failure class recorded in the journal and failure CSVs: "" (ok),

@@ -16,6 +16,9 @@
 #include "kernels/ts.hpp"
 #include "kernels/ttm.hpp"
 #include "kernels/ttv.hpp"
+#include "methods/cpd.hpp"
+#include "methods/tucker.hpp"
+#include "simd/microkernels.hpp"
 
 namespace {
 
@@ -330,6 +333,157 @@ BM_CooSortMorton(benchmark::State& state)
     state.SetItemsProcessed(state.iterations() * shuffled.nnz());
 }
 BENCHMARK(BM_CooSortMorton)->Arg(1 << 12)->Arg(1 << 15)->Arg(1 << 18);
+
+/// Restores the process-wide SIMD dispatch decision on scope exit so a
+/// forced-ISA sweep cannot leak into later benchmarks.
+struct ScopedIsa {
+    explicit ScopedIsa(simd::Isa isa) : prev(simd::active_isa())
+    {
+        simd::set_isa(isa);
+    }
+    ~ScopedIsa() { simd::set_isa(prev); }
+    simd::Isa prev;
+};
+
+/// Contiguous rank-loop stripe throughput under forced SIMD dispatch:
+/// the MTTKRP inner pattern (acc_row += a_row * b_row over rank-R
+/// stripes at scattered row addresses).  Arg(0) = rank, Arg(1) = ISA
+/// (0 scalar, 1 avx2, 2 avx512); unsupported ISAs are skipped.  The
+/// scalar-vs-avx2 items/s ratio at a given rank is the vector speedup.
+void
+BM_RankLoop(benchmark::State& state)
+{
+    const Size rank = static_cast<Size>(state.range(0));
+    const auto isa = static_cast<simd::Isa>(state.range(1));
+    if (!simd::isa_supported(isa)) {
+        state.SkipWithError("ISA not supported on this CPU");
+        return;
+    }
+    ScopedIsa guard(isa);
+    const Size rows = 1 << 10;
+    const Size stripes = 1 << 15;
+    Rng rng(7);
+    std::vector<Value> ta(rows * rank), tb(rows * rank);
+    std::vector<Value> acc(rows * rank, 0);
+    for (auto& v : ta)
+        v = rng.next_float();
+    for (auto& v : tb)
+        v = rng.next_float();
+    std::vector<Index> ia(stripes), ib(stripes), iacc(stripes);
+    for (Size i = 0; i < stripes; ++i) {
+        ia[i] = rng.next_index(rows);
+        ib[i] = rng.next_index(rows);
+        iacc[i] = rng.next_index(rows);
+    }
+    for (auto _ : state) {
+        for (Size i = 0; i < stripes; ++i)
+            simd::vfma_rows(isa, acc.data() + iacc[i] * rank,
+                            ta.data() + ia[i] * rank,
+                            tb.data() + ib[i] * rank, rank);
+        benchmark::DoNotOptimize(acc.data());
+    }
+    state.SetLabel(simd::isa_name(isa));
+    state.SetItemsProcessed(state.iterations() * stripes * rank);
+    set_flops(state, 2.0 * static_cast<double>(stripes) *
+                         static_cast<double>(rank));
+}
+BENCHMARK(BM_RankLoop)
+    ->ArgsProduct({{8, 16, 32, 64}, {0, 1, 2}});
+
+/// Gathered rank-loop throughput: the TTV inner pattern (fiber dot of
+/// contiguous values against vector entries addressed through an index
+/// array).  Same Arg layout as BM_RankLoop.
+void
+BM_RankLoopGather(benchmark::State& state)
+{
+    const Size rank = static_cast<Size>(state.range(0));
+    const auto isa = static_cast<simd::Isa>(state.range(1));
+    if (!simd::isa_supported(isa)) {
+        state.SkipWithError("ISA not supported on this CPU");
+        return;
+    }
+    ScopedIsa guard(isa);
+    const Size table_size = 1 << 12;
+    const Size n = Size{1} << 15;
+    const Size fibers = n / rank;
+    Rng rng(8);
+    std::vector<Value> x(n), table(table_size);
+    for (auto& v : x)
+        v = rng.next_float();
+    for (auto& v : table)
+        v = rng.next_float();
+    std::vector<Index> idx(n);
+    for (auto& i : idx)
+        i = rng.next_index(table_size);
+    std::vector<Value> out(fibers, 0);
+    for (auto _ : state) {
+        for (Size f = 0; f < fibers; ++f)
+            out[f] = simd::vdot_gather(isa, x.data() + f * rank,
+                                       idx.data() + f * rank,
+                                       table.data(), rank);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetLabel(simd::isa_name(isa));
+    state.SetItemsProcessed(state.iterations() * fibers * rank);
+    set_flops(state, 2.0 * static_cast<double>(fibers) *
+                         static_cast<double>(rank));
+}
+BENCHMARK(BM_RankLoopGather)
+    ->ArgsProduct({{8, 16, 32, 64}, {0, 1, 2}});
+
+/// Whole CP-ALS runs, fused MTTKRP-sequence driver (Arg 1) against the
+/// historical per-mode-allocation driver (Arg 0).  Fixed sweep count
+/// (tolerance 0) so both sides do identical numerical work.
+void
+BM_CpAls(benchmark::State& state)
+{
+    const CooTensor x = bench_tensor(1 << 13);
+    CpdOptions options;
+    options.rank = 16;
+    options.max_sweeps = 3;
+    options.tolerance = 0.0;
+    options.fused = state.range(0) != 0;
+    double fit = 0.0;
+    for (auto _ : state) {
+        CpdResult r = cp_als(x, options);
+        fit = r.fit_history.back();
+        benchmark::DoNotOptimize(r.factors.data());
+    }
+    state.SetLabel(options.fused ? "fused" : "unfused");
+    state.counters["fit"] = fit;
+    state.SetItemsProcessed(state.iterations() * options.max_sweeps *
+                            x.order() * 3 * x.nnz() * options.rank);
+}
+BENCHMARK(BM_CpAls)->Arg(0)->Arg(1);
+
+/// Full TTM chains (the Tucker core contraction), fused two-mode
+/// endgame (Arg 1) against the stepwise sCOO chain (Arg 0).  Order-4
+/// with uniformly large modes: the final two contractions then run over
+/// mostly-singleton fibers, where the stepwise chain must materialize
+/// and sort a stripe-expanded COO intermediate — the case the fused
+/// kernel exists for.  (With a small trailing mode the intermediate
+/// collapses and stepwise wins; see DESIGN.md.)
+void
+BM_TuckerChain(benchmark::State& state)
+{
+    Rng rng(9);
+    const CooTensor x = CooTensor::random(
+        {1u << 12, 1u << 12, 1u << 12, 1u << 12}, 1 << 13, rng);
+    std::vector<DenseMatrix> mats;
+    for (Size m = 0; m < x.order(); ++m)
+        mats.push_back(DenseMatrix::random(x.dim(m), 8, rng));
+    const bool fuse = state.range(0) != 0;
+    Size out_nnz = 0;
+    for (auto _ : state) {
+        CooTensor core = ttm_chain(x, mats, kNoMode, fuse);
+        out_nnz = core.nnz();
+        benchmark::DoNotOptimize(core.values().data());
+    }
+    state.SetLabel(fuse ? "fused" : "stepwise");
+    state.counters["out_nnz"] = static_cast<double>(out_nnz);
+    state.SetItemsProcessed(state.iterations() * x.nnz());
+}
+BENCHMARK(BM_TuckerChain)->Arg(0)->Arg(1);
 
 void
 BM_CooToHicooConversion(benchmark::State& state)

@@ -11,9 +11,12 @@ globs ('out/profile_*.csv' or 'a.csv,b.csv') — the matched files are
 merged into one profile before comparing, which is how the per-shard
 CSVs of a sharded pasta_campaign run compare against a single-process
 baseline.  Benchmarks are matched by name (JSON) or by
-tensor/kernel/format (CSV, plus the shard column when present, so the
-partition-range shards of one sweep stay distinct); for each pair the
-relative change in throughput (items_per_second or gflops) is reported.
+tensor/kernel/format (CSV, plus the variant column when present — so a
+run forced to PASTA_SIMD=scalar never gates against an avx2/avx512 run
+as a "regression", it simply shows up as only-in-one-side — plus the
+shard column when present, so the partition-range shards of one sweep
+stay distinct); for each pair the relative change in throughput
+(items_per_second or gflops) is reported.
 Entries with missing or malformed names/rates are skipped rather than
 crashing, so profiles from newer or older binaries with extra keys
 still compare.
@@ -92,6 +95,11 @@ def load_csv_throughputs(path):
                            for col in ("tensor", "kernel", "format"))
             if key == "?/?/?":
                 continue
+            # Key per variant (e.g. atomic_avx2 vs atomic_scalar): rows
+            # produced under different kernel/SIMD dispatch decisions
+            # are different benchmarks, not regressions of one another.
+            if row.get("variant"):
+                key += "#" + row["variant"]
             # Campaign shard CSVs carry a shard column; keep the
             # partition-range shards of one sweep distinct.
             if row.get("shard"):

@@ -20,6 +20,10 @@
 #   BENCH_OBS        when not 0, also run scripts/check_obs.sh against
 #                    the same build dir (PASTA_TRACE=full smoke of the
 #                    instrumentation layer); set BENCH_OBS=0 to skip
+#   BENCH_SIMD       when not 0, also run scripts/check_simd.sh against
+#                    the same build dir (kernel tests + PASTA_VALIDATE
+#                    oracles under every forced PASTA_SIMD dispatch
+#                    target the CPU supports); set BENCH_SIMD=0 to skip
 #   BENCH_OOCORE     when not 0, also run scripts/check_oocore.sh
 #                    against the same build dir (bounded-memory smoke:
 #                    PASTA_MEM_BYTES forces the streaming kernels and
@@ -69,6 +73,12 @@ echo "wrote ${OUT_JSON} (OMP_NUM_THREADS=${OMP_NUM_THREADS})"
 # spans.jsonl, and obs CSV/journal columns with PASTA_TRACE=full.
 if [ "${BENCH_OBS:-1}" != "0" ]; then
     scripts/check_obs.sh "${BUILD_DIR}"
+fi
+
+# Cross-ISA smoke: the kernel tests and validation oracles must pass
+# under every forced SIMD dispatch target this CPU supports.
+if [ "${BENCH_SIMD:-1}" != "0" ]; then
+    scripts/check_simd.sh "${BUILD_DIR}"
 fi
 
 # Bounded-memory smoke: the same build must degrade to the streaming

@@ -70,6 +70,13 @@ class GHiCooTensor {
         return raw_inds_[mode][pos];
     }
 
+    /// Contiguous raw index stream of an uncompressed mode (gather-dot
+    /// kernels consume whole fiber slices of it at once).
+    const std::vector<Index>& raw_indices(Size mode) const
+    {
+        return raw_inds_[mode];
+    }
+
     Value value(Size pos) const { return values_[pos]; }
     std::vector<Value>& values() { return values_; }
     const std::vector<Value>& values() const { return values_; }

@@ -1,8 +1,11 @@
 #include "kernels/csf_kernels.hpp"
 
+#include <algorithm>
 #include <vector>
 
 #include "common/error.hpp"
+#include "obs/counters.hpp"
+#include "simd/microkernels.hpp"
 
 namespace pasta {
 
@@ -19,34 +22,41 @@ namespace {
 void
 accumulate_subtree(const CsfTensor& x, const FactorList& factors,
                    Size level, Size id, Value* acc, Size rank,
-                   Value* scratch)
+                   Value* scratch, simd::Isa isa, Size pf,
+                   Size& prefetched)
 {
     const Size n = x.order();
     if (level + 1 == n) {
         // Leaf: value times the leaf mode's factor row.
         const Value* row =
             factors[x.mode_order()[level]]->row(x.level(level).idx[id]);
-        const Value v = x.values()[id];
-        for (Size r = 0; r < rank; ++r)
-            acc[r] = v * row[r];
+        simd::vscale(isa, acc, row, x.values()[id], rank);
         return;
     }
-    for (Size r = 0; r < rank; ++r)
-        acc[r] = 0;
+    simd::vfill(isa, acc, 0, rank);
     Value* child_acc = scratch + level * rank;
-    for (Size child = x.level(level).ptr[id];
-         child < x.level(level).ptr[id + 1]; ++child) {
+    const Size child_first = x.level(level).ptr[id];
+    const Size child_last = x.level(level).ptr[id + 1];
+    const CsfLevel& child_level = x.level(level + 1);
+    const DenseMatrix* child_factor =
+        level + 2 < n ? factors[x.mode_order()[level + 1]] : nullptr;
+    for (Size child = child_first; child < child_last; ++child) {
+        // Hint the sibling's gathered factor row while this subtree
+        // recurses; the idx stream itself is sequential.
+        if (child_factor != nullptr && pf != 0 && child + pf < child_last) {
+            simd::prefetch_read(
+                child_factor->row(child_level.idx[child + pf]));
+            ++prefetched;
+        }
         accumulate_subtree(x, factors, level + 1, child, child_acc, rank,
-                           scratch);
-        if (level + 2 == n) {
+                           scratch, isa, pf, prefetched);
+        if (child_factor == nullptr) {
             // Child is a leaf: child_acc already includes its factor row.
-            for (Size r = 0; r < rank; ++r)
-                acc[r] += child_acc[r];
+            simd::vadd_inplace(isa, acc, child_acc, rank);
         } else {
-            const Value* row = factors[x.mode_order()[level + 1]]->row(
-                x.level(level + 1).idx[child]);
-            for (Size r = 0; r < rank; ++r)
-                acc[r] += child_acc[r] * row[r];
+            simd::vfma_rows(isa, acc, child_acc,
+                            child_factor->row(child_level.idx[child]),
+                            rank);
         }
     }
 }
@@ -83,6 +93,11 @@ mttkrp_csf(const CsfTensor& x, const FactorList& factors, Size mode,
         return;
 
     const Size n = x.order();
+    const simd::Isa isa = simd::note_kernel();
+    const Size pf = simd::prefetch_distance();
+    obs::Counter* prefetches = obs::counters_enabled()
+                                   ? &obs::counter("simd.prefetch")
+                                   : nullptr;
     parallel_for(
         0, x.level_size(0), schedule,
         [&](Size root) {
@@ -98,13 +113,16 @@ mttkrp_csf(const CsfTensor& x, const FactorList& factors, Size mode,
                     out_row[r] += x.values()[root];
                 return;
             }
-            accumulate_subtree(x, factors, 0, root, acc, rank, scratch);
+            Size issued = 0;
+            accumulate_subtree(x, factors, 0, root, acc, rank, scratch,
+                               isa, pf, issued);
+            if (prefetches && issued)
+                prefetches->add(issued);
             // acc holds sum over children c of (subtree(c) * U(idx_c)):
             // accumulate_subtree at level 0 already applied the level-1
             // factor rows, so acc is the full Khatri-Rao partial.
             Value* out_row = out.row(x.level(0).idx[root]);
-            for (Size r = 0; r < rank; ++r)
-                out_row[r] += acc[r];
+            simd::vadd_inplace(isa, out_row, acc, rank);
         },
         8);
 }
@@ -162,14 +180,28 @@ ttv_csf(const CsfTensor& x, const DenseVector& v, Size mode,
         }
     }
 
+    const Value* xv = x.values().data();
+    const Index* leaf_idx = x.level(n - 1).idx.data();
+    const Value* vv = v.data();
+    const simd::Isa isa = simd::note_kernel();
+    const Size pf = simd::prefetch_distance();
+    obs::Counter* prefetches = obs::counters_enabled()
+                                   ? &obs::counter("simd.prefetch")
+                                   : nullptr;
     parallel_for(
         0, fibers, schedule,
         [&](Size f) {
-            Value acc = 0;
-            for (Size leaf = x.level(n - 2).ptr[f];
-                 leaf < x.level(n - 2).ptr[f + 1]; ++leaf)
-                acc += x.values()[leaf] * v[x.level(n - 1).idx[leaf]];
-            out.values()[f] = acc;
+            const Size first = x.level(n - 2).ptr[f];
+            const Size last = x.level(n - 2).ptr[f + 1];
+            if (pf != 0) {
+                const Size lim = std::min(first + pf, last);
+                for (Size p = first; p < lim; ++p)
+                    simd::prefetch_read(vv + leaf_idx[p]);
+                if (prefetches)
+                    prefetches->add(lim - first);
+            }
+            out.values()[f] = simd::vdot_gather(
+                isa, xv + first, leaf_idx + first, vv, last - first);
             // Walk ancestors to fill the output coordinate.
             Size id = f;
             for (Size l = n - 1; l-- > 0;) {

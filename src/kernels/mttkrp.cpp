@@ -1,10 +1,13 @@
 #include "kernels/mttkrp.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/error.hpp"
 #include "common/membudget.hpp"
+#include "kernels/rank_scratch.hpp"
 #include "obs/counters.hpp"
+#include "simd/microkernels.hpp"
 
 namespace pasta {
 
@@ -45,10 +48,6 @@ mttkrp_variant_name(MttkrpVariant v)
 
 namespace {
 
-/// Stack budget for the per-non-zero accumulator row.  The paper uses
-/// R = 16 as the low-rank default; 256 covers every rank the benches sweep.
-constexpr Size kMaxStackRank = 256;
-
 /// Cap on the total replicated-output footprint the privatized COO
 /// schedule may allocate (values, not bytes): 2^24 floats = 64 MiB.
 constexpr Size kPrivatizedBudgetValues = Size{1} << 24;
@@ -60,10 +59,8 @@ check_mttkrp_args(const std::vector<Index>& dims, Size order_mode,
     PASTA_CHECK_MSG(mode < dims.size(), "mode out of range");
     PASTA_CHECK_MSG(out.rows() == dims[mode] && out.cols() == rank,
                     "output matrix shape mismatch");
-    PASTA_CHECK_MSG(rank <= kMaxStackRank,
-                    "rank " << rank << " exceeds kernel limit "
-                            << kMaxStackRank);
     (void)order_mode;
+    (void)rank;
 }
 
 /// Table I COO-MTTKRP model counters (flops = NMR, bytes = 4NMR +
@@ -80,6 +77,47 @@ note_mttkrp_coo(Size order, Size nnz, Size rank)
         static_cast<std::uint64_t>(n * m * r));
     obs::counter("mttkrp.bytes").add(
         static_cast<std::uint64_t>(4 * n * m * r + 4 * (n + 1) * m));
+}
+
+/// tmp = xval * prod of the non-mode factor rows of non-zero p.  The
+/// first factor row folds the xval broadcast into a vscale; an order-1
+/// tensor (no other modes) degenerates to the broadcast alone.
+inline void
+khatri_rao_row(simd::Isa isa, const CooTensor& x,
+               const FactorList& factors, Size mode, Size order, Size p,
+               Value xval, Value* tmp, Size rank)
+{
+    bool first = true;
+    for (Size m = 0; m < order; ++m) {
+        if (m == mode)
+            continue;
+        const Value* row = factors[m]->row(x.index(m, p));
+        if (first) {
+            simd::vscale(isa, tmp, row, xval, rank);
+            first = false;
+        } else {
+            simd::vmul_accumulate(isa, tmp, row, rank);
+        }
+    }
+    if (first)
+        simd::vfill(isa, tmp, xval, rank);
+}
+
+/// Prefetches the factor rows non-zero q will gather.  The index
+/// streams themselves are sequential (hardware-prefetched); the factor
+/// rows they select are the random accesses worth hinting.
+inline Size
+prefetch_factor_rows(const CooTensor& x, const FactorList& factors,
+                     Size mode, Size order, Size q)
+{
+    Size issued = 0;
+    for (Size m = 0; m < order; ++m) {
+        if (m == mode)
+            continue;
+        simd::prefetch_read(factors[m]->row(x.index(m, q)));
+        ++issued;
+    }
+    return issued;
 }
 
 }  // namespace
@@ -136,17 +174,22 @@ mttkrp_coo_atomic(const CooTensor& x, const FactorList& factors, Size mode,
     const Size order = x.order();
     const Value* xv = x.values().data();
     const Index* out_idx = x.mode_indices(mode).data();
+    const simd::Isa isa = simd::note_kernel();
+    const Size pf = simd::prefetch_distance();
     // Runs of equal output index (ubiquitous when the stream is sorted
     // with `mode` leading, frequent otherwise) are accumulated locally
     // and flushed with one atomic set per run, not one per non-zero.
     // Correct for arbitrary streams: an unsorted stream just flushes
     // more often.
     parallel_for_ranges(0, x.nnz(), [&](Size first, Size last) {
-        Value acc[kMaxStackRank];
-        Value tmp[kMaxStackRank];
+        RankScratch acc_buf(rank);
+        RankScratch tmp_buf(rank);
+        Value* acc = acc_buf.data();
+        Value* tmp = tmp_buf.data();
         Index run_row = 0;
         bool in_run = false;
         Size flushes = 0;
+        Size prefetched = 0;
         const auto flush = [&] {
             ++flushes;
             Value* out_row = out.row(run_row);
@@ -154,35 +197,28 @@ mttkrp_coo_atomic(const CooTensor& x, const FactorList& factors, Size mode,
                 atomic_add(out_row + r, acc[r]);
         };
         for (Size p = first; p < last; ++p) {
-            const Value xval = xv[p];
-#pragma omp simd
-            for (Size r = 0; r < rank; ++r)
-                tmp[r] = xval;
-            for (Size m = 0; m < order; ++m) {
-                if (m == mode)
-                    continue;
-                const Value* row = factors[m]->row(x.index(m, p));
-#pragma omp simd
-                for (Size r = 0; r < rank; ++r)
-                    tmp[r] *= row[r];
-            }
+            if (pf != 0 && p + pf < last)
+                prefetched +=
+                    prefetch_factor_rows(x, factors, mode, order, p + pf);
+            khatri_rao_row(isa, x, factors, mode, order, p, xv[p], tmp,
+                           rank);
             if (in_run && out_idx[p] == run_row) {
-#pragma omp simd
-                for (Size r = 0; r < rank; ++r)
-                    acc[r] += tmp[r];
+                simd::vadd_inplace(isa, acc, tmp, rank);
             } else {
                 if (in_run)
                     flush();
                 run_row = out_idx[p];
                 in_run = true;
-#pragma omp simd
-                for (Size r = 0; r < rank; ++r)
-                    acc[r] = tmp[r];
+                // The freshly computed row becomes the run accumulator;
+                // the old accumulator is dead and will be fully
+                // overwritten as the next tmp.
+                std::swap(acc, tmp);
             }
         }
         if (in_run)
             flush();
         obs::add("mttkrp.atomics", flushes * rank);
+        obs::add("simd.prefetch", prefetched);
         obs::add_worker("mttkrp.worker_items", worker_id(), last - first);
     });
 }
@@ -191,14 +227,15 @@ namespace {
 
 /// Shared per-block body of the HiCOO kernels (Algorithm 3, line 3):
 /// per-block factor base rows so the inner loop decodes only 8-bit
-/// element offsets.  `add(out_row, r, delta)` is the output-update
-/// policy — plain store for owner-partitioned blocks, omp atomic for the
-/// contended schedule — inlined via template, not dispatched.
+/// element offsets.  `add(out_row, acc, rank)` is the output-update
+/// policy — a vadd_inplace for owner-partitioned blocks, per-element
+/// omp atomics for the contended schedule — inlined via template, not
+/// dispatched.
 template <typename AddFn>
-inline void
+inline Size
 hicoo_process_block(const HiCooTensor& x, const FactorList& factors,
                     Size mode, DenseMatrix& out, Size rank, Size b,
-                    AddFn add)
+                    simd::Isa isa, Size pf, Value* acc, AddFn add)
 {
     const Size order = x.order();
     const unsigned bits = x.block_bits();
@@ -211,28 +248,43 @@ hicoo_process_block(const HiCooTensor& x, const FactorList& factors,
         base[m] = factors[m]->row(
             static_cast<Size>(x.block_index(m, b)) << bits);
     const Size rank_stride = out.cols();
+    Size prefetched = 0;
     for (Size p = bptr[b]; p < bptr[b + 1]; ++p) {
-        Value acc[kMaxStackRank];
+        if (pf != 0 && p + pf < bptr[b + 1]) {
+            const Size q = p + pf;
+            for (Size m = 0; m < order; ++m) {
+                if (m == mode)
+                    continue;
+                simd::prefetch_read(
+                    base[m] +
+                    static_cast<Size>(x.element_index(m, q)) *
+                        rank_stride);
+                ++prefetched;
+            }
+        }
         const Value xval = xv[p];
-#pragma omp simd
-        for (Size r = 0; r < rank; ++r)
-            acc[r] = xval;
+        bool first = true;
         for (Size m = 0; m < order; ++m) {
             if (m == mode)
                 continue;
             const Value* row =
                 base[m] +
                 static_cast<Size>(x.element_index(m, p)) * rank_stride;
-#pragma omp simd
-            for (Size r = 0; r < rank; ++r)
-                acc[r] *= row[r];
+            if (first) {
+                simd::vscale(isa, acc, row, xval, rank);
+                first = false;
+            } else {
+                simd::vmul_accumulate(isa, acc, row, rank);
+            }
         }
+        if (first)
+            simd::vfill(isa, acc, xval, rank);
         Value* out_row =
             out_base +
             static_cast<Size>(x.element_index(mode, p)) * rank_stride;
-        for (Size r = 0; r < rank; ++r)
-            add(out_row + r, acc[r]);
+        add(out_row, acc, rank);
     }
+    return prefetched;
 }
 
 /// Owner partitioning pays off when the groups can keep the workers
@@ -287,6 +339,8 @@ mttkrp_hicoo(const HiCooTensor& x, const FactorList& factors, Size mode,
                    mttkrp_variant_name(MttkrpVariant::kBlockOwner));
     note_mttkrp_hicoo(x, rank);
     out.fill(0);
+    const simd::Isa isa = simd::note_kernel();
+    const Size pf = simd::prefetch_distance();
     const auto& bptr = x.bptr();
     // One thread owns every block of a group, and a group's blocks are
     // the only writers of its output tile: no atomics needed.  Dynamic
@@ -294,15 +348,20 @@ mttkrp_hicoo(const HiCooTensor& x, const FactorList& factors, Size mode,
     parallel_for(
         0, sched.groups(), schedule,
         [&](Size g) {
+            RankScratch acc(rank);
             Size items = 0;
+            Size prefetched = 0;
             for (Size s = sched.group_ptr[g]; s < sched.group_ptr[g + 1];
                  ++s) {
                 const Size b = sched.blocks[s];
                 items += bptr[b + 1] - bptr[b];
-                hicoo_process_block(
-                    x, factors, mode, out, rank, b,
-                    [](Value* slot, Value delta) { *slot += delta; });
+                prefetched += hicoo_process_block(
+                    x, factors, mode, out, rank, b, isa, pf, acc.data(),
+                    [isa](Value* out_row, const Value* row, Size n) {
+                        simd::vadd_inplace(isa, out_row, row, n);
+                    });
             }
+            obs::add("simd.prefetch", prefetched);
             obs::add_worker("mttkrp.worker_items", worker_id(), items);
         },
         1);
@@ -320,20 +379,31 @@ mttkrp_hicoo_atomic(const HiCooTensor& x, const FactorList& factors,
     obs::add("mttkrp.atomics", x.nnz() * rank);
     out.fill(0);
 
+    const simd::Isa isa = simd::note_kernel();
+    const Size pf = simd::prefetch_distance();
     // Hoisted registry lookup: the per-block body runs once per block,
     // too hot for a per-call map access when counters are armed.
     obs::Counter* witems = obs::counters_enabled()
                                ? &obs::counter("mttkrp.worker_items")
                                : nullptr;
+    obs::Counter* prefetches = obs::counters_enabled()
+                                   ? &obs::counter("simd.prefetch")
+                                   : nullptr;
     const auto& bptr = x.bptr();
     parallel_for(
         0, x.num_blocks(), schedule,
         [&](Size b) {
             if (witems)
                 witems->add_worker(worker_id(), bptr[b + 1] - bptr[b]);
-            hicoo_process_block(
-                x, factors, mode, out, rank, b,
-                [](Value* slot, Value delta) { atomic_add(slot, delta); });
+            RankScratch acc(rank);
+            const Size issued = hicoo_process_block(
+                x, factors, mode, out, rank, b, isa, pf, acc.data(),
+                [](Value* out_row, const Value* row, Size n) {
+                    for (Size r = 0; r < n; ++r)
+                        atomic_add(out_row + r, row[r]);
+                });
+            if (prefetches)
+                prefetches->add(issued);
         },
         8);
 }
@@ -349,6 +419,8 @@ mttkrp_coo_privatized(const CooTensor& x, const FactorList& factors,
     const int threads = num_threads();
     const Size order = x.order();
     const Value* xv = x.values().data();
+    const simd::Isa isa = simd::note_kernel();
+    const Size pf = simd::prefetch_distance();
     // One private output copy per worker, merged after the sweep.  The
     // buffer is keyed by worker id — chunk identity would alias if the
     // runtime delivered fewer threads than requested.
@@ -358,31 +430,25 @@ mttkrp_coo_privatized(const CooTensor& x, const FactorList& factors,
         0, x.nnz(), [&](int worker, Size first, Size last) {
             obs::add_worker("mttkrp.worker_items", worker, last - first);
             DenseMatrix& local = privates[worker];
+            RankScratch acc_buf(rank);
+            Value* acc = acc_buf.data();
+            Size prefetched = 0;
             for (Size p = first; p < last; ++p) {
-                Value acc[kMaxStackRank];
-                const Value xval = xv[p];
-                for (Size r = 0; r < rank; ++r)
-                    acc[r] = xval;
-                for (Size m = 0; m < order; ++m) {
-                    if (m == mode)
-                        continue;
-                    const Value* row = factors[m]->row(x.index(m, p));
-                    for (Size r = 0; r < rank; ++r)
-                        acc[r] *= row[r];
-                }
+                if (pf != 0 && p + pf < last)
+                    prefetched += prefetch_factor_rows(x, factors, mode,
+                                                       order, p + pf);
+                khatri_rao_row(isa, x, factors, mode, order, p, xv[p],
+                               acc, rank);
                 Value* out_row = local.row(x.index(mode, p));
-                for (Size r = 0; r < rank; ++r)
-                    out_row[r] += acc[r];
+                simd::vadd_inplace(isa, out_row, acc, rank);
             }
+            obs::add("simd.prefetch", prefetched);
         });
     // Reduction (parallel over output rows, race-free).
     parallel_for(0, out.rows(), Schedule::kStatic, [&](Size i) {
         Value* dst = out.row(i);
-        for (const auto& local : privates) {
-            const Value* src = local.row(i);
-            for (Size r = 0; r < rank; ++r)
-                dst[r] += src[r];
-        }
+        for (const auto& local : privates)
+            simd::vadd_inplace(isa, dst, local.row(i), rank);
     });
 }
 
@@ -395,6 +461,8 @@ mttkrp_coo_seq(const CooTensor& x, const FactorList& factors, Size mode,
     PASTA_CHECK_MSG(out.rows() == x.dim(mode) && out.cols() == rank,
                     "output matrix shape mismatch");
     out.fill(0);
+    // Deliberately scalar: this is the reference the differential
+    // oracles and the SIMD bit-compare tests measure against.
     std::vector<Value> acc(rank);
     for (Size p = 0; p < x.nnz(); ++p) {
         const Value xval = x.value(p);

@@ -1,0 +1,41 @@
+/// \file
+/// Per-worker rank-R accumulator scratch with a checked heap fallback.
+///
+/// The per-non-zero inner loops keep a rank-length accumulator row.
+/// Historically these were fixed `Value acc[kMaxStackRank]` arrays
+/// indexed straight by `rank` — and the argument check that kept that
+/// safe capped every kernel at R = 256.  RankScratch removes the cap:
+/// ranks up to kMaxStackRank live in an embedded array (same codegen as
+/// the raw buffer), larger ranks transparently fall back to one heap
+/// allocation per scratch object.  Construct it once per worker range /
+/// block, never per non-zero.
+#pragma once
+
+#include <memory>
+
+#include "common/types.hpp"
+
+namespace pasta {
+
+/// Stack budget for a per-non-zero accumulator row.  The paper uses
+/// R = 16 as the low-rank default; 256 covers every rank the benches
+/// sweep without spilling to the heap.
+constexpr Size kMaxStackRank = 256;
+
+/// One rank-length Value buffer: embedded storage for
+/// rank <= kMaxStackRank, heap-backed beyond that.
+class RankScratch {
+  public:
+    explicit RankScratch(Size rank)
+        : heap_(rank > kMaxStackRank ? new Value[rank] : nullptr)
+    {
+    }
+
+    Value* data() { return heap_ ? heap_.get() : stack_; }
+
+  private:
+    std::unique_ptr<Value[]> heap_;
+    Value stack_[kMaxStackRank];
+};
+
+}  // namespace pasta

@@ -3,6 +3,7 @@
 #include "common/error.hpp"
 #include "core/convert.hpp"
 #include "obs/counters.hpp"
+#include "simd/microkernels.hpp"
 
 namespace pasta {
 
@@ -12,29 +13,29 @@ tew_values(EwOp op, const Value* x, const Value* y, Value* z, Size count)
     // Table I TEW model: one flop and three value streams per non-zero.
     obs::add("tew.flops", count);
     obs::add("tew.bytes", 12 * count);
+    // Pure streaming: three sequential value arrays, no gathers, so no
+    // software prefetch — the hardware stride prefetcher owns this one.
+    const simd::Isa isa = simd::note_kernel();
     switch (op) {
       case EwOp::kAdd:
         parallel_for_ranges(0, count, [&](Size first, Size last) {
-            for (Size i = first; i < last; ++i)
-                z[i] = x[i] + y[i];
+            simd::vadd(isa, z + first, x + first, y + first, last - first);
         });
         break;
       case EwOp::kSub:
         parallel_for_ranges(0, count, [&](Size first, Size last) {
-            for (Size i = first; i < last; ++i)
-                z[i] = x[i] - y[i];
+            simd::vsub(isa, z + first, x + first, y + first, last - first);
         });
         break;
       case EwOp::kMul:
         parallel_for_ranges(0, count, [&](Size first, Size last) {
-            for (Size i = first; i < last; ++i)
-                z[i] = x[i] * y[i];
+            simd::vhadamard(isa, z + first, x + first, y + first,
+                            last - first);
         });
         break;
       case EwOp::kDiv:
         parallel_for_ranges(0, count, [&](Size first, Size last) {
-            for (Size i = first; i < last; ++i)
-                z[i] = x[i] / y[i];
+            simd::vdiv(isa, z + first, x + first, y + first, last - first);
         });
         break;
     }

@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "simd/microkernels.hpp"
 
 namespace pasta {
 
@@ -66,22 +67,37 @@ tew_coo_broadcast(const CooTensor& x, const CooTensor& y,
 
     CooTensor z = x;  // pattern copy, pre-processing
     const Size yo = y.order();
-    parallel_for(0, x.nnz(), Schedule::kStatic, [&](Size p) {
+    // Two passes per chunk: scalar hash probes gather the matched
+    // broadcast values into a contiguous staging buffer, then one SIMD
+    // sweep applies the op over the whole chunk (z still holds x's
+    // values at that point, so the op reads and writes in place).
+    const simd::Isa isa = simd::note_kernel();
+    Value* zv = z.values().data();
+    parallel_for_ranges(0, x.nnz(), [&](Size first, Size last) {
         std::vector<Index> probe(yo);
-        for (Size k = 0; k < yo; ++k)
-            probe[k] = x.index(y_modes[k], p);
-        Value yv = 0;
-        const auto it = y_index.find(hash_coords(probe.data(), yo));
-        if (it != y_index.end()) {
-            for (const auto& entry : it->second) {
-                if (std::equal(entry.coords.begin(), entry.coords.end(),
-                               probe.begin())) {
-                    yv = entry.value;
-                    break;
+        std::vector<Value> ybuf(last - first);
+        for (Size p = first; p < last; ++p) {
+            for (Size k = 0; k < yo; ++k)
+                probe[k] = x.index(y_modes[k], p);
+            Value yv = 0;
+            const auto it = y_index.find(hash_coords(probe.data(), yo));
+            if (it != y_index.end()) {
+                for (const auto& entry : it->second) {
+                    if (std::equal(entry.coords.begin(),
+                                   entry.coords.end(), probe.begin())) {
+                        yv = entry.value;
+                        break;
+                    }
                 }
             }
+            ybuf[p - first] = yv;
         }
-        z.value(p) = apply_ew(op, x.value(p), yv);
+        if (op == EwOp::kMul)
+            simd::vhadamard(isa, zv + first, zv + first, ybuf.data(),
+                            last - first);
+        else
+            simd::vdiv(isa, zv + first, zv + first, ybuf.data(),
+                       last - first);
     });
 
     if (op == EwOp::kDiv) {

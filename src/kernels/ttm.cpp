@@ -1,11 +1,10 @@
 #include "kernels/ttm.hpp"
 
-#include <cstring>
-
 #include "common/error.hpp"
 #include "core/convert.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
+#include "simd/microkernels.hpp"
 
 namespace pasta {
 
@@ -68,18 +67,26 @@ ttm_exec_coo(const CooTtmPlan& plan, const DenseMatrix& u, ScooTensor& out,
     const Index* kind = plan.sorted.mode_indices(plan.mode).data();
     const auto& fptr = plan.fibers.fptr;
     const Size rank = plan.rank;
+    const simd::Isa isa = simd::note_kernel();
+    const Size pf = simd::prefetch_distance();
+    obs::Counter* prefetches = obs::counters_enabled()
+                                   ? &obs::counter("simd.prefetch")
+                                   : nullptr;
     parallel_for(
         0, plan.fibers.num_fibers(), schedule,
         [&](Size f) {
             Value* yb = out.stripe(f);
-            std::memset(yb, 0, rank * sizeof(Value));
+            simd::vfill(isa, yb, 0, rank);
+            Size issued = 0;
             for (Size p = fptr[f]; p < fptr[f + 1]; ++p) {
-                const Value xval = xv[p];
-                const Value* urow = u.row(kind[p]);
-#pragma omp simd
-                for (Size r = 0; r < rank; ++r)
-                    yb[r] += xval * urow[r];
+                if (pf != 0 && p + pf < fptr[f + 1]) {
+                    simd::prefetch_read(u.row(kind[p + pf]));
+                    ++issued;
+                }
+                simd::vaxpy(isa, yb, xv[p], u.row(kind[p]), rank);
             }
+            if (prefetches)
+                prefetches->add(issued);
         },
         16);
 }
@@ -164,21 +171,29 @@ ttm_exec_hicoo(const HicooTtmPlan& plan, const DenseMatrix& u,
                                       8 * m + 8 * num_fibers);
     }
     const Value* xv = g.values().data();
+    const Index* kind = g.raw_indices(plan.mode).data();
     const auto& fptr = plan.fptr;
     const Size rank = plan.rank;
-    const Size mode = plan.mode;
+    const simd::Isa isa = simd::note_kernel();
+    const Size pf = simd::prefetch_distance();
+    obs::Counter* prefetches = obs::counters_enabled()
+                                   ? &obs::counter("simd.prefetch")
+                                   : nullptr;
     parallel_for(
         0, num_fibers, schedule,
         [&](Size f) {
             Value* yb = out.stripe(f);
-            std::memset(yb, 0, rank * sizeof(Value));
+            simd::vfill(isa, yb, 0, rank);
+            Size issued = 0;
             for (Size p = fptr[f]; p < fptr[f + 1]; ++p) {
-                const Value xval = xv[p];
-                const Value* urow = u.row(g.raw_index(mode, p));
-#pragma omp simd
-                for (Size r = 0; r < rank; ++r)
-                    yb[r] += xval * urow[r];
+                if (pf != 0 && p + pf < fptr[f + 1]) {
+                    simd::prefetch_read(u.row(kind[p + pf]));
+                    ++issued;
+                }
+                simd::vaxpy(isa, yb, xv[p], u.row(kind[p]), rank);
             }
+            if (prefetches)
+                prefetches->add(issued);
         },
         16);
 }

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <numeric>
+#include <vector>
 
 #include "common/error.hpp"
+#include "obs/counters.hpp"
+#include "simd/microkernels.hpp"
 
 namespace pasta {
 
@@ -86,15 +89,37 @@ ttm_scoo(const ScooTensor& x, const DenseMatrix& u, Size mode,
     }
     fptr.push_back(count);
 
+    const simd::Isa isa = simd::note_kernel();
+    const Size pf = simd::prefetch_distance();
+    obs::Counter* prefetches = obs::counters_enabled()
+                                   ? &obs::counter("simd.prefetch")
+                                   : nullptr;
     const Size num_fibers = fptr.size() - 1;
     parallel_for(
         0, num_fibers, schedule,
         [&](Size f) {
             Value* yb = out.stripe(f);
+            Size issued = 0;
             for (Size i = fptr[f]; i < fptr[f + 1]; ++i) {
+                if (pf != 0 && i + pf < fptr[f + 1]) {
+                    simd::prefetch_read(
+                        u.row(x.sparse_index(slot, perm[i + pf])));
+                    ++issued;
+                }
                 const Size p = perm[i];
                 const Value* urow = u.row(x.sparse_index(slot, p));
                 const Value* xs = x.stripe(p);
+                if (suffix_vol == 1) {
+                    // Contiguous rank stripes: one vaxpy per non-zero
+                    // dense slot.
+                    for (Size o = 0; o < in_vol; ++o) {
+                        if (xs[o] == 0)
+                            continue;
+                        simd::vaxpy(isa, yb + o * rank, xs[o], urow,
+                                    rank);
+                    }
+                    continue;
+                }
                 for (Size o = 0; o < in_vol; ++o) {
                     const Size prefix = o / suffix_vol;
                     const Size suffix = o % suffix_vol;
@@ -103,13 +128,142 @@ ttm_scoo(const ScooTensor& x, const DenseMatrix& u, Size mode,
                         continue;
                     Value* base =
                         yb + prefix * rank * suffix_vol + suffix;
-#pragma omp simd
                     for (Size r = 0; r < rank; ++r)
                         base[r * suffix_vol] += xval * urow[r];
                 }
             }
+            if (prefetches && issued)
+                prefetches->add(issued);
         },
         16);
+    return out;
+}
+
+CooTensor
+ttm_scoo_fused2(const ScooTensor& x, const DenseMatrix& ua, Size mode_a,
+                const DenseMatrix& ub, Size mode_b, Schedule schedule)
+{
+    PASTA_CHECK_MSG(mode_a < x.order() && mode_b < x.order(),
+                    "mode out of range");
+    PASTA_CHECK_MSG(mode_a != mode_b, "fused TTM modes must differ");
+    const auto& sparse = x.sparse_modes();
+    PASTA_CHECK_MSG(sparse.size() == 2,
+                    "fused two-mode TTM needs exactly two sparse modes");
+    // Normalize to ascending mode order (sparse_modes() is ascending).
+    const DenseMatrix& u_lo = mode_a < mode_b ? ua : ub;
+    const DenseMatrix& u_hi = mode_a < mode_b ? ub : ua;
+    const Size lo = std::min(mode_a, mode_b);
+    const Size hi = std::max(mode_a, mode_b);
+    PASTA_CHECK_MSG(sparse[0] == lo && sparse[1] == hi,
+                    "fused TTM modes must be exactly the sCOO sparse "
+                    "modes");
+    PASTA_CHECK_MSG(u_lo.rows() == x.dim(lo) && u_hi.rows() == x.dim(hi),
+                    "fused TTM matrix rows mismatch");
+    (void)schedule;
+
+    const Size ra = u_lo.cols();
+    const Size rb = u_hi.cols();
+    const Size in_vol = x.stripe_volume();
+
+    // Output: every mode dense.  Row-major over ascending modes, the
+    // input stripe offset o splits around the two contracted slots into
+    //   o = (p1 * vol2 + p2) * vol3 + p3
+    // (vol2/vol3 = dense volume strictly between lo and hi / above hi)
+    // and the output offset is
+    //   ((((p1 * Ra + qa) * vol2 + p2) * Rb + qb) * vol3 + p3.
+    Size vol2 = 1;
+    Size vol3 = 1;
+    for (Size dm : x.dense_modes()) {
+        if (dm > hi)
+            vol3 *= x.dim(dm);
+        else if (dm > lo)
+            vol2 *= x.dim(dm);
+    }
+    const Size out_vol = in_vol * ra * rb;
+    std::vector<Index> out_dims = x.dims();
+    out_dims[lo] = static_cast<Index>(ra);
+    out_dims[hi] = static_cast<Index>(rb);
+
+    if (obs::counters_enabled()) {
+        // Both contractions run per stripe slot: 2 RaRb flops each.
+        obs::counter("ttm.flops").add(2 * x.num_sparse() * in_vol * ra *
+                                      rb);
+        obs::counter("ttm.bytes").add(4 * x.num_sparse() * in_vol +
+                                      4 * out_vol);
+    }
+    const simd::Isa isa = simd::note_kernel();
+    const Size pf = simd::prefetch_distance();
+    obs::Counter* prefetches = obs::counters_enabled()
+                                   ? &obs::counter("simd.prefetch")
+                                   : nullptr;
+    const Index* ia = x.sparse_mode_indices(0).data();
+    const Index* ib = x.sparse_mode_indices(1).data();
+
+    // The dense accumulator is core-sized (every extent already
+    // contracted to a rank), so per-worker privatization is cheap and
+    // the sweep needs no atomics.
+    const int threads = num_threads();
+    std::vector<std::vector<Value>> privates(
+        threads, std::vector<Value>(out_vol, 0));
+    parallel_for_worker_ranges(
+        0, x.num_sparse(), [&](int worker, Size first, Size last) {
+            Value* D = privates[worker].data();
+            Size issued = 0;
+            for (Size p = first; p < last; ++p) {
+                if (pf != 0 && p + pf < last) {
+                    simd::prefetch_read(u_lo.row(ia[p + pf]));
+                    simd::prefetch_read(u_hi.row(ib[p + pf]));
+                    issued += 2;
+                }
+                const Value* arow = u_lo.row(ia[p]);
+                const Value* brow = u_hi.row(ib[p]);
+                const Value* xs = x.stripe(p);
+                for (Size o = 0; o < in_vol; ++o) {
+                    const Value xval = xs[o];
+                    if (xval == 0)
+                        continue;
+                    const Size p3 = o % vol3;
+                    const Size p2 = (o / vol3) % vol2;
+                    const Size p1 = o / (vol2 * vol3);
+                    for (Size qa = 0; qa < ra; ++qa) {
+                        const Value coeff = xval * arow[qa];
+                        Value* base =
+                            D +
+                            ((((p1 * ra + qa) * vol2 + p2) * rb) * vol3 +
+                             p3);
+                        if (vol3 == 1) {
+                            simd::vaxpy(isa, base, coeff, brow, rb);
+                        } else {
+                            for (Size qb = 0; qb < rb; ++qb)
+                                base[qb * vol3] += coeff * brow[qb];
+                        }
+                    }
+                }
+            }
+            if (prefetches && issued)
+                prefetches->add(issued);
+        });
+    // Reduce worker copies into the first.
+    Value* D = privates[0].data();
+    for (int w = 1; w < threads; ++w)
+        simd::vadd_inplace(isa, D, privates[w].data(), out_vol);
+
+    // Emit as COO: row-major offset order over ascending modes IS
+    // lexicographic order, zeros skipped (same contract as
+    // ScooTensor::to_coo, no sort needed).
+    CooTensor out(out_dims);
+    Coordinate c(x.order());
+    for (Size off = 0; off < out_vol; ++off) {
+        if (D[off] == 0)
+            continue;
+        Size rem = off;
+        for (Size m = x.order(); m-- > 0;) {
+            const Index extent = out_dims[m];
+            c[m] = static_cast<Index>(rem % extent);
+            rem /= extent;
+        }
+        out.append(c, D[off]);
+    }
     return out;
 }
 

@@ -12,6 +12,7 @@
 #pragma once
 
 #include "common/parallel.hpp"
+#include "core/coo_tensor.hpp"
 #include "core/dense.hpp"
 #include "core/scoo_tensor.hpp"
 
@@ -25,5 +26,15 @@ namespace pasta {
 /// sparse part; expand to dense yourself in that case).
 ScooTensor ttm_scoo(const ScooTensor& x, const DenseMatrix& u, Size mode,
                     Schedule schedule = Schedule::kDynamic);
+
+/// Fused endgame of a TTM chain: contracts BOTH sparse modes of a
+/// two-sparse-mode sCOO tensor in one sweep, accumulating straight into
+/// a (small, fully dense) core-shaped buffer and emitting the final COO
+/// result — no intermediate sCOO stripe materialization and no
+/// to_coo()/re-sort round trip between the two contractions.  `mode_a`/
+/// `mode_b` (either order) must be exactly the tensor's sparse modes.
+CooTensor ttm_scoo_fused2(const ScooTensor& x, const DenseMatrix& ua,
+                          Size mode_a, const DenseMatrix& ub, Size mode_b,
+                          Schedule schedule = Schedule::kDynamic);
 
 }  // namespace pasta

@@ -1,9 +1,12 @@
 #include "kernels/ttv.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 #include "core/convert.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
+#include "simd/microkernels.hpp"
 
 namespace pasta {
 
@@ -65,13 +68,27 @@ ttv_exec_coo(const CooTtvPlan& plan, const DenseVector& v, CooTensor& out,
     const Value* vv = v.data();
     Value* yv = out.values().data();
     const auto& fptr = plan.fibers.fptr;
+    const simd::Isa isa = simd::note_kernel();
+    const Size pf = simd::prefetch_distance();
+    obs::Counter* prefetches = obs::counters_enabled()
+                                   ? &obs::counter("simd.prefetch")
+                                   : nullptr;
     parallel_for(
         0, plan.fibers.num_fibers(), schedule,
         [&](Size f) {
-            Value acc = 0;
-            for (Size p = fptr[f]; p < fptr[f + 1]; ++p)
-                acc += xv[p] * vv[kind[p]];
-            yv[f] = acc;
+            const Size first = fptr[f];
+            const Size last = fptr[f + 1];
+            // Hint the gathered vector entries at the fiber head before
+            // the dot dives in; the rest of the fiber rides the gather.
+            if (pf != 0) {
+                const Size lim = std::min(first + pf, last);
+                for (Size p = first; p < lim; ++p)
+                    simd::prefetch_read(vv + kind[p]);
+                if (prefetches)
+                    prefetches->add(lim - first);
+            }
+            yv[f] = simd::vdot_gather(isa, xv + first, kind + first, vv,
+                                      last - first);
         },
         64);
 }
@@ -157,17 +174,29 @@ ttv_exec_hicoo(const HicooTtvPlan& plan, const DenseVector& v,
         obs::counter("ttv.bytes").add(12 * g.nnz() + 12 * num_fibers);
     }
     const Value* xv = g.values().data();
+    const Index* kind = g.raw_indices(plan.mode).data();
     const Value* vv = v.data();
     Value* yv = out.values().data();
     const auto& fptr = plan.fptr;
-    const Size mode = plan.mode;
+    const simd::Isa isa = simd::note_kernel();
+    const Size pf = simd::prefetch_distance();
+    obs::Counter* prefetches = obs::counters_enabled()
+                                   ? &obs::counter("simd.prefetch")
+                                   : nullptr;
     parallel_for(
         0, num_fibers, schedule,
         [&](Size f) {
-            Value acc = 0;
-            for (Size p = fptr[f]; p < fptr[f + 1]; ++p)
-                acc += xv[p] * vv[g.raw_index(mode, p)];
-            yv[f] = acc;
+            const Size first = fptr[f];
+            const Size last = fptr[f + 1];
+            if (pf != 0) {
+                const Size lim = std::min(first + pf, last);
+                for (Size p = first; p < lim; ++p)
+                    simd::prefetch_read(vv + kind[p]);
+                if (prefetches)
+                    prefetches->add(lim - first);
+            }
+            yv[f] = simd::vdot_gather(isa, xv + first, kind + first, vv,
+                                      last - first);
         },
         64);
 }

@@ -35,32 +35,80 @@ cp_als(const CooTensor& x, const CpdOptions& options)
     for (Size m = 0; m < n; ++m)
         grams[m] = gram_matrix(result.factors[m]);
 
+    // Fused MTTKRP-sequence driver (default): the FactorList is built
+    // once — every solve writes its factor matrix in place, so the
+    // pointers stay valid — and one MTTKRP output buffer per mode is
+    // allocated up front and reused across all sweeps (the kernels zero
+    // it on entry).  The unfused driver keeps the historical per-mode
+    // rebuild + allocation as the BM_CpAls comparison baseline.
+    FactorList fused_factors;
+    std::vector<DenseMatrix> fused_outs;
+    if (options.fused) {
+        for (const auto& f : result.factors)
+            fused_factors.push_back(&f);
+        fused_outs.reserve(n);
+        for (Size m = 0; m < n; ++m)
+            fused_outs.emplace_back(x.dim(m), rank);
+    }
+    // Hadamard-product reuse across consecutive mode solves: suffix[m]
+    // is the elementwise product of the (pre-update) Grams of modes
+    // m..n-1, rebuilt once per sweep; the running prefix folds in each
+    // mode's refreshed Gram right after its solve.  V for a mode is then
+    // one Hadamard (prefix o suffix[mode+1]) instead of n-1.
+    std::vector<std::vector<double>> suffix(n + 1);
+
     const double norm_x_sq = frobenius_norm_squared(x);
     double prev_fit = 0.0;
 
     for (Size sweep = 0; sweep < options.max_sweeps; ++sweep) {
-        DenseMatrix mttkrp_out;
+        if (options.fused) {
+            suffix[n].assign(rank * rank, 1.0);
+            for (Size m = n; m-- > 0;) {
+                suffix[m] = suffix[m + 1];
+                hadamard_inplace(suffix[m], grams[m]);
+            }
+        }
+        std::vector<double> prefix(rank * rank, 1.0);
+        DenseMatrix unfused_out;
+        const DenseMatrix* last_out = nullptr;
         for (Size mode = 0; mode < n; ++mode) {
-            FactorList factors;
-            for (const auto& f : result.factors)
-                factors.push_back(&f);
-            mttkrp_out = DenseMatrix(x.dim(mode), rank);
+            DenseMatrix* mttkrp_out;
+            const FactorList* factors;
+            FactorList rebuilt;
+            if (options.fused) {
+                mttkrp_out = &fused_outs[mode];
+                factors = &fused_factors;
+            } else {
+                for (const auto& f : result.factors)
+                    rebuilt.push_back(&f);
+                unfused_out = DenseMatrix(x.dim(mode), rank);
+                mttkrp_out = &unfused_out;
+                factors = &rebuilt;
+            }
             if (options.mttkrp_format == Format::kHicoo)
-                mttkrp_hicoo(hicoo, factors, mode, mttkrp_out);
+                mttkrp_hicoo(hicoo, *factors, mode, *mttkrp_out);
             else
-                mttkrp_coo(x, factors, mode, mttkrp_out);
+                mttkrp_coo(x, *factors, mode, *mttkrp_out);
+            last_out = mttkrp_out;
 
             // V = Hadamard of the other modes' Grams; U = M V^-1.
-            std::vector<double> v(rank * rank, 1.0);
-            for (Size m = 0; m < n; ++m) {
-                if (m == mode)
-                    continue;
-                hadamard_inplace(v, grams[m]);
+            std::vector<double> v;
+            if (options.fused) {
+                v = prefix;
+                hadamard_inplace(v, suffix[mode + 1]);
+            } else {
+                v.assign(rank * rank, 1.0);
+                for (Size m = 0; m < n; ++m) {
+                    if (m == mode)
+                        continue;
+                    hadamard_inplace(v, grams[m]);
+                }
             }
-            matmul_small(mttkrp_out, invert_matrix(std::move(v), rank),
+            matmul_small(*mttkrp_out, invert_matrix(std::move(v), rank),
                          result.factors[mode]);
             result.lambdas = normalize_columns(result.factors[mode]);
             grams[mode] = gram_matrix(result.factors[mode]);
+            hadamard_inplace(prefix, grams[mode]);
         }
 
         // Fit via the standard CP identity (no reconstruction):
@@ -72,11 +120,11 @@ cp_als(const CooTensor& x, const CpdOptions& options)
         double inner = 0.0;
         for (Size i = 0; i < x.dim(last); ++i)
             for (Size r = 0; r < rank; ++r)
-                inner += static_cast<double>(mttkrp_out(i, r)) *
+                inner += static_cast<double>((*last_out)(i, r)) *
                          result.lambdas[r] * result.factors[last](i, r);
-        std::vector<double> h(rank * rank, 1.0);
-        for (Size m = 0; m < n; ++m)
-            hadamard_inplace(h, grams[m]);
+        // After the sweep the running prefix is exactly the Hadamard of
+        // every refreshed Gram, which is the h the fit needs.
+        const std::vector<double>& h = prefix;
         double model_sq = 0.0;
         for (Size r = 0; r < rank; ++r)
             for (Size s = 0; s < rank; ++s)

@@ -13,7 +13,7 @@ namespace pasta {
 
 CooTensor
 ttm_chain(const CooTensor& x, const std::vector<DenseMatrix>& mats,
-          Size skip_mode)
+          Size skip_mode, bool fuse)
 {
     PASTA_CHECK_MSG(mats.size() == x.order(),
                     "ttm_chain needs one matrix per mode");
@@ -39,6 +39,17 @@ ttm_chain(const CooTensor& x, const std::vector<DenseMatrix>& mats,
     ScooTensor semi = ttm_coo(x, mats[order[0]], order[0]);
     for (Size k = 1; k < order.size(); ++k) {
         const Size m = order[k];
+        // Fused endgame: when exactly the last two contractions remain
+        // and they are exactly the intermediate's two sparse modes,
+        // contract both in one stripe sweep and emit the final COO
+        // directly — no intermediate sCOO and no to_coo() round trip.
+        if (fuse && k + 2 == order.size() &&
+            semi.sparse_modes().size() == 2) {
+            const Size m2 = order[k + 1];
+            const auto& sp = semi.sparse_modes();
+            if ((sp[0] == std::min(m, m2) && sp[1] == std::max(m, m2)))
+                return ttm_scoo_fused2(semi, mats[m], m, mats[m2], m2);
+        }
         if (semi.sparse_modes().size() >= 2) {
             semi = ttm_scoo(semi, mats[m], m);
         } else {

@@ -35,10 +35,15 @@ struct TuckerResult {
 /// Contracts `x` with every matrix in `mats` along its mode index,
 /// skipping `skip_mode` (pass kNoMode to contract all modes).  Each step
 /// is one sparse TTM whose semi-sparse result is re-expanded; the chain
-/// is ordered by increasing intermediate size.
+/// is ordered by increasing intermediate size.  With `fuse` (default)
+/// the endgame — exactly two modes left to contract and both sparse in
+/// the sCOO intermediate — runs as one fused two-mode stripe kernel
+/// (ttm_scoo_fused2), skipping the to_coo() re-expansion between the
+/// final two contractions; `fuse = false` keeps the stepwise chain
+/// (bench baseline).
 CooTensor ttm_chain(const CooTensor& x,
                     const std::vector<DenseMatrix>& mats,
-                    Size skip_mode = kNoMode);
+                    Size skip_mode = kNoMode, bool fuse = true);
 
 /// Runs HOOI on `x`.  Each pass refreshes every factor from the leading
 /// left subspace of the mode-m matricization of the TTM-chain projection,

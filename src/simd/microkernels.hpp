@@ -1,0 +1,798 @@
+/// \file
+/// Explicit SIMD micro-kernels over contiguous rank-R value stripes.
+///
+/// Every primitive has three implementations — portable scalar, AVX2,
+/// and AVX-512 — selected by the Isa handle the caller obtained once per
+/// kernel invocation from simd::active_isa().  The hot kernels call
+/// these per non-zero, so each wrapper is a single predictable switch on
+/// a value held in a register; the intrinsic bodies carry GCC target
+/// attributes, which lets one translation unit hold all three paths
+/// without compiling the whole suite with -mavx*.
+///
+/// Numerical contract: the element-wise primitives (vfill, vscale,
+/// vmul_accumulate, vfma_rows, vaxpy, vadd_inplace, vhadamard, vadd,
+/// vsub, vdiv) perform exactly one IEEE multiply and/or add per element
+/// in the same order as the scalar loop — no FMA contraction — so their
+/// vector results are bit-identical to the scalar path (tests/test_simd
+/// enforces this).  The reductions (vdot, vdot_gather) reassociate
+/// partial sums across lanes; their results stay within the Higham
+/// bounds the validate/ diff oracles already allow for parallel
+/// reductions.
+#pragma once
+
+#include "common/types.hpp"
+#include "simd/simd.hpp"
+
+#if PASTA_SIMD_X86
+#include <immintrin.h>
+#endif
+
+namespace pasta::simd {
+
+namespace detail {
+
+// fp-contract must stay off inside the vector bodies: avx512f implies
+// FMA, and GCC happily contracts a separate _mm512_mul_ps/_mm512_add_ps
+// pair into one fused multiply-add, breaking the bit-identity contract
+// with the scalar reference path.
+#if PASTA_SIMD_X86
+#define PASTA_TARGET_AVX2 \
+    __attribute__((target("avx2"), optimize("fp-contract=off")))
+#define PASTA_TARGET_AVX512 \
+    __attribute__((target("avx512f"), optimize("fp-contract=off")))
+#endif
+
+// ---- scalar reference implementations ------------------------------
+//
+// On x86 the scalar bodies are pinned genuinely scalar: no compiler
+// auto-vectorization and no FMA contraction.  They are the bit-exact
+// reference the vector paths (and the forced PASTA_SIMD=scalar
+// baseline) are measured against, so their code must not shift with
+// the build's -O/-march flags — under -O3 GCC would SSE-vectorize
+// them, and under -march with FMA it would contract a*b+c, changing
+// results in the last ulp.  Off x86 there is no alternate path to
+// stay identical to, so the attributes are dropped and the compiler
+// may optimize freely.
+#if PASTA_SIMD_X86 && defined(__GNUC__) && !defined(__clang__)
+#define PASTA_SCALAR_REF \
+    __attribute__(( \
+        optimize("no-tree-vectorize", "no-tree-slp-vectorize", \
+                 "fp-contract=off")))
+#else
+#define PASTA_SCALAR_REF
+#endif
+
+PASTA_SCALAR_REF inline void
+vfill_scalar(Value* dst, Value v, Size n)
+{
+    for (Size i = 0; i < n; ++i)
+        dst[i] = v;
+}
+
+PASTA_SCALAR_REF inline void
+vscale_scalar(Value* dst, const Value* src, Value a, Size n)
+{
+    for (Size i = 0; i < n; ++i)
+        dst[i] = a * src[i];
+}
+
+PASTA_SCALAR_REF inline void
+vmul_accumulate_scalar(Value* acc, const Value* a, Size n)
+{
+    for (Size i = 0; i < n; ++i)
+        acc[i] *= a[i];
+}
+
+PASTA_SCALAR_REF inline void
+vfma_rows_scalar(Value* acc, const Value* a, const Value* b, Size n)
+{
+    for (Size i = 0; i < n; ++i)
+        acc[i] += a[i] * b[i];
+}
+
+PASTA_SCALAR_REF inline void
+vaxpy_scalar(Value* y, Value a, const Value* x, Size n)
+{
+    for (Size i = 0; i < n; ++i)
+        y[i] += a * x[i];
+}
+
+PASTA_SCALAR_REF inline void
+vadd_inplace_scalar(Value* acc, const Value* a, Size n)
+{
+    for (Size i = 0; i < n; ++i)
+        acc[i] += a[i];
+}
+
+PASTA_SCALAR_REF inline void
+vhadamard_scalar(Value* z, const Value* x, const Value* y, Size n)
+{
+    for (Size i = 0; i < n; ++i)
+        z[i] = x[i] * y[i];
+}
+
+PASTA_SCALAR_REF inline void
+vadd_scalar(Value* z, const Value* x, const Value* y, Size n)
+{
+    for (Size i = 0; i < n; ++i)
+        z[i] = x[i] + y[i];
+}
+
+PASTA_SCALAR_REF inline void
+vsub_scalar(Value* z, const Value* x, const Value* y, Size n)
+{
+    for (Size i = 0; i < n; ++i)
+        z[i] = x[i] - y[i];
+}
+
+PASTA_SCALAR_REF inline void
+vdiv_scalar(Value* z, const Value* x, const Value* y, Size n)
+{
+    for (Size i = 0; i < n; ++i)
+        z[i] = x[i] / y[i];
+}
+
+PASTA_SCALAR_REF inline Value
+vdot_scalar(const Value* x, const Value* y, Size n)
+{
+    Value acc = 0;
+    for (Size i = 0; i < n; ++i)
+        acc += x[i] * y[i];
+    return acc;
+}
+
+PASTA_SCALAR_REF inline Value
+vdot_gather_scalar(const Value* x, const Index* idx, const Value* table,
+                   Size n)
+{
+    Value acc = 0;
+    for (Size i = 0; i < n; ++i)
+        acc += x[i] * table[idx[i]];
+    return acc;
+}
+
+#if PASTA_SIMD_X86
+
+// ---- AVX2 (8 x float) ----------------------------------------------
+// Tails run the scalar loop; element-wise bodies use separate mul/add
+// (never FMA) to preserve bit-identity with the scalar path.
+
+PASTA_TARGET_AVX2 inline void
+vfill_avx2(Value* dst, Value v, Size n)
+{
+    const __m256 vv = _mm256_set1_ps(v);
+    Size i = 0;
+    for (; i + 8 <= n; i += 8)
+        _mm256_storeu_ps(dst + i, vv);
+    for (; i < n; ++i)
+        dst[i] = v;
+}
+
+PASTA_TARGET_AVX2 inline void
+vscale_avx2(Value* dst, const Value* src, Value a, Size n)
+{
+    const __m256 va = _mm256_set1_ps(a);
+    Size i = 0;
+    for (; i + 8 <= n; i += 8)
+        _mm256_storeu_ps(dst + i,
+                         _mm256_mul_ps(va, _mm256_loadu_ps(src + i)));
+    for (; i < n; ++i)
+        dst[i] = a * src[i];
+}
+
+PASTA_TARGET_AVX2 inline void
+vmul_accumulate_avx2(Value* acc, const Value* a, Size n)
+{
+    Size i = 0;
+    for (; i + 8 <= n; i += 8)
+        _mm256_storeu_ps(acc + i,
+                         _mm256_mul_ps(_mm256_loadu_ps(acc + i),
+                                       _mm256_loadu_ps(a + i)));
+    for (; i < n; ++i)
+        acc[i] *= a[i];
+}
+
+PASTA_TARGET_AVX2 inline void
+vfma_rows_avx2(Value* acc, const Value* a, const Value* b, Size n)
+{
+    Size i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256 prod = _mm256_mul_ps(_mm256_loadu_ps(a + i),
+                                          _mm256_loadu_ps(b + i));
+        _mm256_storeu_ps(acc + i,
+                         _mm256_add_ps(_mm256_loadu_ps(acc + i), prod));
+    }
+    for (; i < n; ++i)
+        acc[i] += a[i] * b[i];
+}
+
+PASTA_TARGET_AVX2 inline void
+vaxpy_avx2(Value* y, Value a, const Value* x, Size n)
+{
+    const __m256 va = _mm256_set1_ps(a);
+    Size i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256 prod = _mm256_mul_ps(va, _mm256_loadu_ps(x + i));
+        _mm256_storeu_ps(y + i,
+                         _mm256_add_ps(_mm256_loadu_ps(y + i), prod));
+    }
+    for (; i < n; ++i)
+        y[i] += a * x[i];
+}
+
+PASTA_TARGET_AVX2 inline void
+vadd_inplace_avx2(Value* acc, const Value* a, Size n)
+{
+    Size i = 0;
+    for (; i + 8 <= n; i += 8)
+        _mm256_storeu_ps(acc + i,
+                         _mm256_add_ps(_mm256_loadu_ps(acc + i),
+                                       _mm256_loadu_ps(a + i)));
+    for (; i < n; ++i)
+        acc[i] += a[i];
+}
+
+PASTA_TARGET_AVX2 inline void
+vhadamard_avx2(Value* z, const Value* x, const Value* y, Size n)
+{
+    Size i = 0;
+    for (; i + 8 <= n; i += 8)
+        _mm256_storeu_ps(z + i, _mm256_mul_ps(_mm256_loadu_ps(x + i),
+                                              _mm256_loadu_ps(y + i)));
+    for (; i < n; ++i)
+        z[i] = x[i] * y[i];
+}
+
+PASTA_TARGET_AVX2 inline void
+vadd_avx2(Value* z, const Value* x, const Value* y, Size n)
+{
+    Size i = 0;
+    for (; i + 8 <= n; i += 8)
+        _mm256_storeu_ps(z + i, _mm256_add_ps(_mm256_loadu_ps(x + i),
+                                              _mm256_loadu_ps(y + i)));
+    for (; i < n; ++i)
+        z[i] = x[i] + y[i];
+}
+
+PASTA_TARGET_AVX2 inline void
+vsub_avx2(Value* z, const Value* x, const Value* y, Size n)
+{
+    Size i = 0;
+    for (; i + 8 <= n; i += 8)
+        _mm256_storeu_ps(z + i, _mm256_sub_ps(_mm256_loadu_ps(x + i),
+                                              _mm256_loadu_ps(y + i)));
+    for (; i < n; ++i)
+        z[i] = x[i] - y[i];
+}
+
+PASTA_TARGET_AVX2 inline void
+vdiv_avx2(Value* z, const Value* x, const Value* y, Size n)
+{
+    Size i = 0;
+    for (; i + 8 <= n; i += 8)
+        _mm256_storeu_ps(z + i, _mm256_div_ps(_mm256_loadu_ps(x + i),
+                                              _mm256_loadu_ps(y + i)));
+    for (; i < n; ++i)
+        z[i] = x[i] / y[i];
+}
+
+/// Horizontal sum with a fixed lane order (low lane first) so repeated
+/// runs on the same ISA are deterministic.
+PASTA_TARGET_AVX2 inline Value
+hsum_avx2(__m256 v)
+{
+    alignas(32) Value lanes[8];
+    _mm256_store_ps(lanes, v);
+    Value total = 0;
+    for (int l = 0; l < 8; ++l)
+        total += lanes[l];
+    return total;
+}
+
+PASTA_TARGET_AVX2 inline Value
+vdot_avx2(const Value* x, const Value* y, Size n)
+{
+    __m256 acc = _mm256_setzero_ps();
+    Size i = 0;
+    for (; i + 8 <= n; i += 8)
+        acc = _mm256_add_ps(acc,
+                            _mm256_mul_ps(_mm256_loadu_ps(x + i),
+                                          _mm256_loadu_ps(y + i)));
+    Value total = hsum_avx2(acc);
+    for (; i < n; ++i)
+        total += x[i] * y[i];
+    return total;
+}
+
+PASTA_TARGET_AVX2 inline Value
+vdot_gather_avx2(const Value* x, const Index* idx, const Value* table,
+                 Size n)
+{
+    __m256 acc = _mm256_setzero_ps();
+    Size i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256i vi = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(idx + i));
+        const __m256 gathered =
+            _mm256_i32gather_ps(table, vi, sizeof(Value));
+        acc = _mm256_add_ps(acc,
+                            _mm256_mul_ps(_mm256_loadu_ps(x + i),
+                                          gathered));
+    }
+    Value total = hsum_avx2(acc);
+    for (; i < n; ++i)
+        total += x[i] * table[idx[i]];
+    return total;
+}
+
+// ---- AVX-512 (16 x float) ------------------------------------------
+// Tails use masked loads/stores: one code path regardless of remainder.
+
+PASTA_TARGET_AVX512 inline void
+vfill_avx512(Value* dst, Value v, Size n)
+{
+    const __m512 vv = _mm512_set1_ps(v);
+    Size i = 0;
+    for (; i + 16 <= n; i += 16)
+        _mm512_storeu_ps(dst + i, vv);
+    if (i < n) {
+        const __mmask16 m =
+            static_cast<__mmask16>((1u << (n - i)) - 1u);
+        _mm512_mask_storeu_ps(dst + i, m, vv);
+    }
+}
+
+PASTA_TARGET_AVX512 inline void
+vscale_avx512(Value* dst, const Value* src, Value a, Size n)
+{
+    const __m512 va = _mm512_set1_ps(a);
+    Size i = 0;
+    for (; i + 16 <= n; i += 16)
+        _mm512_storeu_ps(dst + i,
+                         _mm512_mul_ps(va, _mm512_loadu_ps(src + i)));
+    if (i < n) {
+        const __mmask16 m =
+            static_cast<__mmask16>((1u << (n - i)) - 1u);
+        const __m512 s = _mm512_maskz_loadu_ps(m, src + i);
+        _mm512_mask_storeu_ps(dst + i, m, _mm512_mul_ps(va, s));
+    }
+}
+
+PASTA_TARGET_AVX512 inline void
+vmul_accumulate_avx512(Value* acc, const Value* a, Size n)
+{
+    Size i = 0;
+    for (; i + 16 <= n; i += 16)
+        _mm512_storeu_ps(acc + i,
+                         _mm512_mul_ps(_mm512_loadu_ps(acc + i),
+                                       _mm512_loadu_ps(a + i)));
+    if (i < n) {
+        const __mmask16 m =
+            static_cast<__mmask16>((1u << (n - i)) - 1u);
+        const __m512 va = _mm512_maskz_loadu_ps(m, acc + i);
+        const __m512 vb = _mm512_maskz_loadu_ps(m, a + i);
+        _mm512_mask_storeu_ps(acc + i, m, _mm512_mul_ps(va, vb));
+    }
+}
+
+PASTA_TARGET_AVX512 inline void
+vfma_rows_avx512(Value* acc, const Value* a, const Value* b, Size n)
+{
+    Size i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const __m512 prod = _mm512_mul_ps(_mm512_loadu_ps(a + i),
+                                          _mm512_loadu_ps(b + i));
+        _mm512_storeu_ps(acc + i,
+                         _mm512_add_ps(_mm512_loadu_ps(acc + i), prod));
+    }
+    if (i < n) {
+        const __mmask16 m =
+            static_cast<__mmask16>((1u << (n - i)) - 1u);
+        const __m512 prod =
+            _mm512_mul_ps(_mm512_maskz_loadu_ps(m, a + i),
+                          _mm512_maskz_loadu_ps(m, b + i));
+        const __m512 va = _mm512_maskz_loadu_ps(m, acc + i);
+        _mm512_mask_storeu_ps(acc + i, m, _mm512_add_ps(va, prod));
+    }
+}
+
+PASTA_TARGET_AVX512 inline void
+vaxpy_avx512(Value* y, Value a, const Value* x, Size n)
+{
+    const __m512 va = _mm512_set1_ps(a);
+    Size i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const __m512 prod = _mm512_mul_ps(va, _mm512_loadu_ps(x + i));
+        _mm512_storeu_ps(y + i,
+                         _mm512_add_ps(_mm512_loadu_ps(y + i), prod));
+    }
+    if (i < n) {
+        const __mmask16 m =
+            static_cast<__mmask16>((1u << (n - i)) - 1u);
+        const __m512 prod =
+            _mm512_mul_ps(va, _mm512_maskz_loadu_ps(m, x + i));
+        const __m512 vy = _mm512_maskz_loadu_ps(m, y + i);
+        _mm512_mask_storeu_ps(y + i, m, _mm512_add_ps(vy, prod));
+    }
+}
+
+PASTA_TARGET_AVX512 inline void
+vadd_inplace_avx512(Value* acc, const Value* a, Size n)
+{
+    Size i = 0;
+    for (; i + 16 <= n; i += 16)
+        _mm512_storeu_ps(acc + i,
+                         _mm512_add_ps(_mm512_loadu_ps(acc + i),
+                                       _mm512_loadu_ps(a + i)));
+    if (i < n) {
+        const __mmask16 m =
+            static_cast<__mmask16>((1u << (n - i)) - 1u);
+        const __m512 va = _mm512_maskz_loadu_ps(m, acc + i);
+        const __m512 vb = _mm512_maskz_loadu_ps(m, a + i);
+        _mm512_mask_storeu_ps(acc + i, m, _mm512_add_ps(va, vb));
+    }
+}
+
+PASTA_TARGET_AVX512 inline void
+vhadamard_avx512(Value* z, const Value* x, const Value* y, Size n)
+{
+    Size i = 0;
+    for (; i + 16 <= n; i += 16)
+        _mm512_storeu_ps(z + i, _mm512_mul_ps(_mm512_loadu_ps(x + i),
+                                              _mm512_loadu_ps(y + i)));
+    if (i < n) {
+        const __mmask16 m =
+            static_cast<__mmask16>((1u << (n - i)) - 1u);
+        _mm512_mask_storeu_ps(
+            z + i, m,
+            _mm512_mul_ps(_mm512_maskz_loadu_ps(m, x + i),
+                          _mm512_maskz_loadu_ps(m, y + i)));
+    }
+}
+
+PASTA_TARGET_AVX512 inline void
+vadd_avx512(Value* z, const Value* x, const Value* y, Size n)
+{
+    Size i = 0;
+    for (; i + 16 <= n; i += 16)
+        _mm512_storeu_ps(z + i, _mm512_add_ps(_mm512_loadu_ps(x + i),
+                                              _mm512_loadu_ps(y + i)));
+    if (i < n) {
+        const __mmask16 m =
+            static_cast<__mmask16>((1u << (n - i)) - 1u);
+        _mm512_mask_storeu_ps(
+            z + i, m,
+            _mm512_add_ps(_mm512_maskz_loadu_ps(m, x + i),
+                          _mm512_maskz_loadu_ps(m, y + i)));
+    }
+}
+
+PASTA_TARGET_AVX512 inline void
+vsub_avx512(Value* z, const Value* x, const Value* y, Size n)
+{
+    Size i = 0;
+    for (; i + 16 <= n; i += 16)
+        _mm512_storeu_ps(z + i, _mm512_sub_ps(_mm512_loadu_ps(x + i),
+                                              _mm512_loadu_ps(y + i)));
+    if (i < n) {
+        const __mmask16 m =
+            static_cast<__mmask16>((1u << (n - i)) - 1u);
+        _mm512_mask_storeu_ps(
+            z + i, m,
+            _mm512_sub_ps(_mm512_maskz_loadu_ps(m, x + i),
+                          _mm512_maskz_loadu_ps(m, y + i)));
+    }
+}
+
+PASTA_TARGET_AVX512 inline void
+vdiv_avx512(Value* z, const Value* x, const Value* y, Size n)
+{
+    Size i = 0;
+    for (; i + 16 <= n; i += 16)
+        _mm512_storeu_ps(z + i, _mm512_div_ps(_mm512_loadu_ps(x + i),
+                                              _mm512_loadu_ps(y + i)));
+    // Masked-divide tails would fault-free divide by zero in the dead
+    // lanes; run them scalar instead.
+    for (; i < n; ++i)
+        z[i] = x[i] / y[i];
+}
+
+PASTA_TARGET_AVX512 inline Value
+hsum_avx512(__m512 v)
+{
+    alignas(64) Value lanes[16];
+    _mm512_store_ps(lanes, v);
+    Value total = 0;
+    for (int l = 0; l < 16; ++l)
+        total += lanes[l];
+    return total;
+}
+
+PASTA_TARGET_AVX512 inline Value
+vdot_avx512(const Value* x, const Value* y, Size n)
+{
+    __m512 acc = _mm512_setzero_ps();
+    Size i = 0;
+    for (; i + 16 <= n; i += 16)
+        acc = _mm512_add_ps(acc,
+                            _mm512_mul_ps(_mm512_loadu_ps(x + i),
+                                          _mm512_loadu_ps(y + i)));
+    Value total = hsum_avx512(acc);
+    for (; i < n; ++i)
+        total += x[i] * y[i];
+    return total;
+}
+
+PASTA_TARGET_AVX512 inline Value
+vdot_gather_avx512(const Value* x, const Index* idx, const Value* table,
+                   Size n)
+{
+    __m512 acc = _mm512_setzero_ps();
+    Size i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const __m512i vi = _mm512_loadu_si512(
+            reinterpret_cast<const void*>(idx + i));
+        // Masked full-lane gather: the zero source operand keeps the
+        // "old value" defined (the plain gather leaves it undefined and
+        // trips -Wmaybe-uninitialized inside the GCC intrinsic header).
+        const __m512 gathered = _mm512_mask_i32gather_ps(
+            _mm512_setzero_ps(), 0xffff, vi, table, sizeof(Value));
+        acc = _mm512_add_ps(acc,
+                            _mm512_mul_ps(_mm512_loadu_ps(x + i),
+                                          gathered));
+    }
+    Value total = hsum_avx512(acc);
+    for (; i < n; ++i)
+        total += x[i] * table[idx[i]];
+    return total;
+}
+
+#endif  // PASTA_SIMD_X86
+
+}  // namespace detail
+
+// ---- dispatched entry points ---------------------------------------
+// Each is a switch over an Isa value the caller hoisted out of its
+// loop; the branch predicts perfectly and the intrinsic bodies inline
+// into the case arms.
+
+/// dst[i] = v.
+inline void
+vfill(Isa isa, Value* dst, Value v, Size n)
+{
+#if PASTA_SIMD_X86
+    switch (isa) {
+      case Isa::kAvx512:
+        detail::vfill_avx512(dst, v, n);
+        return;
+      case Isa::kAvx2:
+        detail::vfill_avx2(dst, v, n);
+        return;
+      default:
+        break;
+    }
+#endif
+    (void)isa;
+    detail::vfill_scalar(dst, v, n);
+}
+
+/// dst[i] = a * src[i] (fused fill + first mode multiply in MTTKRP).
+inline void
+vscale(Isa isa, Value* dst, const Value* src, Value a, Size n)
+{
+#if PASTA_SIMD_X86
+    switch (isa) {
+      case Isa::kAvx512:
+        detail::vscale_avx512(dst, src, a, n);
+        return;
+      case Isa::kAvx2:
+        detail::vscale_avx2(dst, src, a, n);
+        return;
+      default:
+        break;
+    }
+#endif
+    (void)isa;
+    detail::vscale_scalar(dst, src, a, n);
+}
+
+/// acc[i] *= a[i] (the Khatri-Rao partial-product step of MTTKRP).
+inline void
+vmul_accumulate(Isa isa, Value* acc, const Value* a, Size n)
+{
+#if PASTA_SIMD_X86
+    switch (isa) {
+      case Isa::kAvx512:
+        detail::vmul_accumulate_avx512(acc, a, n);
+        return;
+      case Isa::kAvx2:
+        detail::vmul_accumulate_avx2(acc, a, n);
+        return;
+      default:
+        break;
+    }
+#endif
+    (void)isa;
+    detail::vmul_accumulate_scalar(acc, a, n);
+}
+
+/// acc[i] += a[i] * b[i] (CSF subtree merge: child partial x factor row).
+inline void
+vfma_rows(Isa isa, Value* acc, const Value* a, const Value* b, Size n)
+{
+#if PASTA_SIMD_X86
+    switch (isa) {
+      case Isa::kAvx512:
+        detail::vfma_rows_avx512(acc, a, b, n);
+        return;
+      case Isa::kAvx2:
+        detail::vfma_rows_avx2(acc, a, b, n);
+        return;
+      default:
+        break;
+    }
+#endif
+    (void)isa;
+    detail::vfma_rows_scalar(acc, a, b, n);
+}
+
+/// y[i] += a * x[i] (TTM stripe accumulate).
+inline void
+vaxpy(Isa isa, Value* y, Value a, const Value* x, Size n)
+{
+#if PASTA_SIMD_X86
+    switch (isa) {
+      case Isa::kAvx512:
+        detail::vaxpy_avx512(y, a, x, n);
+        return;
+      case Isa::kAvx2:
+        detail::vaxpy_avx2(y, a, x, n);
+        return;
+      default:
+        break;
+    }
+#endif
+    (void)isa;
+    detail::vaxpy_scalar(y, a, x, n);
+}
+
+/// acc[i] += a[i] (run accumulation, owner-partition output update).
+inline void
+vadd_inplace(Isa isa, Value* acc, const Value* a, Size n)
+{
+#if PASTA_SIMD_X86
+    switch (isa) {
+      case Isa::kAvx512:
+        detail::vadd_inplace_avx512(acc, a, n);
+        return;
+      case Isa::kAvx2:
+        detail::vadd_inplace_avx2(acc, a, n);
+        return;
+      default:
+        break;
+    }
+#endif
+    (void)isa;
+    detail::vadd_inplace_scalar(acc, a, n);
+}
+
+/// z[i] = x[i] * y[i] (TEW multiply over matched value streams).
+inline void
+vhadamard(Isa isa, Value* z, const Value* x, const Value* y, Size n)
+{
+#if PASTA_SIMD_X86
+    switch (isa) {
+      case Isa::kAvx512:
+        detail::vhadamard_avx512(z, x, y, n);
+        return;
+      case Isa::kAvx2:
+        detail::vhadamard_avx2(z, x, y, n);
+        return;
+      default:
+        break;
+    }
+#endif
+    (void)isa;
+    detail::vhadamard_scalar(z, x, y, n);
+}
+
+/// z[i] = x[i] + y[i].
+inline void
+vadd(Isa isa, Value* z, const Value* x, const Value* y, Size n)
+{
+#if PASTA_SIMD_X86
+    switch (isa) {
+      case Isa::kAvx512:
+        detail::vadd_avx512(z, x, y, n);
+        return;
+      case Isa::kAvx2:
+        detail::vadd_avx2(z, x, y, n);
+        return;
+      default:
+        break;
+    }
+#endif
+    (void)isa;
+    detail::vadd_scalar(z, x, y, n);
+}
+
+/// z[i] = x[i] - y[i].
+inline void
+vsub(Isa isa, Value* z, const Value* x, const Value* y, Size n)
+{
+#if PASTA_SIMD_X86
+    switch (isa) {
+      case Isa::kAvx512:
+        detail::vsub_avx512(z, x, y, n);
+        return;
+      case Isa::kAvx2:
+        detail::vsub_avx2(z, x, y, n);
+        return;
+      default:
+        break;
+    }
+#endif
+    (void)isa;
+    detail::vsub_scalar(z, x, y, n);
+}
+
+/// z[i] = x[i] / y[i].
+inline void
+vdiv(Isa isa, Value* z, const Value* x, const Value* y, Size n)
+{
+#if PASTA_SIMD_X86
+    switch (isa) {
+      case Isa::kAvx512:
+        detail::vdiv_avx512(z, x, y, n);
+        return;
+      case Isa::kAvx2:
+        detail::vdiv_avx2(z, x, y, n);
+        return;
+      default:
+        break;
+    }
+#endif
+    (void)isa;
+    detail::vdiv_scalar(z, x, y, n);
+}
+
+/// sum_i x[i] * y[i].  Lane partial sums reassociate; deterministic for
+/// a fixed ISA, bounded by the Higham forward-error model.
+inline Value
+vdot(Isa isa, const Value* x, const Value* y, Size n)
+{
+#if PASTA_SIMD_X86
+    switch (isa) {
+      case Isa::kAvx512:
+        return detail::vdot_avx512(x, y, n);
+      case Isa::kAvx2:
+        return detail::vdot_avx2(x, y, n);
+      default:
+        break;
+    }
+#endif
+    (void)isa;
+    return detail::vdot_scalar(x, y, n);
+}
+
+/// sum_i x[i] * table[idx[i]] (TTV fiber dot with gathered vector
+/// entries).  Same reassociation contract as vdot.
+inline Value
+vdot_gather(Isa isa, const Value* x, const Index* idx,
+            const Value* table, Size n)
+{
+#if PASTA_SIMD_X86
+    switch (isa) {
+      case Isa::kAvx512:
+        return detail::vdot_gather_avx512(x, idx, table, n);
+      case Isa::kAvx2:
+        return detail::vdot_gather_avx2(x, idx, table, n);
+      default:
+        break;
+    }
+#endif
+    (void)isa;
+    return detail::vdot_gather_scalar(x, idx, table, n);
+}
+
+}  // namespace pasta::simd
