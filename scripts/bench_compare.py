@@ -32,6 +32,13 @@ a trial whose peak resident working set GREW by more than --threshold
 percent prints a loud warning without failing the gate, since peak
 memory legitimately moves with partition counts and thread counts.
 
+Serving CSVs (bench_serving's serving.csv) carry jobs_per_sec instead
+of gflops; that column is gated as the row's throughput.  Their p99_ms
+column is compared warn-only, like mem_peak: tail latency that GREW by
+more than --threshold percent prints a loud warning without failing
+the gate (the p99 of an open-loop phase legitimately moves with the
+arrival-rate draw and machine load).
+
 The script exits non-zero when any benchmark regressed by more than
 --threshold percent (default 10), making it usable as a CI gate:
 
@@ -80,15 +87,17 @@ def load_json_throughputs(path):
         rate = parse_rate(entry.get("items_per_second"))
         if name and rate:
             rates[name] = rate
-    return rates, {}, {}
+    return rates, {}, {}, {}
 
 
 def load_csv_throughputs(path):
-    """Map tensor/kernel/format -> gflops (plus roofline_pct and
-    mem_peak when the CSV carries those columns) for one suite CSV."""
+    """Map tensor/kernel/format -> gflops or jobs_per_sec (plus
+    roofline_pct, mem_peak, and p99_ms when the CSV carries those
+    columns) for one suite CSV."""
     rates = {}
     roofline = {}
     mem_peak = {}
+    p99 = {}
     with open(path, newline="") as f:
         for row in csv.DictReader(f):
             key = "/".join(row.get(col) or "?"
@@ -104,7 +113,10 @@ def load_csv_throughputs(path):
             # partition-range shards of one sweep distinct.
             if row.get("shard"):
                 key += "@" + row["shard"]
-            rate = parse_rate(row.get("gflops"))
+            # Serving CSVs report jobs/s rather than gflops; either one
+            # is the row's gated throughput.
+            rate = parse_rate(row.get("gflops")) or parse_rate(
+                row.get("jobs_per_sec"))
             if rate:
                 rates[key] = rate
             pct = parse_rate(row.get("roofline_pct"))
@@ -113,7 +125,10 @@ def load_csv_throughputs(path):
             peak = parse_rate(row.get("mem_peak"))
             if peak:
                 mem_peak[key] = peak
-    return rates, roofline, mem_peak
+            tail = parse_rate(row.get("p99_ms"))
+            if tail:
+                p99[key] = tail
+    return rates, roofline, mem_peak, p99
 
 
 def expand_inputs(spec):
@@ -131,15 +146,16 @@ def expand_inputs(spec):
 def load_throughputs(spec):
     """Loads one profile side: every matched file parsed by extension
     and merged into one map (later files win on duplicate keys)."""
-    rates, roofline, mem_peak = {}, {}, {}
+    rates, roofline, mem_peak, p99 = {}, {}, {}, {}
     for path in expand_inputs(spec):
         loader = (load_csv_throughputs if path.endswith(".csv")
                   else load_json_throughputs)
-        r, roof, mem = loader(path)
+        r, roof, mem, tail = loader(path)
         rates.update(r)
         roofline.update(roof)
         mem_peak.update(mem)
-    return rates, roofline, mem_peak
+        p99.update(tail)
+    return rates, roofline, mem_peak, p99
 
 
 def compare(base, cand, threshold, metric, regressions):
@@ -161,11 +177,12 @@ def compare(base, cand, threshold, metric, regressions):
         print(f"{name:<{width}}  only in candidate")
 
 
-def compare_mem_peak(base, cand, threshold):
-    """Warn-only diff of governor-metered peak bytes: growth beyond the
-    threshold is loud but never fails the gate (peaks legitimately move
-    with partition and thread counts)."""
-    print("\n-- peak memory (governor-metered bytes, warn-only) --")
+def compare_grew_warn_only(base, cand, threshold, title, what):
+    """Warn-only diff for lower-is-better metrics (peak bytes, tail
+    latency): growth beyond the threshold is loud but never fails the
+    gate, since both legitimately move with partition/thread counts and
+    machine load."""
+    print(f"\n-- {title} (warn-only) --")
     width = max((len(n) for n in base), default=0)
     warnings = []
     for name in sorted(base):
@@ -180,7 +197,7 @@ def compare_mem_peak(base, cand, threshold):
         print(f"{name:<{width}}  {old:14.3e} -> {new:14.3e}  "
               f"{change:+7.2f}%{marker}")
     for name, change in warnings:
-        print(f"warning: {name} peak memory grew {change:+.2f}% "
+        print(f"warning: {name} {what} grew {change:+.2f}% "
               f"(> {threshold:.1f}%); not failing the gate",
               file=sys.stderr)
 
@@ -195,8 +212,8 @@ def main():
                              "(default 10)")
     args = parser.parse_args()
 
-    base, base_roof, base_mem = load_throughputs(args.baseline)
-    cand, cand_roof, cand_mem = load_throughputs(args.candidate)
+    base, base_roof, base_mem, base_p99 = load_throughputs(args.baseline)
+    cand, cand_roof, cand_mem, cand_p99 = load_throughputs(args.candidate)
     if not base:
         print(f"error: no throughput entries in {args.baseline}",
               file=sys.stderr)
@@ -209,7 +226,12 @@ def main():
         compare(base_roof, cand_roof, args.threshold, "roofline_pct",
                 regressions)
     if base_mem and cand_mem:
-        compare_mem_peak(base_mem, cand_mem, args.threshold)
+        compare_grew_warn_only(base_mem, cand_mem, args.threshold,
+                               "peak memory (governor-metered bytes)",
+                               "peak memory")
+    if base_p99 and cand_p99:
+        compare_grew_warn_only(base_p99, cand_p99, args.threshold,
+                               "p99 latency (ms)", "p99 latency")
 
     if regressions:
         print(f"\n{len(regressions)} benchmark(s) regressed more than "

@@ -29,6 +29,11 @@
 #                    PASTA_MEM_BYTES forces the streaming kernels and
 #                    the journal resume path); set BENCH_OOCORE=0 to
 #                    skip
+#   BENCH_SERVE      when 1, also run scripts/check_serve.sh against
+#                    the same build dir (multi-tenant serving smoke:
+#                    chaos-flood accounting, cache speedup gate,
+#                    open-loop latency percentiles); off by default —
+#                    it runs several thousand jobs per phase
 #   BENCH_CAMPAIGN   when 1, also run scripts/check_campaign.sh against
 #                    the same build dir (crash-isolated multi-process
 #                    campaign: PASTA_CHAOS SIGKILLs workers mid-trial
@@ -85,6 +90,13 @@ fi
 # kernels under PASTA_MEM_BYTES and resume trials from the journal.
 if [ "${BENCH_OOCORE:-1}" != "0" ]; then
     scripts/check_oocore.sh "${BUILD_DIR}"
+fi
+
+# Serving smoke: chaos-flood job accounting must balance, the plan
+# cache must hit its speedup gate with bit-identical results, and the
+# open-loop phase must report latency percentiles.
+if [ "${BENCH_SERVE:-0}" = "1" ]; then
+    scripts/check_serve.sh "${BUILD_DIR}"
 fi
 
 # Crash-isolation smoke: a chaos campaign (workers SIGKILL'd mid-trial)

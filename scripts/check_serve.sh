@@ -1,0 +1,117 @@
+#!/usr/bin/env bash
+# Smoke-checks the multi-tenant serving engine (src/serve) end to end:
+#
+#   1. chaos flood: bench_serving runs with PASTA_FAULT failing half of
+#      all kernel.run entries; every accounting line must balance
+#      (accepted == done + failed, lost == 0 — a crashed worker or a
+#      dropped/duplicated job breaks that), failures must be non-zero
+#      (the faults really fired), and the binary must still exit 0.
+#   2. speedup gate: a clean run must show cache-on steady-state
+#      throughput at least SERVE_MIN_SPEEDUP x the cache-off baseline
+#      on the repeated-tensor corpus, with bit-identical results
+#      (bench_serving exits non-zero on either violation).
+#   3. open-loop latency: the poisson phase of the same run must report
+#      non-zero p50/p95/p99 percentiles into the CSV.
+#
+# Usage: scripts/check_serve.sh [build-dir]
+#   build-dir  defaults to build
+#
+# Environment:
+#   SERVE_MIN_SPEEDUP  gated cache speedup (default 3)
+#   SERVE_JOBS         jobs per phase (default 2000)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+MIN_SPEEDUP="${SERVE_MIN_SPEEDUP:-3}"
+JOBS="${SERVE_JOBS:-2000}"
+if [[ ! -x "${BUILD_DIR}/bench/bench_serving" ]]; then
+    cmake -B "${BUILD_DIR}" -S .
+    cmake --build "${BUILD_DIR}" -j "$(nproc)" --target bench_serving
+fi
+
+WORK_DIR="$(mktemp -d)"
+trap 'rm -rf "${WORK_DIR}"' EXIT
+
+# ---- 1. chaos flood: faults fail jobs, never workers ----
+PASTA_CACHE="${WORK_DIR}/cache" \
+PASTA_FAULT="kernel.run:throw:0.5" \
+PASTA_LOG=error \
+PASTA_SERVE_JOBS="${JOBS}" \
+PASTA_SERVE_RATE=0 \
+    "${BUILD_DIR}/bench/bench_serving" > "${WORK_DIR}/chaos.out" || {
+    echo "FAIL: chaos run exited non-zero (lost jobs or dead workers)" >&2
+    cat "${WORK_DIR}/chaos.out" >&2
+    exit 1
+}
+
+python3 - "${WORK_DIR}/chaos.out" <<'EOF'
+import re
+import sys
+
+out = open(sys.argv[1]).read()
+lines = re.findall(
+    r"accounting\[(\w+)\]: accepted=(\d+) done=(\d+) failed=(\d+) "
+    r"shed=(\d+) refused=(\d+) lost=(\d+)", out)
+if len(lines) < 2:
+    sys.exit(f"FAIL: expected accounting lines for both phases:\n{out}")
+total_failed = 0
+for phase, accepted, done, failed, shed, refused, lost in lines:
+    accepted, done, failed, lost = map(int, (accepted, done, failed, lost))
+    if lost != 0:
+        sys.exit(f"FAIL: phase {phase} lost {lost} job(s)")
+    if accepted != done + failed:
+        sys.exit(f"FAIL: phase {phase} accounting does not balance: "
+                 f"accepted={accepted} done={done} failed={failed}")
+    total_failed += failed
+if total_failed == 0:
+    sys.exit("FAIL: chaos spec armed but no job failed — faults not firing")
+print(f"ok: chaos accounting balanced across {len(lines)} phases, "
+      f"{total_failed} injected failures, zero lost")
+EOF
+
+# ---- 2 + 3. clean run: speedup gate, bit identity, latency CSV ----
+PASTA_CACHE="${WORK_DIR}/cache" \
+PASTA_CSV_DIR="${WORK_DIR}/csv" \
+PASTA_LOG=error \
+PASTA_SERVE_JOBS="${JOBS}" \
+PASTA_SERVE_MIN_SPEEDUP="${MIN_SPEEDUP}" \
+    "${BUILD_DIR}/bench/bench_serving" > "${WORK_DIR}/clean.out" || {
+    echo "FAIL: clean run failed the speedup/bit-identity gate" >&2
+    cat "${WORK_DIR}/clean.out" >&2
+    exit 1
+}
+grep -q ', 0 mismatched' "${WORK_DIR}/clean.out" || {
+    echo "FAIL: cached results were not bit-identical" >&2
+    cat "${WORK_DIR}/clean.out" >&2
+    exit 1
+}
+
+python3 - "${WORK_DIR}/csv/serving.csv" <<'EOF'
+import csv
+import sys
+
+rows = list(csv.DictReader(open(sys.argv[1])))
+variants = {r["variant"] for r in rows}
+if not {"nocache", "cache", "poisson"} <= variants:
+    sys.exit(f"FAIL: CSV missing phases, have {variants}")
+per_kf = [r for r in rows if r["variant"] == "cache" and r["kernel"] != "*"]
+if len(per_kf) < 3:
+    sys.exit("FAIL: CSV lacks per-(kernel, format) cache rows")
+for r in rows:
+    if r["variant"] == "poisson" and r["kernel"] == "*":
+        for col in ("p50_ms", "p95_ms", "p99_ms", "jobs_per_sec"):
+            if float(r[col]) <= 0:
+                sys.exit(f"FAIL: poisson {col} is {r[col]}")
+cache_total = next(r for r in rows
+                   if r["variant"] == "cache" and r["kernel"] == "*")
+if float(cache_total["cache_hit_rate"]) <= 0.5:
+    sys.exit(f"FAIL: cache hit rate {cache_total['cache_hit_rate']} "
+             "too low for a repeated-tensor corpus")
+print(f"ok: CSV carries {len(rows)} rows, poisson latency percentiles "
+      f"present, hit rate {float(cache_total['cache_hit_rate']):.2f}")
+EOF
+
+grep 'speedup' "${WORK_DIR}/clean.out"
+echo "serving smoke run passed (min speedup ${MIN_SPEEDUP}x, ${JOBS} jobs)"

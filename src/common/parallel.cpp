@@ -8,19 +8,46 @@ namespace {
 
 std::atomic<int> g_thread_override{0};
 
+/// Per-thread cap armed by ThreadBudgetScope (0 = uncapped).  Plain
+/// thread_local: only the owning thread ever reads or writes it.
+thread_local int t_thread_budget = 0;
+
 }  // namespace
 
 int
 num_threads()
 {
+    // Nested parallelism guard: a parallel_for issued from inside an
+    // OpenMP parallel region must not open a second team — two
+    // concurrent jobs doing so would put threads² workers on the
+    // machine.  Degrade to serial instead.
+    if (omp_in_parallel())
+        return 1;
     int n = g_thread_override.load(std::memory_order_relaxed);
-    return n > 0 ? n : omp_get_max_threads();
+    if (n <= 0)
+        n = omp_get_max_threads();
+    const int budget = t_thread_budget;
+    if (budget > 0 && budget < n)
+        n = budget;
+    return n < 1 ? 1 : n;
 }
 
 void
 set_num_threads(int n)
 {
     g_thread_override.store(n, std::memory_order_relaxed);
+}
+
+int
+thread_budget()
+{
+    return t_thread_budget;
+}
+
+void
+set_thread_budget(int n)
+{
+    t_thread_budget = n > 0 ? n : 0;
 }
 
 }  // namespace pasta

@@ -22,11 +22,45 @@ namespace pasta {
 /// OpenMP loop schedule choices used by the kernels.
 enum class Schedule { kStatic, kDynamic, kGuided };
 
-/// Returns the number of threads parallel_for will use.
+/// Returns the number of threads parallel_for will use.  Three guards
+/// stack on top of the OpenMP default: the process-wide override
+/// (set_num_threads), the calling thread's budget (ThreadBudgetScope),
+/// and a nested-region check — a parallel_for issued from *inside*
+/// another parallel_for (or any OpenMP parallel region) returns 1 and
+/// degrades to serial.  Without the last two, a serving worker pool
+/// whose jobs each call parallel_for would oversubscribe the machine
+/// with up to threads² workers.
 int num_threads();
 
 /// Overrides the worker count (0 restores the OpenMP default).
 void set_num_threads(int n);
+
+/// The calling thread's worker budget: a cap on num_threads() that
+/// binds only on this thread (0 = uncapped).  A serving worker arms it
+/// once per job so intra-kernel parallel_for calls share the machine
+/// with the other concurrently-running jobs instead of each claiming a
+/// full OpenMP team.
+int thread_budget();
+
+/// Sets the calling thread's budget (0 removes it).  Values are clamped
+/// at 1 from below by num_threads(), never above the OpenMP default.
+void set_thread_budget(int n);
+
+/// RAII per-thread budget: arms `n` for the scope, restores the
+/// previous budget on exit.  The intended spelling at job boundaries.
+class ThreadBudgetScope {
+  public:
+    explicit ThreadBudgetScope(int n) : prev_(thread_budget())
+    {
+        set_thread_budget(n);
+    }
+    ThreadBudgetScope(const ThreadBudgetScope&) = delete;
+    ThreadBudgetScope& operator=(const ThreadBudgetScope&) = delete;
+    ~ThreadBudgetScope() { set_thread_budget(prev_); }
+
+  private:
+    int prev_;
+};
 
 /// Id of the calling worker inside a parallel region, in
 /// [0, num_threads()); 0 outside any region.  Kernels that keep

@@ -23,12 +23,21 @@ class TensorRegistry {
 
     /// Loads dataset `id_or_name` ("r3", "choa", "s1", "regS"...),
     /// from cache when present, generating (and caching) otherwise.
+    /// Concurrency-safe: same-path loads are single-flighted across all
+    /// registry instances in the process (one synthesis, the rest read
+    /// the published file), and cache files are published via temp file
+    /// + atomic rename so readers in other processes never see a torn
+    /// write.
     CooTensor load(const std::string& id_or_name);
 
     /// Cache file path for a spec (empty when caching is disabled).
     std::string cache_path(const DatasetSpec& spec) const;
 
   private:
+    /// Writes `tensor` to `path` atomically (temp + rename); failures
+    /// are logged, not thrown — caching is best-effort.
+    void store(const std::string& path, const CooTensor& tensor);
+
     std::string cache_dir_;
     double scale_;
 };

@@ -185,6 +185,35 @@ SpanScope::~SpanScope()
     buf.count.store(n + 1, std::memory_order_release);
 }
 
+std::uint64_t
+trace_now_ns()
+{
+    return now_ns();
+}
+
+void
+record_span(const char* name, std::uint64_t begin_ns, std::uint64_t dur_ns,
+            int depth)
+{
+    if (!spans_enabled())
+        return;
+    ThreadBuffer& buf = local_buffer();
+    const std::size_t n = buf.count.load(std::memory_order_relaxed);
+    if (n >= kSpanCapacity) {
+        buf.dropped.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    if (buf.events.empty())
+        buf.events.resize(kSpanCapacity);
+    SpanEvent& ev = buf.events[n];
+    std::strncpy(ev.name, name, kSpanNameCapacity - 1);
+    ev.name[kSpanNameCapacity - 1] = '\0';
+    ev.begin_ns = begin_ns;
+    ev.dur_ns = dur_ns;
+    ev.depth = depth;
+    buf.count.store(n + 1, std::memory_order_release);
+}
+
 std::vector<SpanRecord>
 collect_spans()
 {

@@ -1,0 +1,120 @@
+/// \file
+/// Chase–Lev work-stealing deque (bounded ring variant).
+///
+/// Each serving worker owns one: the owner pushes and pops at the
+/// bottom (LIFO, cache-warm), thieves steal from the top (FIFO, oldest
+/// job first — the fairness the latency tail wants).  The memory
+/// ordering follows the C11 formalization of the algorithm (Lê,
+/// Pop, Cohen, Nardelli, "Correct and Efficient Work-Stealing for Weak
+/// Memory Models", PPoPP'13): the single seq_cst fence in pop and the
+/// seq_cst CAS in steal arbitrate the last-element race; everything
+/// else is acquire/release.
+///
+/// The ring is fixed-capacity (power of two): a full deque rejects the
+/// push and the scheduler leaves the job on the global injection queue
+/// instead — bounded queues are the point of admission control, so
+/// growing under pressure would defeat the backpressure story.  T must
+/// be trivially copyable (the scheduler stores raw ServeJob pointers;
+/// ownership lives in the scheduler's retained list).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pasta::serve {
+
+template <typename T>
+class StealDeque {
+  public:
+    /// Capacity is rounded up to a power of two, minimum 64.
+    explicit StealDeque(std::size_t capacity = 1024)
+    {
+        std::size_t cap = 64;
+        while (cap < capacity)
+            cap <<= 1;
+        ring_ = std::vector<std::atomic<T>>(cap);
+        mask_ = cap - 1;
+    }
+
+    StealDeque(const StealDeque&) = delete;
+    StealDeque& operator=(const StealDeque&) = delete;
+
+    /// Owner only.  False when the ring is full (caller keeps the item).
+    bool push_bottom(T item)
+    {
+        const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+        const std::int64_t t = top_.load(std::memory_order_acquire);
+        if (b - t >= static_cast<std::int64_t>(ring_.size()))
+            return false;
+        ring_[static_cast<std::size_t>(b) & mask_].store(
+            item, std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_release);
+        bottom_.store(b + 1, std::memory_order_relaxed);
+        return true;
+    }
+
+    /// Owner only.  False when empty (or the last element was stolen).
+    bool pop_bottom(T& out)
+    {
+        const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+        bottom_.store(b, std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        std::int64_t t = top_.load(std::memory_order_relaxed);
+        if (t > b) {
+            // Already empty; restore bottom.
+            bottom_.store(b + 1, std::memory_order_relaxed);
+            return false;
+        }
+        out = ring_[static_cast<std::size_t>(b) & mask_].load(
+            std::memory_order_relaxed);
+        if (t == b) {
+            // Last element: race the thieves for it via top.
+            const bool won = top_.compare_exchange_strong(
+                t, t + 1, std::memory_order_seq_cst,
+                std::memory_order_relaxed);
+            bottom_.store(b + 1, std::memory_order_relaxed);
+            return won;
+        }
+        return true;
+    }
+
+    /// Any thread.  False when empty or the steal lost a race (the
+    /// caller should pick another victim rather than retry hard).
+    bool steal_top(T& out)
+    {
+        std::int64_t t = top_.load(std::memory_order_acquire);
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        const std::int64_t b = bottom_.load(std::memory_order_acquire);
+        if (t >= b)
+            return false;
+        T item = ring_[static_cast<std::size_t>(t) & mask_].load(
+            std::memory_order_relaxed);
+        if (!top_.compare_exchange_strong(t, t + 1,
+                                          std::memory_order_seq_cst,
+                                          std::memory_order_relaxed))
+            return false;
+        out = item;
+        return true;
+    }
+
+    /// Racy size estimate (monitoring only).
+    std::size_t size_estimate() const
+    {
+        const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+        const std::int64_t t = top_.load(std::memory_order_relaxed);
+        return b > t ? static_cast<std::size_t>(b - t) : 0;
+    }
+
+    std::size_t capacity() const { return ring_.size(); }
+
+  private:
+    std::vector<std::atomic<T>> ring_;
+    std::size_t mask_ = 0;
+    /// Owner-written end.  Top is thief-advanced; both only grow.
+    std::atomic<std::int64_t> top_{0};
+    std::atomic<std::int64_t> bottom_{0};
+};
+
+}  // namespace pasta::serve

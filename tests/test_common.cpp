@@ -175,6 +175,61 @@ TEST(Parallel, ThreadOverrideRoundTrips)
     EXPECT_EQ(num_threads(), before);
 }
 
+TEST(Parallel, NestedParallelForDegradesToSerial)
+{
+    // A parallel_for issued from inside another parallel region must not
+    // fan out again (threads² oversubscription); the inner loop still
+    // covers its range, just serially.
+    std::atomic<int> inner_team_max{1};
+    std::atomic<long> covered{0};
+    parallel_for(0, 8, Schedule::kStatic, [&](Size) {
+        EXPECT_EQ(num_threads(), 1);  // nested: degrade to serial
+        std::atomic<int> concurrent{0};
+        parallel_for(0, 64, Schedule::kStatic, [&](Size) {
+            const int now = concurrent.fetch_add(1) + 1;
+            int seen = inner_team_max.load();
+            while (now > seen && !inner_team_max.compare_exchange_weak(
+                                     seen, now))
+                ;
+            covered.fetch_add(1);
+            concurrent.fetch_sub(1);
+        });
+    });
+    EXPECT_EQ(covered.load(), 8 * 64);
+    EXPECT_EQ(inner_team_max.load(), 1)
+        << "inner parallel_for must run serially inside an outer region";
+}
+
+TEST(Parallel, ThreadBudgetCapsAndRestores)
+{
+    const int unbudgeted = num_threads();
+    {
+        ThreadBudgetScope budget(1);
+        EXPECT_EQ(thread_budget(), 1);
+        EXPECT_EQ(num_threads(), 1);
+        {
+            ThreadBudgetScope inner(2);  // nests and restores
+            EXPECT_EQ(thread_budget(), 2);
+        }
+        EXPECT_EQ(thread_budget(), 1);
+    }
+    EXPECT_EQ(thread_budget(), 0);
+    EXPECT_EQ(num_threads(), unbudgeted);
+    // A budget above the machine width never raises the count.
+    ThreadBudgetScope wide(4096);
+    EXPECT_EQ(num_threads(), unbudgeted);
+}
+
+TEST(Parallel, ThreadBudgetIsPerThread)
+{
+    ThreadBudgetScope budget(1);
+    int other = -1;
+    std::thread probe([&] { other = thread_budget(); });
+    probe.join();
+    EXPECT_EQ(other, 0) << "budget must not leak across threads";
+    EXPECT_EQ(thread_budget(), 1);
+}
+
 TEST(Morton, OrderOneIsIdentity)
 {
     for (Index i : {0u, 1u, 5u, 255u, 1u << 20}) {

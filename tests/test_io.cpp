@@ -7,10 +7,13 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "core/convert.hpp"
+#include "harness/fault.hpp"
 #include "io/binary_io.hpp"
 #include "io/registry.hpp"
 #include "io/tns_io.hpp"
@@ -191,6 +194,74 @@ TEST(Registry, RegeneratesOnStaleCache)
     }
     CooTensor second = registry.load("irrS");
     EXPECT_TRUE(first.same_pattern(second));
+}
+
+TEST(Registry, ConcurrentLoadsSeeOneConsistentTensor)
+{
+    TempDir tmp;
+    const DatasetSpec& spec = find_dataset("irrS");
+    // Cold cache: every thread races generate-and-publish; single-flight
+    // means one synthesis, and atomic publication means no thread can
+    // read a torn half-written file.
+    constexpr int kThreads = 8;
+    std::vector<CooTensor> results(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&, t] {
+            TensorRegistry registry(tmp.dir(), 1e-4);
+            results[static_cast<std::size_t>(t)] = registry.load("irrS");
+        });
+    for (auto& t : threads)
+        t.join();
+    for (int t = 1; t < kThreads; ++t) {
+        EXPECT_TRUE(results[0].same_pattern(
+            results[static_cast<std::size_t>(t)]));
+        EXPECT_EQ(results[0].values(),
+                  results[static_cast<std::size_t>(t)].values());
+    }
+    TensorRegistry registry(tmp.dir(), 1e-4);
+    EXPECT_TRUE(std::filesystem::exists(registry.cache_path(spec)));
+    // No leftover temp files from the publish protocol.
+    for (const auto& entry :
+         std::filesystem::directory_iterator(tmp.dir()))
+        EXPECT_EQ(entry.path().string().find(".tmp."), std::string::npos)
+            << entry.path();
+}
+
+TEST(Registry, ConcurrentReloadSurvivesInjectedCacheFaults)
+{
+    TempDir tmp;
+    {
+        TensorRegistry registry(tmp.dir(), 1e-4);
+        registry.load("irrS");  // warm the cache
+    }
+    // Every cache read fails with probability 0.5: threads keep racing
+    // the delete-and-regenerate path against plain cache reads.  The
+    // invariant is that every load still returns the same tensor and
+    // nobody crashes on a torn or vanished file.
+    auto& injector = harness::FaultInjector::instance();
+    injector.configure(harness::parse_fault_spec("cache.load:throw:0.5"),
+                       11);
+    constexpr int kThreads = 6;
+    constexpr int kRounds = 4;
+    std::vector<CooTensor> results(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&, t] {
+            TensorRegistry registry(tmp.dir(), 1e-4);
+            for (int r = 0; r < kRounds; ++r)
+                results[static_cast<std::size_t>(t)] =
+                    registry.load("irrS");
+        });
+    for (auto& t : threads)
+        t.join();
+    injector.clear();
+    for (int t = 1; t < kThreads; ++t) {
+        EXPECT_TRUE(results[0].same_pattern(
+            results[static_cast<std::size_t>(t)]));
+        EXPECT_EQ(results[0].values(),
+                  results[static_cast<std::size_t>(t)].values());
+    }
 }
 
 TEST(Registry, UnknownDatasetThrows)
