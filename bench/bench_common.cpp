@@ -18,6 +18,7 @@
 #include "io/registry.hpp"
 #include "kernels/mttkrp.hpp"
 #include "obs/counters.hpp"
+#include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "kernels/tew.hpp"
@@ -74,6 +75,9 @@ options_from_env()
     (void)obs::current_mode();
     (void)simd::active_isa();
     (void)simd::prefetch_distance();
+    // Arm the live metrics heartbeat ($PASTA_METRICS=<path>[,interval_ms])
+    // so long bench runs are tailable mid-flight; a no-op when unset.
+    (void)obs::metrics::arm_from_env("bench");
 
     BenchOptions options;
     if (const char* s = std::getenv("PASTA_SCALE"))

@@ -43,6 +43,12 @@ namespace pasta::bench {
 ///                        and the journal, spans feed the Chrome trace
 ///   PASTA_TRACE_DIR      where trace.json/spans.jsonl land (falls back
 ///                        to PASTA_CSV_DIR, then ".")
+///   PASTA_METRICS        <path>[,interval_ms] live metrics heartbeat:
+///                        a background thread appends one JSON snapshot
+///                        of the always-on metrics registry (counters,
+///                        gauges, latency histograms) per interval
+///                        (default 1000 ms) — tail it mid-run or render
+///                        with scripts/metrics_summary.py
 ///   PASTA_MEM_BYTES      memory budget (suffixes K/M/G accepted) armed
 ///                        into the src/common/membudget governor: trials
 ///                        whose working set would exceed it degrade to

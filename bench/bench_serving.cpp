@@ -58,6 +58,7 @@
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "harness/journal.hpp"
+#include "obs/metrics.hpp"
 #include "serve/executor.hpp"
 #include "serve/plan_cache.hpp"
 #include "serve/scheduler.hpp"
@@ -249,14 +250,14 @@ run_phase(const std::string& variant, const std::vector<JobSpec>& specs,
     return result;
 }
 
+/// Percentile in ms out of a µs-valued histogram sample.  Bounded
+/// memory: O(nonzero buckets) per group instead of one double per job,
+/// with relative error capped by the bucket width (~3.125%, see
+/// obs/metrics.hpp).
 double
-percentile(std::vector<double>& sorted, double p)
+hist_percentile_ms(const obs::metrics::HistSample& sample, double q)
 {
-    if (sorted.empty())
-        return 0;
-    const std::size_t idx = static_cast<std::size_t>(
-        p * static_cast<double>(sorted.size()));
-    return sorted[std::min(idx, sorted.size() - 1)] * 1e3;  // ms
+    return sample.percentile(q) / 1e3;
 }
 
 /// Per-(kernel, format) aggregate of one phase.
@@ -281,8 +282,9 @@ std::vector<GroupRow>
 summarize(const PhaseResult& phase)
 {
     std::map<std::pair<int, int>, GroupRow> groups;
-    std::map<std::pair<int, int>, std::vector<double>> latencies;
-    std::vector<double> all;
+    std::map<std::pair<int, int>, std::unique_ptr<obs::metrics::Histogram>>
+        latencies;
+    obs::metrics::Histogram all("bench.latency_us");
     GroupRow total;
     total.kernel = "*";
     total.format = "*";
@@ -304,8 +306,14 @@ summarize(const PhaseResult& phase)
                 ++row.hits;
                 ++total.hits;
             }
-            latencies[key].push_back(job.total_seconds());
-            all.push_back(job.total_seconds());
+            const std::uint64_t us = static_cast<std::uint64_t>(
+                job.total_seconds() * 1e6);
+            auto& hist = latencies[key];
+            if (!hist)
+                hist = std::make_unique<obs::metrics::Histogram>(
+                    row.kernel + "/" + row.format);
+            hist->record(us);
+            all.record(us);
         } else {
             ++row.failed;
             ++total.failed;
@@ -313,17 +321,18 @@ summarize(const PhaseResult& phase)
     }
     std::vector<GroupRow> rows;
     for (auto& [key, row] : groups) {
-        auto& lat = latencies[key];
-        std::sort(lat.begin(), lat.end());
-        row.p50_ms = percentile(lat, 0.50);
-        row.p95_ms = percentile(lat, 0.95);
-        row.p99_ms = percentile(lat, 0.99);
+        if (auto it = latencies.find(key); it != latencies.end()) {
+            const obs::metrics::HistSample sample = it->second->snapshot();
+            row.p50_ms = hist_percentile_ms(sample, 0.50);
+            row.p95_ms = hist_percentile_ms(sample, 0.95);
+            row.p99_ms = hist_percentile_ms(sample, 0.99);
+        }
         rows.push_back(row);
     }
-    std::sort(all.begin(), all.end());
-    total.p50_ms = percentile(all, 0.50);
-    total.p95_ms = percentile(all, 0.95);
-    total.p99_ms = percentile(all, 0.99);
+    const obs::metrics::HistSample sample = all.snapshot();
+    total.p50_ms = hist_percentile_ms(sample, 0.50);
+    total.p95_ms = hist_percentile_ms(sample, 0.95);
+    total.p99_ms = hist_percentile_ms(sample, 0.99);
     rows.push_back(total);
     return rows;
 }

@@ -26,6 +26,16 @@
 ///   PASTA_CAMPAIGN_DELAY_MS  artificial per-shard delay before the
 ///                            kernel runs (default 0) — widens the
 ///                            mid-trial window so chaos kills land
+///   PASTA_METRICS            <path>[,interval_ms] — arm the live metrics
+///                            heartbeat.  Each worker additionally
+///                            exports to <dir>/metrics.<shard>.jsonl and
+///                            the supervisor tails those into
+///                            <dir>/metrics.campaign.jsonl (counters
+///                            summed, gauges maxed, histograms merged);
+///                            with PASTA_TRACE=spans/full the per-worker
+///                            traces are merged into
+///                            <dir>/campaign.trace.json on one epoch
+///                            clock (see scripts/metrics_summary.py)
 #include <unistd.h>
 
 #include <chrono>
@@ -279,6 +289,20 @@ main(int argc, char** argv)
                 "(%zu duplicate(s) folded) in %s/journal.merged.jsonl\n",
                 report.merge.shard_files, report.merge.lines,
                 report.merge.entries, report.merge.duplicates, dir.c_str());
+    if (report.metrics.shard_files > 0)
+        std::printf("metrics: %zu heartbeat file(s) aggregated -> "
+                    "%s/metrics.campaign.jsonl (trial.ok=%llu "
+                    "trial.failed=%llu)\n",
+                    report.metrics.shard_files, dir.c_str(),
+                    static_cast<unsigned long long>(
+                        report.metrics.merged.counter("campaign.trial.ok")),
+                    static_cast<unsigned long long>(
+                        report.metrics.merged.counter(
+                            "campaign.trial.failed")));
+    if (report.trace_merged)
+        std::printf("trace: merged per-worker traces -> "
+                    "%s/campaign.trace.json\n",
+                    dir.c_str());
     if (report.drained)
         std::printf("drained: resume with the same campaign dir "
                     "(%s/resume.list)\n",

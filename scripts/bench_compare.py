@@ -39,6 +39,14 @@ more than --threshold percent prints a loud warning without failing
 the gate (the p99 of an open-loop phase legitimately moves with the
 arrival-rate draw and machine load).
 
+Either side may also include a PASTA_METRICS heartbeat (*.jsonl, as
+written by the live metrics exporter or the campaign aggregator): the
+LAST parseable snapshot's histograms are decoded with the same
+log-linear bucket math as obs/metrics.hpp and their p99s compared.
+Unlike the CSV p99_ms column, histogram-derived p99s ARE a real gate
+when both sides carry them — the histogram pools every recorded value
+(not one open-loop draw), so a grown p99 there is signal, not noise.
+
 The script exits non-zero when any benchmark regressed by more than
 --threshold percent (default 10), making it usable as a CI gate:
 
@@ -56,6 +64,7 @@ import argparse
 import csv
 import glob
 import json
+import math
 import sys
 
 
@@ -87,7 +96,64 @@ def load_json_throughputs(path):
         rate = parse_rate(entry.get("items_per_second"))
         if name and rate:
             rates[name] = rate
-    return rates, {}, {}, {}
+    return rates, {}, {}, {}, {}
+
+
+# Log-linear histogram decoding, mirroring obs/metrics.hpp: 32
+# sub-buckets per octave, values below 64 exact.
+_SUB_BITS = 5
+
+
+def _bucket_lower(idx):
+    if idx < 64:
+        return idx
+    hi = idx >> 5
+    return (idx - (hi - 1) * 32) << (hi + 4 - _SUB_BITS)
+
+
+def _bucket_width(idx):
+    return 1 if idx < 64 else 1 << ((idx >> 5) + 4 - _SUB_BITS)
+
+
+def _hist_percentile(hist, q):
+    """Same rank convention as HistSample::percentile."""
+    count = hist.get("count", 0)
+    if not count:
+        return None
+    rank = max(1, min(count, math.ceil(q * count)))
+    cum = 0
+    for idx, n in hist.get("buckets", []):
+        cum += n
+        if cum >= rank:
+            width = _bucket_width(idx)
+            lower = _bucket_lower(idx)
+            return float(lower) if width == 1 else lower + width / 2.0
+    return float(hist.get("max", 0))
+
+
+def load_metrics_histograms(path):
+    """Histogram p99s (in the histograms' own unit, typically µs) from
+    the LAST parseable snapshot of a PASTA_METRICS heartbeat — same
+    torn-tail tolerance as the C++ loader."""
+    last = None
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                snap = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail from a killed writer
+            if isinstance(snap, dict) and "ts" in snap:
+                last = snap
+    hist_p99 = {}
+    if last:
+        for name, hist in last.get("hists", {}).items():
+            p99 = _hist_percentile(hist, 0.99)
+            if p99:
+                hist_p99[name] = p99
+    return {}, {}, {}, {}, hist_p99
 
 
 def load_csv_throughputs(path):
@@ -128,7 +194,7 @@ def load_csv_throughputs(path):
             tail = parse_rate(row.get("p99_ms"))
             if tail:
                 p99[key] = tail
-    return rates, roofline, mem_peak, p99
+    return rates, roofline, mem_peak, p99, {}
 
 
 def expand_inputs(spec):
@@ -146,16 +212,21 @@ def expand_inputs(spec):
 def load_throughputs(spec):
     """Loads one profile side: every matched file parsed by extension
     and merged into one map (later files win on duplicate keys)."""
-    rates, roofline, mem_peak, p99 = {}, {}, {}, {}
+    rates, roofline, mem_peak, p99, hist_p99 = {}, {}, {}, {}, {}
     for path in expand_inputs(spec):
-        loader = (load_csv_throughputs if path.endswith(".csv")
-                  else load_json_throughputs)
-        r, roof, mem, tail = loader(path)
+        if path.endswith(".csv"):
+            loader = load_csv_throughputs
+        elif path.endswith(".jsonl"):
+            loader = load_metrics_histograms
+        else:
+            loader = load_json_throughputs
+        r, roof, mem, tail, hist = loader(path)
         rates.update(r)
         roofline.update(roof)
         mem_peak.update(mem)
         p99.update(tail)
-    return rates, roofline, mem_peak, p99
+        hist_p99.update(hist)
+    return rates, roofline, mem_peak, p99, hist_p99
 
 
 def compare(base, cand, threshold, metric, regressions):
@@ -169,6 +240,27 @@ def compare(base, cand, threshold, metric, regressions):
         change = (new - old) / old * 100.0
         marker = ""
         if change < -threshold:
+            marker = "  <-- REGRESSION"
+            regressions.append((f"{name} [{metric}]", change))
+        print(f"{name:<{width}}  {old:14.3e} -> {new:14.3e}  "
+              f"{change:+7.2f}%{marker}")
+    for name in sorted(set(cand) - set(base)):
+        print(f"{name:<{width}}  only in candidate")
+
+
+def compare_grew_gated(base, cand, threshold, metric, regressions):
+    """Gated diff for a lower-is-better metric: growth beyond the
+    threshold IS a regression (used for histogram-derived p99s, which
+    pool every recorded value and so are stable enough to gate on)."""
+    width = max((len(n) for n in base), default=0)
+    for name in sorted(base):
+        if name not in cand:
+            print(f"{name:<{width}}  only in baseline")
+            continue
+        old, new = base[name], cand[name]
+        change = (new - old) / old * 100.0
+        marker = ""
+        if change > threshold:
             marker = "  <-- REGRESSION"
             regressions.append((f"{name} [{metric}]", change))
         print(f"{name:<{width}}  {old:14.3e} -> {new:14.3e}  "
@@ -212,15 +304,18 @@ def main():
                              "(default 10)")
     args = parser.parse_args()
 
-    base, base_roof, base_mem, base_p99 = load_throughputs(args.baseline)
-    cand, cand_roof, cand_mem, cand_p99 = load_throughputs(args.candidate)
-    if not base:
-        print(f"error: no throughput entries in {args.baseline}",
-              file=sys.stderr)
+    (base, base_roof, base_mem, base_p99,
+     base_hist) = load_throughputs(args.baseline)
+    (cand, cand_roof, cand_mem, cand_p99,
+     cand_hist) = load_throughputs(args.candidate)
+    if not base and not base_hist:
+        print(f"error: no throughput or histogram entries in "
+              f"{args.baseline}", file=sys.stderr)
         return 2
 
     regressions = []
-    compare(base, cand, args.threshold, "throughput", regressions)
+    if base:
+        compare(base, cand, args.threshold, "throughput", regressions)
     if base_roof and cand_roof:
         print("\n-- roofline efficiency (% of roofline) --")
         compare(base_roof, cand_roof, args.threshold, "roofline_pct",
@@ -232,6 +327,10 @@ def main():
     if base_p99 and cand_p99:
         compare_grew_warn_only(base_p99, cand_p99, args.threshold,
                                "p99 latency (ms)", "p99 latency")
+    if base_hist and cand_hist:
+        print("\n-- histogram-derived p99 (gated) --")
+        compare_grew_gated(base_hist, cand_hist, args.threshold,
+                           "hist_p99", regressions)
 
     if regressions:
         print(f"\n{len(regressions)} benchmark(s) regressed more than "

@@ -40,6 +40,13 @@
 #                    and the merged journal must match an unkilled
 #                    baseline); off by default — it forks worker pools
 #                    and takes several seconds
+#   BENCH_METRICS    when 1, also run scripts/check_metrics.sh against
+#                    the same build dir (live telemetry smoke: a chaos
+#                    campaign with PASTA_METRICS armed must keep
+#                    per-shard heartbeats gap-free across the kill,
+#                    aggregate counters equal to the merged journal,
+#                    and merge per-worker traces into one valid
+#                    campaign.trace.json); off by default
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -103,4 +110,11 @@ fi
 # must produce the same merged journal as an unkilled baseline.
 if [ "${BENCH_CAMPAIGN:-0}" = "1" ]; then
     scripts/check_campaign.sh "${BUILD_DIR}"
+fi
+
+# Telemetry smoke: heartbeats must survive a chaos kill, the campaign
+# aggregate must equal the merged journal, and the per-worker traces
+# must merge into one clock-aligned timeline.
+if [ "${BENCH_METRICS:-0}" = "1" ]; then
+    scripts/check_metrics.sh "${BUILD_DIR}"
 fi

@@ -1,0 +1,162 @@
+#!/usr/bin/env bash
+# Smoke-checks the live telemetry pipeline end to end: runs a chaos
+# campaign (PASTA_CHAOS SIGKILLs a worker mid-trial) with the metrics
+# heartbeat and span tracing armed, then asserts everything ISSUE 10
+# promised:
+#   - every shard wrote a per-shard heartbeat (metrics.<shard>.jsonl)
+#     and no heartbeat file has an inter-snapshot gap beyond
+#     GAP_FACTOR x the exporter interval — the killed worker's shard
+#     must resume heartbeating after the respawn/reclaim ladder
+#   - the supervisor's aggregated snapshot (metrics.campaign.jsonl,
+#     counters summed / gauges maxed / histograms merged across the
+#     last snapshot of every shard heartbeat) agrees with the
+#     exactly-once merged journal: campaign.trial.ok == ok entries,
+#     campaign.trial.failed == failed entries
+#   - the merged campaign.trace.json parses as JSON and carries spans
+#     from every shard on distinct per-process pid tracks
+#
+# Usage: scripts/check_metrics.sh [build-dir]
+#   build-dir  defaults to build
+#
+# Environment:
+#   METRICS_INTERVAL_MS  exporter heartbeat period (default 1000)
+#   GAP_FACTOR           tolerated gap as a multiple of the interval
+#                        (default 3)
+#   CHAOS_KILLS          SIGKILLs the campaign must deal (default 1)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+INTERVAL_MS="${METRICS_INTERVAL_MS:-1000}"
+GAP_FACTOR="${GAP_FACTOR:-3}"
+KILLS="${CHAOS_KILLS:-1}"
+if [[ ! -x "${BUILD_DIR}/bench/pasta_campaign" ]]; then
+    cmake -B "${BUILD_DIR}" -S .
+    cmake --build "${BUILD_DIR}" -j "$(nproc)" --target pasta_campaign
+fi
+
+WORK_DIR="$(mktemp -d)"
+trap 'rm -rf "${WORK_DIR}"' EXIT
+
+# Warm pass (unmetered, no telemetry): synthesize + persist the tensor.
+PASTA_CACHE="${WORK_DIR}/cache" \
+PASTA_CAMPAIGN_DIR="${WORK_DIR}/warm" \
+PASTA_SCALE=1e-2 \
+PASTA_SHARDS=2 \
+PASTA_LOG=warn \
+    "${BUILD_DIR}/bench/pasta_campaign" > /dev/null
+
+# Chaos campaign with the full telemetry pipeline armed.  The
+# PASTA_METRICS path deliberately lives OUTSIDE the campaign dir: it
+# catches the pre-claim exporter of each process, while the per-shard
+# files the workers re-arm inside the campaign dir are what the
+# supervisor aggregates — the env file must not be swept into that.
+PASTA_CACHE="${WORK_DIR}/cache" \
+PASTA_CAMPAIGN_DIR="${WORK_DIR}/run" \
+PASTA_SCALE=1e-2 \
+PASTA_SHARDS=2 \
+PASTA_CHAOS="${KILLS}" \
+PASTA_FAULT_SEED=42 \
+PASTA_CAMPAIGN_DELAY_MS=250 \
+PASTA_METRICS="${WORK_DIR}/env.jsonl,${INTERVAL_MS}" \
+PASTA_TRACE=spans \
+PASTA_LOG=warn \
+    "${BUILD_DIR}/bench/pasta_campaign" | tee "${WORK_DIR}/run.out"
+
+SENT="$(grep -o '[0-9]* chaos kill(s) sent' "${WORK_DIR}/run.out" |
+        grep -o '^[0-9]*' || echo 0)"
+if [[ "${SENT}" -lt "${KILLS}" ]]; then
+    echo "FAIL: campaign sent ${SENT} chaos kill(s), wanted ${KILLS}" >&2
+    exit 1
+fi
+
+python3 - "${WORK_DIR}/run" "${INTERVAL_MS}" "${GAP_FACTOR}" <<'EOF'
+import glob
+import json
+import os
+import sys
+
+run, interval_ms, gap_factor = sys.argv[1], float(sys.argv[2]), float(sys.argv[3])
+gap_budget_s = gap_factor * interval_ms / 1000.0
+
+
+def snapshots(path):
+    snaps = []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                snap = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail is legal
+            if isinstance(snap, dict) and "ts" in snap:
+                snaps.append(snap)
+    return snaps
+
+
+# -- heartbeat continuity ------------------------------------------------
+agg_path = f"{run}/metrics.campaign.jsonl"
+shard_files = sorted(p for p in glob.glob(f"{run}/metrics.*.jsonl")
+                     if p != agg_path
+                     and not p.endswith("metrics.supervisor.jsonl"))
+if not shard_files:
+    sys.exit(f"FAIL: no per-shard heartbeat files under {run}")
+for path in shard_files:
+    snaps = snapshots(path)
+    if not snaps:
+        sys.exit(f"FAIL: {path} has no parseable snapshots")
+    ts = [s["ts"] for s in snaps]
+    for prev, cur in zip(ts, ts[1:]):
+        if cur - prev > gap_budget_s:
+            sys.exit(f"FAIL: {os.path.basename(path)} heartbeat gap "
+                     f"{cur - prev:.2f}s exceeds {gap_budget_s:.2f}s "
+                     "(did the killed shard stop heartbeating?)")
+
+# -- aggregate vs merged journal ----------------------------------------
+agg = snapshots(agg_path)
+if not agg:
+    sys.exit(f"FAIL: no aggregated snapshots in {agg_path}")
+final = agg[-1]
+ok = final.get("counters", {}).get("campaign.trial.ok", 0)
+failed = final.get("counters", {}).get("campaign.trial.failed", 0)
+
+journal_ok = journal_failed = 0
+with open(f"{run}/journal.merged.jsonl") as f:
+    for line in f:
+        if not line.strip():
+            continue
+        e = json.loads(line)
+        if e.get("ok"):
+            journal_ok += 1
+        else:
+            journal_failed += 1
+if (ok, failed) != (journal_ok, journal_failed):
+    sys.exit(f"FAIL: aggregated counters (ok={ok}, failed={failed}) != "
+             f"merged journal (ok={journal_ok}, failed={journal_failed})")
+
+# -- merged trace --------------------------------------------------------
+with open(f"{run}/campaign.trace.json") as f:
+    trace = json.load(f)  # must be valid JSON despite the kill
+events = [e for e in trace.get("traceEvents", []) if e.get("ph") == "X"]
+if not events:
+    sys.exit("FAIL: merged campaign.trace.json has no spans")
+pids = {e.get("pid") for e in events}
+if len(pids) < 2:
+    sys.exit(f"FAIL: merged trace has {len(pids)} pid track(s), "
+             "wanted one per process")
+names = {e.get("name", "") for e in events}
+shards = {os.path.basename(p)[len("metrics."):-len(".jsonl")]
+          for p in shard_files}
+missing = {s for s in shards if f"campaign.shard.{s}" not in names}
+if missing:
+    sys.exit(f"FAIL: merged trace is missing shard spans: {sorted(missing)}")
+
+print(f"ok: {len(shard_files)} shard heartbeat(s) gap-free, aggregate "
+      f"(ok={ok}, failed={failed}) == journal, merged trace spans "
+      f"{len(shards)} shard(s) across {len(pids)} process(es)")
+EOF
+
+echo "metrics telemetry smoke passed (${SENT} chaos kill(s) survived)"

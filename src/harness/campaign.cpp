@@ -29,6 +29,7 @@
 #include "common/membudget.hpp"
 #include "harness/fault.hpp"
 #include "harness/lease.hpp"
+#include "obs/trace.hpp"
 
 namespace pasta::harness {
 
@@ -114,6 +115,18 @@ std::string
 shard_journal_path(const std::string& dir, const std::string& shard)
 {
     return dir + "/journal." + shard + ".jsonl";
+}
+
+std::string
+shard_metrics_path(const std::string& dir, const std::string& shard)
+{
+    return dir + "/metrics." + shard + ".jsonl";
+}
+
+std::string
+shard_trace_path(const std::string& dir, const std::string& shard)
+{
+    return dir + "/trace." + shard + ".json";
 }
 
 void
@@ -330,13 +343,35 @@ run_worker_once(const CampaignOptions& opts,
                             opts.heartbeat_interval_s);
         RunJournal journal(shard_journal_path(opts.dir, spec.name));
 
+        // Per-shard heartbeat exporter: the env selects arming and
+        // interval, the path is this shard's own file so the supervisor
+        // can tail/aggregate per shard.  Metrics are zeroed first so a
+        // fork-mode child never exports counters inherited from the
+        // parent — summing per-shard last-snapshots must count each
+        // shard exactly once.
+        obs::metrics::ExporterOptions mopts =
+            obs::metrics::ExporterOptions::from_env();
+        if (mopts.armed()) {
+            obs::metrics::reset_metrics();
+            mopts.path = shard_metrics_path(opts.dir, spec.name);
+            obs::metrics::start_exporter(mopts, spec.name);
+        }
+
         int exit_code = kWorkerExitFailure;
         JournalEntry entry;
         try {
+            obs::SpanScope span("campaign.shard." + spec.name);
             entry = body(spec);
             stamp_entry(entry, spec);
             journal.append(entry);
             journal.flush();
+            // The trial counter moves only after its journal line is
+            // durable, and the final metrics snapshot lands before the
+            // done marker: a kill anywhere in between re-runs the shard
+            // and both the journal merge and the last-snapshot
+            // aggregation fold the duplicate the same way.
+            obs::metrics::counter_add("campaign.trial.ok", 1);
+            obs::metrics::stop_exporter();
             // Order matters: journal line first, then the durable done
             // marker.  A kill between the two re-runs the shard and the
             // merge folds the duplicate; the reverse order could mark a
@@ -351,6 +386,8 @@ run_worker_once(const CampaignOptions& opts,
             entry.failure_class = "oom";
             journal.append(entry);
             journal.flush();
+            obs::metrics::counter_add("campaign.trial.failed", 1);
+            obs::metrics::stop_exporter();
             exit_code = kWorkerExitOom;
         } catch (const std::exception& e) {
             const bool oom =
@@ -362,8 +399,16 @@ run_worker_once(const CampaignOptions& opts,
             entry.failure_class = oom ? "oom" : "error";
             journal.append(entry);
             journal.flush();
+            obs::metrics::counter_add("campaign.trial.failed", 1);
+            obs::metrics::stop_exporter();
             exit_code = oom ? kWorkerExitOom : kWorkerExitFailure;
         }
+        // Per-process trace export (write mode: a rerun after a kill
+        // replaces the partial trace).  The supervisor merges these
+        // onto one clock-aligned timeline at campaign end.
+        if (obs::spans_enabled())
+            obs::write_chrome_trace(
+                shard_trace_path(opts.dir, spec.name));
         release_lease(leases_dir(opts.dir), spec.name);
         return exit_code;
     }
@@ -401,6 +446,30 @@ Supervisor::run()
 
     CampaignReport report;
     report.shards_total = shards_.size();
+
+    // Telemetry plumbing.  Exec-mode supervisors heartbeat their own
+    // metrics file alongside the per-shard worker files; fork-only
+    // supervisors (tests) must instead make sure NO exporter thread is
+    // alive before forking — a child forked while the exporter holds
+    // the registry mutex would deadlock on its first counter.
+    const obs::metrics::ExporterOptions menv =
+        obs::metrics::ExporterOptions::from_env();
+    const bool metrics_armed = menv.armed();
+    const std::string campaign_metrics =
+        opts_.dir + "/metrics.campaign.jsonl";
+    if (opts_.worker_argv.empty()) {
+        obs::metrics::stop_exporter();
+    } else if (metrics_armed) {
+        obs::metrics::ExporterOptions sopts = menv;
+        sopts.path = opts_.dir + "/metrics.supervisor.jsonl";
+        obs::metrics::start_exporter(sopts, "supervisor");
+    }
+    // Aggregate the shard heartbeats about once per exporter interval.
+    const int agg_ticks =
+        metrics_armed
+            ? std::max(1, static_cast<int>(menv.interval_s /
+                                           opts_.poll_interval_s))
+            : 0;
 
     // SIGTERM/SIGINT request a graceful drain; handlers are restored on
     // every exit path from this function.
@@ -560,6 +629,9 @@ Supervisor::run()
                                << chaos_left - 1 << " kill(s) left)";
                 active[victim].killed_chaos = true;
                 ::kill(victim, SIGKILL);
+                obs::record_span("campaign.chaos_kill",
+                                 obs::trace_now_ns(), 0);
+                obs::metrics::counter_add("campaign.chaos_kills", 1);
                 ++report.chaos_kills_sent;
                 --chaos_left;
                 next_chaos_tick =
@@ -607,6 +679,9 @@ Supervisor::run()
                 // Our own bullet: respawn, no retry charge.
                 ++report.exits_signal;
                 ++report.respawns;
+                obs::record_span("campaign.respawn",
+                                 obs::trace_now_ns(), 0);
+                obs::metrics::counter_add("campaign.respawns", 1);
                 break;
               default: {
                 if (cls == ExitClass::kFailure)
@@ -618,6 +693,9 @@ Supervisor::run()
                 else
                     ++report.exits_signal;
                 ++report.respawns;
+                obs::record_span("campaign.respawn",
+                                 obs::trace_now_ns(), 0);
+                obs::metrics::counter_add("campaign.respawns", 1);
                 next_spawn_steady = now_steady_seconds() + backoff;
                 backoff = std::min(backoff * 2, opts_.backoff_max_s);
                 const bool done_anyway =
@@ -659,6 +737,12 @@ Supervisor::run()
             }
         }
 
+        // Live campaign-wide aggregate: tail every shard heartbeat into
+        // one summed/merged snapshot, itself an appended heartbeat.
+        if (agg_ticks > 0 && tick % agg_ticks == 0)
+            report.metrics = aggregate_campaign_metrics(
+                opts_.dir, campaign_metrics);
+
         if (opts_.tick_hook)
             opts_.tick_hook(tick);
         std::this_thread::sleep_for(
@@ -690,11 +774,32 @@ Supervisor::run()
 
     report.merge = merge_journal_shards(
         opts_.dir, opts_.dir + "/journal.merged.jsonl");
+
+    // Final telemetry: stop the supervisor's own heartbeat (its last
+    // snapshot joins the aggregate), fold every shard heartbeat into
+    // one closing campaign snapshot, and merge the per-process traces
+    // onto one clock-aligned timeline.
+    if (metrics_armed) {
+        obs::metrics::stop_exporter();
+        report.metrics = aggregate_campaign_metrics(
+            opts_.dir, campaign_metrics);
+    }
+    if (obs::spans_enabled())
+        obs::write_chrome_trace(opts_.dir + "/trace.supervisor.json");
+    report.trace_merged = merge_campaign_traces(
+        opts_.dir, opts_.dir + "/campaign.trace.json");
+
     PASTA_LOG_INFO << "campaign: " << report.shards_done << "/"
                    << report.shards_total << " shard(s) done, "
                    << report.shards_failed << " failed, "
                    << report.merge.entries << " merged journal entries ("
                    << report.merge.duplicates << " duplicate(s) folded)";
+    if (metrics_armed) {
+        PASTA_LOG_INFO << "campaign: aggregated "
+                       << report.metrics.shard_files
+                       << " metrics heartbeat(s) into "
+                       << campaign_metrics;
+    }
     return report;
 }
 
@@ -765,6 +870,93 @@ merge_journal_shards(const std::string& dir,
     stats.entries = best.size();
     stats.duplicates = stats.lines - stats.entries;
     return stats;
+}
+
+MetricsAggregate
+aggregate_campaign_metrics(const std::string& dir,
+                           const std::string& out_path)
+{
+    MetricsAggregate agg;
+    const std::string out_name = fs::path(out_path).filename().string();
+    std::vector<std::string> files;
+    std::error_code ec;
+    for (const auto& ent : fs::directory_iterator(dir, ec)) {
+        if (!ent.is_regular_file())
+            continue;
+        const std::string name = ent.path().filename().string();
+        if (name.rfind("metrics.", 0) != 0 || name == out_name ||
+            name.size() < 6 ||
+            name.compare(name.size() - 6, 6, ".jsonl") != 0)
+            continue;
+        files.push_back(ent.path().string());
+    }
+    std::sort(files.begin(), files.end());
+
+    std::vector<obs::metrics::MetricsSnapshot> snaps;
+    for (const std::string& path : files) {
+        obs::metrics::MetricsSnapshot snap;
+        // The newest complete heartbeat is the exporter's truth; a file
+        // holding only a torn tail (worker killed mid-first-write)
+        // simply contributes nothing this round.
+        if (obs::metrics::load_last_snapshot(path, snap))
+            snaps.push_back(std::move(snap));
+    }
+    agg.shard_files = snaps.size();
+    agg.merged = obs::metrics::merge_snapshots(snaps, "campaign");
+    agg.merged.ts = now_wall_seconds();
+
+    std::string line = obs::metrics::snapshot_to_json(agg.merged);
+    line += '\n';
+    const int fd = ::open(out_path.c_str(),
+                          O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+    if (fd >= 0) {
+        ssize_t off = 0;
+        while (off < static_cast<ssize_t>(line.size())) {
+            const ssize_t n =
+                ::write(fd, line.data() + off,
+                        line.size() - static_cast<std::size_t>(off));
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                break;
+            }
+            off += n;
+        }
+        ::fsync(fd);
+        ::close(fd);
+    } else {
+        PASTA_LOG_WARN << "campaign: cannot append aggregate to "
+                       << out_path << ": " << std::strerror(errno);
+    }
+    return agg;
+}
+
+bool
+merge_campaign_traces(const std::string& dir, const std::string& out_path)
+{
+    const std::string out_name = fs::path(out_path).filename().string();
+    std::vector<obs::TraceMergeInput> inputs;
+    std::error_code ec;
+    for (const auto& ent : fs::directory_iterator(dir, ec)) {
+        if (!ent.is_regular_file())
+            continue;
+        const std::string name = ent.path().filename().string();
+        if (name.rfind("trace.", 0) != 0 || name == out_name ||
+            name.size() < 5 ||
+            name.compare(name.size() - 5, 5, ".json") != 0)
+            continue;
+        // trace.<shard>.json -> the shard name labels the pid track.
+        obs::TraceMergeInput input;
+        input.path = ent.path().string();
+        input.label = name.substr(6, name.size() - 6 - 5);
+        inputs.push_back(std::move(input));
+    }
+    if (inputs.empty())
+        return false;  // spans were never armed; nothing to merge
+    std::sort(inputs.begin(), inputs.end(),
+              [](const obs::TraceMergeInput& a,
+                 const obs::TraceMergeInput& b) { return a.path < b.path; });
+    return obs::merge_chrome_traces(inputs, out_path);
 }
 
 }  // namespace pasta::harness

@@ -64,6 +64,7 @@
 
 #include "common/types.hpp"
 #include "harness/journal.hpp"
+#include "obs/metrics.hpp"
 
 namespace pasta::harness {
 
@@ -153,6 +154,31 @@ struct MergeStats {
 MergeStats merge_journal_shards(const std::string& dir,
                                 const std::string& merged_path);
 
+/// What aggregating the per-shard metrics heartbeats produced.
+struct MetricsAggregate {
+    std::size_t shard_files = 0;  ///< metrics.*.jsonl files aggregated
+    obs::metrics::MetricsSnapshot merged;
+};
+
+/// Tails every `metrics.*.jsonl` under `dir` (excluding the output
+/// file's own name): the LAST parseable snapshot of each heartbeat is
+/// taken as that exporter's current truth, the snapshots are merged
+/// (counters summed, gauges maxed, histograms merged), and one
+/// aggregated line is appended to `out_path` — itself a tailable
+/// campaign-wide heartbeat.  Because each worker process restarts its
+/// per-shard exporter from zeroed (fresh-process) metrics, summing
+/// last-snapshots counts each shard's work exactly once even across
+/// chaos kills and reruns.
+MetricsAggregate aggregate_campaign_metrics(const std::string& dir,
+                                            const std::string& out_path);
+
+/// Merges every per-process `trace.*.json` under `dir` (excluding the
+/// output's own name) into one clock-aligned `out_path` via
+/// obs::merge_chrome_traces, labelling each input's pid track with the
+/// shard name from its filename.  False when no input traces exist.
+bool merge_campaign_traces(const std::string& dir,
+                           const std::string& out_path);
+
 /// Campaign outcome counters (one supervisor run).
 struct CampaignReport {
     Size shards_total = 0;
@@ -171,6 +197,10 @@ struct CampaignReport {
     int exits_timeout = 0;
     bool drained = false;  ///< stopped early on SIGTERM/SIGINT/drain
     MergeStats merge;
+    /// Telemetry side-channel (populated when PASTA_METRICS is armed /
+    /// spans were recorded; zero-valued otherwise).
+    MetricsAggregate metrics;
+    bool trace_merged = false;  ///< campaign.trace.json written
 
     bool complete() const
     {

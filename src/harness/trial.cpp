@@ -13,6 +13,7 @@
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "common/membudget.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "validate/validate.hpp"
 
@@ -196,6 +197,7 @@ run_guarded_trial(const std::string& label,
             result.error = oss.str();
             result.skipped = true;
             result.timed_out = true;
+            obs::metrics::counter_add("trial.failed", 1);
             PASTA_LOG_WARN << label << ": " << result.error
                            << "; trial skipped";
             return result;
@@ -205,6 +207,10 @@ run_guarded_trial(const std::string& label,
             result.oom = false;
             result.seconds = seconds;
             result.error.clear();
+            obs::metrics::counter_add("trial.ok", 1);
+            obs::metrics::hist_record(
+                "trial.ms",
+                static_cast<std::uint64_t>(seconds * 1e3));
             return result;
         }
         result.error = error;
@@ -223,6 +229,7 @@ run_guarded_trial(const std::string& label,
             // kernel on the same data and fails the same check.
             result.skipped = true;
             result.validation = true;
+            obs::metrics::counter_add("trial.failed", 1);
             PASTA_LOG_WARN << label << ": validation failure (" << error
                            << "); trial skipped";
             return result;
@@ -237,6 +244,7 @@ run_guarded_trial(const std::string& label,
         }
     }
     result.skipped = true;
+    obs::metrics::counter_add("trial.failed", 1);
     PASTA_LOG_WARN << label << ": giving up after " << result.attempts
                    << " attempts (" << result.error << ")";
     return result;

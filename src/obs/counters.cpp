@@ -41,6 +41,7 @@ Counter::reset()
 {
     total_.store(0, std::memory_order_relaxed);
     max_.store(0, std::memory_order_relaxed);
+    overflow_.store(0, std::memory_order_relaxed);
     for (auto& w : worker_)
         w.store(0, std::memory_order_relaxed);
 }
@@ -144,6 +145,7 @@ snapshot_counters()
         s.name = name;
         s.total = c->total();
         s.max_value = c->max_value();
+        s.overflow = c->overflow();
         s.worker = c->worker_totals();
         snap.counters.push_back(std::move(s));
     }

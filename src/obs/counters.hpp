@@ -52,6 +52,10 @@ class Counter {
     }
 
     /// total += v, worker slot += v (worker from pasta::worker_id()).
+    /// Workers at or beyond kMaxWorkers spill into a shared overflow
+    /// cell — counted, not dropped — so oversubscribed runs keep exact
+    /// totals and the imbalance report can say how much work went
+    /// unattributed.  Negative workers stay total-only.
     void add_worker(int worker, std::uint64_t v)
     {
         if (!counters_enabled())
@@ -60,6 +64,8 @@ class Counter {
         if (worker >= 0 && worker < kMaxWorkers)
             worker_[static_cast<std::size_t>(worker)].fetch_add(
                 v, std::memory_order_relaxed);
+        else if (worker >= kMaxWorkers)
+            overflow_.fetch_add(v, std::memory_order_relaxed);
     }
 
     /// max = max(max, v); the total is untouched, so high-water counters
@@ -75,6 +81,12 @@ class Counter {
         return max_.load(std::memory_order_relaxed);
     }
 
+    /// Work attributed to workers >= kMaxWorkers (shared spill cell).
+    std::uint64_t overflow() const
+    {
+        return overflow_.load(std::memory_order_relaxed);
+    }
+
     /// Per-worker totals with trailing zero slots trimmed.
     std::vector<std::uint64_t> worker_totals() const;
 
@@ -84,6 +96,7 @@ class Counter {
     std::string name_;
     std::atomic<std::uint64_t> total_{0};
     std::atomic<std::uint64_t> max_{0};
+    std::atomic<std::uint64_t> overflow_{0};
     std::array<std::atomic<std::uint64_t>, kMaxWorkers> worker_;
 };
 
@@ -130,6 +143,7 @@ struct CounterSample {
     std::string name;
     std::uint64_t total = 0;
     std::uint64_t max_value = 0;
+    std::uint64_t overflow = 0;  ///< spill from workers >= kMaxWorkers
     std::vector<std::uint64_t> worker;  ///< per-worker totals, trimmed
 };
 

@@ -1,0 +1,232 @@
+/// \file
+/// Live metrics: always-on counters, gauges, and log-linear HDR-style
+/// histograms, periodically exported as an append-only JSONL heartbeat.
+///
+/// The trace/counters layer (counters.hpp, trace.hpp) is post-hoc: it
+/// accumulates while armed and is read once at exit.  Campaigns (PR 7)
+/// and serving runs (PR 9) made the interesting traffic long-running and
+/// multi-process — a run is a black box until it dies.  This registry is
+/// the live complement: recording is ALWAYS on (a few relaxed atomics
+/// per event; there is no per-nonzero call site, only per-job / per-trial
+/// ones), and a background exporter thread — armed via
+///   PASTA_METRICS=<path>[,interval_ms]
+/// — snapshots the registry every interval into `path` as one JSON
+/// object per line (fsync'd per snapshot), so `tail -f` and
+/// scripts/metrics_summary.py can watch a run mid-flight and a torn
+/// final line (SIGKILL mid-write) never corrupts earlier heartbeats.
+///
+/// Histograms are log-linear with 32 sub-buckets per octave: values
+/// below 64 are exact, larger values land in a bucket whose width is at
+/// most value/32, so any reported percentile is within ~3.125% relative
+/// error of the exact sorted-sample percentile (plus half a unit for the
+/// integer buckets).  Storage is O(buckets) — 1920 slots covers the full
+/// uint64 range — which is what lets bench_serving keep per-job latency
+/// percentiles over millions of jobs without the unbounded vectors it
+/// used before.  Recording is lock-free after a shard's first touch:
+/// each histogram keeps 16 lazily-installed shards, threads hash onto a
+/// shard, and shards are summed on read — the counters.hpp discipline.
+///
+/// The snapshot schema (parse_snapshot_line / merge_snapshots round-trip
+/// it) is what the campaign supervisor aggregates across shards: sum
+/// counters, merge histograms, max gauges.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pasta::obs::metrics {
+
+/// Sub-bucket resolution: 2^5 = 32 buckets per power of two, giving a
+/// worst-case bucket width of value/32 (~3.125% relative error).
+inline constexpr int kSubBits = 5;
+
+/// Dense bucket count covering all of uint64: values < 64 are exact
+/// (indices 0..63), and each of the 58 remaining octaves contributes 32
+/// buckets: 64 + 58*32 = 1920.
+inline constexpr std::size_t kHistBuckets = 1920;
+
+/// Bucket index for a recorded value (monotone in v).
+inline std::size_t
+bucket_index(std::uint64_t v)
+{
+    if (v < 64)
+        return static_cast<std::size_t>(v);
+    const int b = std::bit_width(v) - 1;  // 63 - clz; b >= 6 here
+    return static_cast<std::size_t>(b - kSubBits) * 32 +
+           static_cast<std::size_t>(v >> (b - kSubBits));
+}
+
+/// Inclusive lower edge of bucket `idx`.
+inline std::uint64_t
+bucket_lower(std::size_t idx)
+{
+    if (idx < 64)
+        return idx;
+    const std::size_t hi = idx >> 5;        // octave group, >= 2
+    const int b = static_cast<int>(hi) + 4; // exponent of the octave
+    const std::uint64_t m = idx - (hi - 1) * 32;  // mantissa in [32, 64)
+    return m << (b - kSubBits);
+}
+
+/// Width of bucket `idx` (1 for the exact range).
+inline std::uint64_t
+bucket_width(std::size_t idx)
+{
+    if (idx < 64)
+        return 1;
+    const std::size_t hi = idx >> 5;
+    return std::uint64_t{1} << (static_cast<int>(hi) + 4 - kSubBits);
+}
+
+/// One histogram read out of the registry (or parsed back from JSONL):
+/// sparse nonzero buckets sorted by index, plus the moments needed for
+/// means and exact-extreme reporting.  This is the mergeable unit the
+/// campaign aggregator sums across shards.
+struct HistSample {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t min = 0;  ///< exact smallest recorded value (0 if empty)
+    std::uint64_t max = 0;  ///< exact largest recorded value
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> buckets;
+
+    double mean() const
+    {
+        return count ? static_cast<double>(sum) / static_cast<double>(count)
+                     : 0.0;
+    }
+
+    /// Value at quantile q in [0,1]: the representative (midpoint; exact
+    /// for the unit-width buckets) of the bucket holding sample number
+    /// max(1, ceil(q*count)) — the same rank convention as indexing a
+    /// sorted sample vector at ceil(q*n)-1, so the estimate is always
+    /// inside the bucket that contains the exact percentile.
+    double percentile(double q) const;
+
+    /// Accumulates `other` into this sample (commutative, associative).
+    void merge_from(const HistSample& other);
+};
+
+/// A concurrent log-linear histogram.  record() is wait-free after the
+/// calling thread's shard exists (relaxed adds plus two CAS extreme
+/// updates); snapshot() sums the shards.
+class Histogram {
+  public:
+    explicit Histogram(std::string name);
+    ~Histogram();
+    Histogram(const Histogram&) = delete;
+    Histogram& operator=(const Histogram&) = delete;
+
+    const std::string& name() const { return name_; }
+
+    void record(std::uint64_t v);
+    HistSample snapshot() const;
+    void reset();
+
+  private:
+    static constexpr std::size_t kShards = 16;
+
+    struct Shard;
+    Shard& shard_for_thread();
+
+    std::string name_;
+    std::atomic<Shard*> shards_[kShards] = {};
+};
+
+/// The histogram registered under `name`, created on first use; the
+/// reference stays valid for the life of the process so hot call sites
+/// (the serving scheduler, bench loops) can cache it.
+Histogram& histogram(const std::string& name);
+
+/// counter += v (monotone event counts: jobs done, trials ok, ...).
+void counter_add(const std::string& name, std::uint64_t v);
+
+/// gauge = v (instantaneous levels: resident cache bytes, ...).
+void gauge_set(const std::string& name, double v);
+
+/// gauge = max(gauge, v) (high-water marks: queue depth, mem peak, ...).
+void gauge_max(const std::string& name, double v);
+
+/// histogram(name).record(v) — one registry lookup per call; cache the
+/// Histogram& instead when recording per-job.
+void hist_record(const std::string& name, std::uint64_t v);
+
+/// Point-in-time copy of the registry, plus the heartbeat envelope
+/// (wall-clock stamp, per-exporter sequence number, source label).
+struct MetricsSnapshot {
+    double ts = 0.0;        ///< unix seconds (system clock)
+    std::uint64_t seq = 0;  ///< per-exporter snapshot ordinal
+    std::string source;     ///< who exported: "bench", shard id, ...
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, HistSample> hists;
+
+    std::uint64_t counter(const std::string& name) const;
+    double gauge(const std::string& name) const;
+    const HistSample* hist(const std::string& name) const;
+};
+
+/// Copies every counter, gauge, and histogram (relaxed loads; exact once
+/// recording threads are quiescent).  ts/seq/source are left default.
+MetricsSnapshot snapshot_metrics();
+
+/// Zeroes every metric (names stay registered).  Test plumbing.
+void reset_metrics();
+
+/// Serializes one snapshot as a single JSON line (no trailing newline):
+///   {"ts":...,"seq":N,"source":"...","counters":{...},"gauges":{...},
+///    "hists":{"name":{"count":..,"sum":..,"min":..,"max":..,
+///             "buckets":[[idx,count],...]}}}
+std::string snapshot_to_json(const MetricsSnapshot& snap);
+
+/// Parses one heartbeat line.  Returns false (leaving `out` untouched)
+/// on malformed input — torn tails from a killed writer are expected and
+/// must not abort aggregation.  Unknown keys are skipped.
+bool parse_snapshot_line(const std::string& line, MetricsSnapshot& out);
+
+/// Reads the LAST parseable snapshot of a heartbeat file (the newest
+/// complete state of that exporter).  False when none parses.
+bool load_last_snapshot(const std::string& path, MetricsSnapshot& out);
+
+/// Campaign-wide aggregate: counters summed, gauges maxed, histograms
+/// merged.  ts is the max input ts, seq the max seq, source taken from
+/// the caller.
+MetricsSnapshot merge_snapshots(const std::vector<MetricsSnapshot>& snaps,
+                                const std::string& source);
+
+/// Exporter arming, parsed from PASTA_METRICS=<path>[,interval_ms].
+struct ExporterOptions {
+    std::string path;        ///< empty = disarmed
+    double interval_s = 1.0; ///< heartbeat period
+
+    bool armed() const { return !path.empty(); }
+
+    /// Strict parse of PASTA_METRICS; unset/empty means disarmed, a
+    /// malformed interval throws PastaError.
+    static ExporterOptions from_env();
+};
+
+/// Starts the background exporter: an immediate first snapshot, then one
+/// per interval, appended+fsync'd to opts.path.  Stops any previously
+/// running exporter first.  Each tick refreshes the governor gauges
+/// (mem.reserved, mem.peak) and obs.spans_dropped before snapshotting.
+/// Returns false when disarmed or the file cannot be opened.
+bool start_exporter(const ExporterOptions& opts, const std::string& source);
+
+/// start_exporter(ExporterOptions::from_env(), source); false when
+/// PASTA_METRICS is unset.
+bool arm_from_env(const std::string& source);
+
+/// Stops the exporter thread after writing one final snapshot.  Safe to
+/// call when no exporter runs.  Forking callers must stop the exporter
+/// before fork() so children never inherit its thread mid-write.
+void stop_exporter();
+
+/// True while an exporter thread is running in this process.
+bool exporter_running();
+
+}  // namespace pasta::obs::metrics

@@ -71,6 +71,8 @@ render_counter_report(const CountersSnapshot& snap)
                 out << "  imbalance=" << imb;
             }
         }
+        if (c.overflow > 0)
+            out << "  overflow=" << c.overflow;
         out << "\n";
     }
     out << "labels:\n";

@@ -1,11 +1,15 @@
 #include "obs/trace.hpp"
 
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <mutex>
+#include <sstream>
 
 #include "common/error.hpp"
 #include "common/log.hpp"
@@ -139,6 +143,19 @@ write_escaped(std::FILE* f, const std::string& s)
     }
 }
 
+/// One warning per process the first time an export sees dropped spans;
+/// the per-export metadata block still carries the exact count.
+void
+warn_dropped_once(std::uint64_t dropped, const std::string& path)
+{
+    static std::atomic<bool> warned{false};
+    if (dropped > 0 && !warned.exchange(true)) {
+        PASTA_LOG_WARN << dropped << " span(s) dropped (ring buffer "
+                       << "full); the trace in " << path
+                       << " is missing the latest phases";
+    }
+}
+
 }  // namespace
 
 void
@@ -189,6 +206,18 @@ std::uint64_t
 trace_now_ns()
 {
     return now_ns();
+}
+
+std::int64_t
+trace_wall_offset_us()
+{
+    const std::int64_t wall_us = std::chrono::duration_cast<
+                                     std::chrono::microseconds>(
+                                     std::chrono::system_clock::now()
+                                         .time_since_epoch())
+                                     .count();
+    const std::int64_t mono_us = static_cast<std::int64_t>(now_ns() / 1000);
+    return wall_us - mono_us;
 }
 
 void
@@ -288,8 +317,16 @@ write_chrome_trace(const std::string& path)
                      "\"args\":{\"count\":%llu}}",
                      static_cast<unsigned long long>(dropped));
     }
-    std::fputs("\n]}\n", f);
+    // Viewers ignore unknown top-level keys; merge_chrome_traces reads
+    // this block for pid tracks and clock alignment.
+    std::fprintf(f,
+                 "\n],\"pastaMeta\":{\"pid\":%lld,"
+                 "\"monoToEpochUs\":%lld,\"spansDropped\":%llu}}\n",
+                 static_cast<long long>(::getpid()),
+                 static_cast<long long>(trace_wall_offset_us()),
+                 static_cast<unsigned long long>(dropped));
     std::fclose(f);
+    warn_dropped_once(dropped, path);
     PASTA_LOG_INFO << "wrote " << path << " (" << spans.size()
                    << " spans" << (dropped ? ", some dropped" : "") << ")";
     return true;
@@ -304,6 +341,13 @@ write_spans_jsonl(const std::string& path)
         PASTA_LOG_WARN << "cannot write span stream " << path;
         return false;
     }
+    const std::uint64_t dropped = spans_dropped();
+    std::fprintf(f,
+                 "{\"pastaMeta\":{\"pid\":%lld,\"monoToEpochUs\":%lld,"
+                 "\"spansDropped\":%llu}}\n",
+                 static_cast<long long>(::getpid()),
+                 static_cast<long long>(trace_wall_offset_us()),
+                 static_cast<unsigned long long>(dropped));
     for (const auto& s : spans) {
         std::fputs("{\"name\":\"", f);
         write_escaped(f, s.name);
@@ -313,7 +357,175 @@ write_spans_jsonl(const std::string& path)
                      s.tid, s.depth, s.ts_us, s.dur_us);
     }
     std::fclose(f);
+    warn_dropped_once(dropped, path);
     PASTA_LOG_INFO << "wrote " << path << " (" << spans.size() << " spans)";
+    return true;
+}
+
+namespace {
+
+/// pastaMeta fields scraped from one write_chrome_trace output.
+struct ParsedMeta {
+    long long pid = -1;
+    long long mono_to_epoch_us = 0;
+    unsigned long long dropped = 0;
+    bool present = false;
+};
+
+ParsedMeta
+scrape_meta(const std::string& text)
+{
+    ParsedMeta meta;
+    const std::size_t at = text.find("\"pastaMeta\":{");
+    if (at == std::string::npos)
+        return meta;
+    const auto field = [&](const char* key) -> long long {
+        const std::size_t k = text.find(key, at);
+        if (k == std::string::npos)
+            return 0;
+        return std::strtoll(text.c_str() + k + std::strlen(key), nullptr,
+                            10);
+    };
+    meta.pid = field("\"pid\":");
+    meta.mono_to_epoch_us = field("\"monoToEpochUs\":");
+    meta.dropped = static_cast<unsigned long long>(
+        field("\"spansDropped\":"));
+    meta.present = true;
+    return meta;
+}
+
+/// Rewrites the first `"<key>":<number>` occurrence in an event line.
+/// Safe on this writer's output: key patterns include an unescaped
+/// quote, which can never be produced by the name escaper.
+bool
+rewrite_number_field(std::string& line, const char* pattern, double value,
+                     bool integral)
+{
+    const std::size_t at = line.find(pattern);
+    if (at == std::string::npos)
+        return false;
+    const std::size_t val_at = at + std::strlen(pattern);
+    std::size_t val_end = val_at;
+    while (val_end < line.size() &&
+           (std::isdigit(static_cast<unsigned char>(line[val_end])) ||
+            line[val_end] == '.' || line[val_end] == '-' ||
+            line[val_end] == '+' || line[val_end] == 'e' ||
+            line[val_end] == 'E'))
+        ++val_end;
+    char buf[40];
+    if (integral)
+        std::snprintf(buf, sizeof buf, "%lld",
+                      static_cast<long long>(value));
+    else
+        std::snprintf(buf, sizeof buf, "%.3f", value);
+    line.replace(val_at, val_end - val_at, buf);
+    return true;
+}
+
+}  // namespace
+
+bool
+merge_chrome_traces(const std::vector<TraceMergeInput>& inputs,
+                    const std::string& out_path)
+{
+    struct Loaded {
+        ParsedMeta meta;
+        std::string label;
+        std::vector<std::string> events;  // raw event lines, comma-free
+    };
+    std::vector<Loaded> traces;
+    long long min_offset = 0;
+    bool have_offset = false;
+    int synthetic_pid = 1000000;  // above any real pid range
+    for (const auto& input : inputs) {
+        std::ifstream in(input.path);
+        if (!in.good()) {
+            PASTA_LOG_WARN << "merge: cannot read " << input.path
+                           << "; skipping";
+            continue;
+        }
+        std::stringstream buf;
+        buf << in.rdbuf();
+        const std::string text = buf.str();
+        Loaded loaded;
+        loaded.meta = scrape_meta(text);
+        loaded.label = input.label;
+        if (!loaded.meta.present)
+            loaded.meta.pid = ++synthetic_pid;
+        // Event lines are the writer's own format: one object per line
+        // inside the traceEvents array, trailing comma on all but last.
+        std::istringstream lines(text);
+        std::string line;
+        while (std::getline(lines, line)) {
+            if (line.rfind("{\"name\":", 0) != 0)
+                continue;
+            while (!line.empty() &&
+                   (line.back() == ',' || line.back() == ' '))
+                line.pop_back();
+            loaded.events.push_back(std::move(line));
+        }
+        if (loaded.meta.present &&
+            (!have_offset || loaded.meta.mono_to_epoch_us < min_offset)) {
+            min_offset = loaded.meta.mono_to_epoch_us;
+            have_offset = true;
+        }
+        traces.push_back(std::move(loaded));
+    }
+    if (traces.empty()) {
+        PASTA_LOG_WARN << "merge: no readable traces for " << out_path;
+        return false;
+    }
+
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (!f) {
+        PASTA_LOG_WARN << "cannot write merged trace " << out_path;
+        return false;
+    }
+    std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", f);
+    bool first = true;
+    unsigned long long dropped_total = 0;
+    std::size_t events_total = 0;
+    for (auto& trace : traces) {
+        dropped_total += trace.meta.dropped;
+        if (!first)
+            std::fputc(',', f);
+        first = false;
+        std::fprintf(f,
+                     "\n{\"name\":\"process_name\",\"ph\":\"M\","
+                     "\"pid\":%lld,\"tid\":0,\"args\":{\"name\":\"",
+                     trace.meta.pid);
+        write_escaped(f, trace.label);
+        std::fputs("\"}}", f);
+        const double shift =
+            trace.meta.present
+                ? static_cast<double>(trace.meta.mono_to_epoch_us -
+                                      min_offset)
+                : 0.0;
+        for (std::string& line : trace.events) {
+            const std::size_t ts_at = line.find("\"ts\":");
+            if (ts_at != std::string::npos) {
+                const double ts = std::strtod(
+                    line.c_str() + ts_at + 5, nullptr);
+                rewrite_number_field(line, "\"ts\":", ts + shift, false);
+            }
+            rewrite_number_field(
+                line, "\"pid\":",
+                static_cast<double>(trace.meta.pid), true);
+            std::fputc(',', f);
+            std::fputc('\n', f);
+            std::fputs(line.c_str(), f);
+            ++events_total;
+        }
+    }
+    std::fprintf(f,
+                 "\n],\"pastaMeta\":{\"pid\":%lld,"
+                 "\"monoToEpochUs\":%lld,\"spansDropped\":%llu,"
+                 "\"merged\":%zu}}\n",
+                 static_cast<long long>(::getpid()), min_offset,
+                 dropped_total, traces.size());
+    std::fclose(f);
+    PASTA_LOG_INFO << "wrote " << out_path << " (" << events_total
+                   << " events from " << traces.size() << " trace(s))";
     return true;
 }
 

@@ -140,15 +140,43 @@ std::uint64_t spans_dropped();
 /// Clears all recorded spans (buffers and thread ids stay registered).
 void reset_spans();
 
+/// Microseconds to ADD to a span's ts_us (trace-epoch microseconds) to
+/// land on the unix epoch, captured at call time.  Every export stamps
+/// this into its metadata block, which is the clock-alignment contract:
+/// two traces from different processes (different steady-clock epochs)
+/// merge onto one timeline by shifting each trace by its own offset.
+std::int64_t trace_wall_offset_us();
+
 /// Writes the collected spans as Chrome trace-event JSON ("X" complete
 /// events, ts/dur in microseconds) loadable in Perfetto or
-/// chrome://tracing.  Returns false (logging a warning) when the file
-/// cannot be written.
+/// chrome://tracing.  A top-level "pastaMeta" block carries the writer's
+/// pid, trace_wall_offset_us(), and spans_dropped() (viewers ignore
+/// unknown top-level keys); a one-shot warning is logged when spans were
+/// dropped, so ring overflow can't masquerade as a quiet phase.
+/// Returns false (logging a warning) when the file cannot be written.
 bool write_chrome_trace(const std::string& path);
 
-/// Writes the collected spans as JSONL, one flat object per line:
+/// Writes the collected spans as JSONL: one "pastaMeta" header line
+/// (pid, clock offset, dropped count), then one flat object per span:
 ///   {"name":"convert.hicoo","tid":0,"depth":1,"ts_us":12.5,"dur_us":3.1}
 bool write_spans_jsonl(const std::string& path);
+
+/// One per-process trace to merge into a campaign-wide timeline.
+struct TraceMergeInput {
+    std::string path;   ///< a write_chrome_trace output
+    std::string label;  ///< process-track name ("shard 3", "supervisor")
+};
+
+/// Merges per-process Chrome traces into one clock-aligned timeline:
+/// each input's events are shifted by its pastaMeta clock offset
+/// (relative to the earliest input epoch) and moved onto that writer's
+/// own pid track, with a "process_name" metadata event carrying the
+/// label.  Inputs without a pastaMeta block (foreign traces) are merged
+/// unshifted on a synthetic pid.  Unreadable inputs are skipped with a
+/// warning; returns false when none could be read or the output cannot
+/// be written.
+bool merge_chrome_traces(const std::vector<TraceMergeInput>& inputs,
+                         const std::string& out_path);
 
 #define PASTA_OBS_CONCAT2(a, b) a##b
 #define PASTA_OBS_CONCAT(a, b) PASTA_OBS_CONCAT2(a, b)

@@ -6,6 +6,7 @@
 #include "core/convert.hpp"
 #include "io/binary_io.hpp"
 #include "obs/counters.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace pasta::serve {
@@ -158,11 +159,14 @@ PlanCache::evict_locked(Shard& shard, std::uint64_t target)
         auto it = shard.map.find(victim);
         if (it != shard.map.end()) {
             shard.bytes -= it->second.bytes;
+            resident_.fetch_sub(it->second.bytes,
+                                std::memory_order_relaxed);
             shard.map.erase(it);
         }
         shard.lru.pop_back();
         evictions_.fetch_add(1, std::memory_order_relaxed);
         obs::add("serve.cache_evict", 1);
+        obs::metrics::counter_add("serve.cache_evict", 1);
     }
 }
 
@@ -177,6 +181,7 @@ PlanCache::get_or_build(
     if (!enabled()) {
         misses_.fetch_add(1, std::memory_order_relaxed);
         obs::add("serve.cache_miss", 1);
+        obs::metrics::counter_add("serve.cache_miss", 1);
         return builder();
     }
     Shard& shard = shard_for(key);
@@ -189,6 +194,7 @@ PlanCache::get_or_build(
                              it->second.lru_it);
             hits_.fetch_add(1, std::memory_order_relaxed);
             obs::add("serve.cache_hit", 1);
+            obs::metrics::counter_add("serve.cache_hit", 1);
             if (was_hit)
                 *was_hit = true;
             return it->second.plan;
@@ -210,6 +216,7 @@ PlanCache::get_or_build(
                              it->second.lru_it);
             hits_.fetch_add(1, std::memory_order_relaxed);
             obs::add("serve.cache_hit", 1);
+            obs::metrics::counter_add("serve.cache_hit", 1);
             if (was_hit)
                 *was_hit = true;
             return it->second.plan;
@@ -217,6 +224,7 @@ PlanCache::get_or_build(
     }
     misses_.fetch_add(1, std::memory_order_relaxed);
     obs::add("serve.cache_miss", 1);
+    obs::metrics::counter_add("serve.cache_miss", 1);
     std::shared_ptr<const Plan> plan;
     try {
         plan = builder();
@@ -234,7 +242,12 @@ PlanCache::get_or_build(
             shard.map.emplace(key,
                               Entry{plan, plan->bytes, shard.lru.begin()});
             shard.bytes += plan->bytes;
+            resident_.fetch_add(plan->bytes, std::memory_order_relaxed);
             evict_locked(shard, shard_budget_);
+            obs::metrics::gauge_set(
+                "serve.cache_bytes",
+                static_cast<double>(
+                    resident_.load(std::memory_order_relaxed)));
         }
     }
     return plan;
@@ -247,6 +260,9 @@ PlanCache::trim(std::uint64_t target_bytes)
         std::lock_guard<std::mutex> lock(shard->mutex);
         evict_locked(*shard, target_bytes);
     }
+    obs::metrics::gauge_set(
+        "serve.cache_bytes",
+        static_cast<double>(resident_.load(std::memory_order_relaxed)));
 }
 
 PlanCache::Stats

@@ -156,6 +156,9 @@ class PlanCache {
     std::atomic<std::uint64_t> hits_{0};
     std::atomic<std::uint64_t> misses_{0};
     std::atomic<std::uint64_t> evictions_{0};
+    /// Cache-wide resident bytes mirrored outside the shard locks so the
+    /// metrics heartbeat reads byte pressure without touching shards.
+    std::atomic<std::uint64_t> resident_{0};
 };
 
 }  // namespace pasta::serve

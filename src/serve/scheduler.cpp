@@ -8,6 +8,7 @@
 #include "common/parallel.hpp"
 #include "harness/fault.hpp"
 #include "obs/counters.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace pasta::serve {
@@ -41,6 +42,25 @@ job_span(const char* stage, std::uint64_t id, std::uint64_t begin_ns,
                      end_ns > begin_ns ? end_ns - begin_ns : 0);
 }
 
+/// Live latency histograms fed per job (always on; the heartbeat
+/// exporter makes them visible mid-run).  Cached references: the
+/// registry lookup happens once per process, not per job.
+obs::metrics::Histogram&
+wait_hist()
+{
+    static obs::metrics::Histogram& h =
+        obs::metrics::histogram("serve.wait_us");
+    return h;
+}
+
+obs::metrics::Histogram&
+exec_hist()
+{
+    static obs::metrics::Histogram& h =
+        obs::metrics::histogram("serve.exec_us");
+    return h;
+}
+
 }  // namespace
 
 Scheduler::Scheduler(const ServeOptions& options, Executor& executor)
@@ -70,6 +90,7 @@ Scheduler::submit(std::shared_ptr<ServeJob> job)
         static_cast<std::int64_t>(options_.queue_bound)) {
         shed_.fetch_add(1, std::memory_order_relaxed);
         obs::add("serve.shed", 1);
+        obs::metrics::counter_add("serve.shed", 1);
         return false;
     }
     job->submit_ns = obs::trace_now_ns();
@@ -141,6 +162,8 @@ Scheduler::note_depth()
                                              std::memory_order_relaxed))
         ;
     obs::record_max("serve.queue_depth", depth);
+    obs::metrics::gauge_max("serve.queue_depth",
+                            static_cast<double>(depth));
 }
 
 void
@@ -218,6 +241,7 @@ Scheduler::execute(ServeJob* job, int worker)
     if (job->start_ns == 0) {
         job->start_ns = obs::trace_now_ns();
         job_span("wait", job->id, job->submit_ns, job->start_ns);
+        wait_hist().record((job->start_ns - job->submit_ns) / 1000);
     }
     ++job->attempts;
     // Intra-kernel parallel_for calls inside this job see the per-job
@@ -266,12 +290,17 @@ Scheduler::finish(ServeJob* job, JobState state)
 {
     job->done_ns = obs::trace_now_ns();
     job_span("exec", job->id, job->start_ns, job->done_ns);
+    exec_hist().record(job->done_ns > job->start_ns
+                           ? (job->done_ns - job->start_ns) / 1000
+                           : 0);
     if (state == JobState::kDone) {
         done_.fetch_add(1, std::memory_order_relaxed);
         obs::add("serve.done", 1);
+        obs::metrics::counter_add("serve.done", 1);
     } else {
         failed_.fetch_add(1, std::memory_order_relaxed);
         obs::add("serve.failed", 1);
+        obs::metrics::counter_add("serve.failed", 1);
     }
     job->state.store(static_cast<int>(state), std::memory_order_release);
     if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {

@@ -13,10 +13,12 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <cctype>
 #include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -28,6 +30,8 @@
 #include "harness/fault.hpp"
 #include "harness/journal.hpp"
 #include "harness/lease.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace pasta {
 namespace {
@@ -582,6 +586,78 @@ TEST(Campaign, RetryBudgetExhaustionFailsShardAndContinues)
     EXPECT_FALSE(entry->ok);
     EXPECT_NE(entry->error.find("retry budget exhausted"),
               std::string::npos);
+}
+
+TEST(Campaign, MetricsArmedCampaignAggregatesCountersAndMergesTraces)
+{
+    TempDir dir;
+    TempDir elsewhere;  // env path OUTSIDE the campaign dir: the shard
+                        // scan must only see per-shard heartbeats
+    ::setenv("PASTA_METRICS",
+             (elsewhere.file("env.jsonl") + ",100").c_str(), 1);
+    obs::metrics::stop_exporter();
+    obs::metrics::reset_metrics();
+    obs::set_mode(obs::TraceMode::kSpans);
+    obs::reset_spans();
+
+    CampaignOptions opts = test_options(dir);
+    opts.workers = 2;
+    const auto shards = make_shards(3);
+    Supervisor supervisor(opts, shards, [](const ShardSpec& spec) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        return ok_entry(spec);
+    });
+    const CampaignReport report = supervisor.run();
+    ::unsetenv("PASTA_METRICS");
+    obs::set_mode(obs::TraceMode::kOff);
+    obs::reset_spans();
+    obs::metrics::stop_exporter();
+    obs::metrics::reset_metrics();
+
+    ASSERT_TRUE(report.complete());
+    // Every worker process exported a per-shard heartbeat and its final
+    // snapshot carries exactly that shard's trial counter; summing the
+    // last snapshots therefore equals the merged journal's entry count.
+    for (const auto& spec : shards) {
+        std::string hb = "metrics.";
+        hb += spec.name;
+        hb += ".jsonl";
+        EXPECT_TRUE(fs::exists(dir.file(hb)));
+    }
+    EXPECT_GE(report.metrics.shard_files, shards.size());
+    EXPECT_EQ(report.metrics.merged.counter("campaign.trial.ok"),
+              report.merge.entries);
+    EXPECT_EQ(report.metrics.merged.counter("campaign.trial.failed"), 0u);
+    EXPECT_EQ(report.metrics.merged.source, "campaign");
+
+    // The aggregate file is itself a tailable heartbeat whose last line
+    // round-trips to the report's merged snapshot.
+    obs::metrics::MetricsSnapshot last;
+    ASSERT_TRUE(obs::metrics::load_last_snapshot(
+        dir.file("metrics.campaign.jsonl"), last));
+    EXPECT_EQ(last.counter("campaign.trial.ok"), report.merge.entries);
+
+    // Spans were armed: every worker (and the supervisor) exported a
+    // trace and they merged onto one clock-aligned timeline with one
+    // pid track per process.
+    EXPECT_TRUE(report.trace_merged);
+    const std::string merged = slurp(dir.file("campaign.trace.json"));
+    ASSERT_FALSE(merged.empty());
+    EXPECT_NE(merged.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(merged.find("\"pastaMeta\""), std::string::npos);
+    EXPECT_NE(merged.find("campaign.shard.shard0"), std::string::npos);
+    // Distinct pid tracks: at least two different "pid":N values.
+    std::set<std::string> pids;
+    for (std::size_t pos = merged.find("\"pid\":");
+         pos != std::string::npos;
+         pos = merged.find("\"pid\":", pos + 1)) {
+        std::size_t end = pos + 6;
+        while (end < merged.size() &&
+               std::isdigit(static_cast<unsigned char>(merged[end])))
+            ++end;
+        pids.insert(merged.substr(pos + 6, end - pos - 6));
+    }
+    EXPECT_GE(pids.size(), 2u);
 }
 
 TEST(Campaign, FromEnvReadsShardsAndChaos)

@@ -8,6 +8,7 @@
 #include <fstream>
 #include <sstream>
 #include <thread>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "core/convert.hpp"
@@ -204,11 +205,80 @@ TEST_F(ObsTest, SpansJsonlOneObjectPerLine)
         ++lines;
         EXPECT_EQ(line.front(), '{');
         EXPECT_EQ(line.back(), '}');
+        if (lines == 1) {
+            // First line is the writer-identity metadata object.
+            EXPECT_NE(line.find("\"pastaMeta\""), std::string::npos);
+            EXPECT_NE(line.find("\"monoToEpochUs\""), std::string::npos);
+            continue;
+        }
         EXPECT_NE(line.find("\"name\""), std::string::npos);
         EXPECT_NE(line.find("\"dur_us\""), std::string::npos);
     }
     std::remove(path.c_str());
-    EXPECT_EQ(lines, 2u);
+    EXPECT_EQ(lines, 3u);  // meta line + two spans
+}
+
+TEST_F(ObsTest, DroppedSpanCountSurfacesInExportedTraceMeta)
+{
+    set_mode(TraceMode::kSpans);
+    // Overflow one thread's ring (16384 slots) so drops are guaranteed.
+    for (int i = 0; i < 20000; ++i) {
+        PASTA_SPAN("overflow.span");
+    }
+    const std::uint64_t dropped = spans_dropped();
+    ASSERT_GT(dropped, 0u);
+
+    const std::string path = (std::filesystem::temp_directory_path() /
+                              "pasta_test_dropped_trace.json")
+                                 .string();
+    ASSERT_TRUE(write_chrome_trace(path));
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    std::remove(path.c_str());
+
+    // The exact drop count must appear in the pastaMeta block.
+    EXPECT_NE(text.find("\"pastaMeta\""), std::string::npos);
+    EXPECT_NE(text.find("\"spansDropped\":" + std::to_string(dropped)),
+              std::string::npos);
+}
+
+TEST_F(ObsTest, WorkerSlotsBeyondCapSpillToOverflowCell)
+{
+    set_mode(TraceMode::kCounters);
+    // 96 concurrent workers against the 64-slot cap: everything beyond
+    // the cap must land in the shared overflow cell, not vanish.
+    constexpr int kThreads = 96;
+    constexpr std::uint64_t kPerWorker = 5;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int w = 0; w < kThreads; ++w)
+        threads.emplace_back(
+            [w] { add_worker("ovf.items", w, kPerWorker); });
+    for (auto& t : threads)
+        t.join();
+
+    const CountersSnapshot snap = snapshot_counters();
+    const CounterSample* items = snap.find("ovf.items");
+    ASSERT_NE(items, nullptr);
+    EXPECT_EQ(items->total, kThreads * kPerWorker);
+    ASSERT_EQ(items->worker.size(),
+              static_cast<std::size_t>(kMaxWorkers));
+    std::uint64_t attributed = 0;
+    for (const std::uint64_t v : items->worker)
+        attributed += v;
+    EXPECT_EQ(attributed, kMaxWorkers * kPerWorker);
+    EXPECT_EQ(items->overflow,
+              (kThreads - kMaxWorkers) * kPerWorker);
+
+    reset_counters();
+    const CountersSnapshot cleared = snapshot_counters();
+    const CounterSample* after = cleared.find("ovf.items");
+    ASSERT_NE(after, nullptr);
+    EXPECT_EQ(after->overflow, 0u);
+    EXPECT_EQ(after->total, 0u);
 }
 
 TEST_F(ObsTest, KernelCountersMatchCostModel)
